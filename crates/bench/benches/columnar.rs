@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the columnar file format: encode/decode
+//! throughput and the encoding heuristics (dictionary, RLE, delta).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polaris_columnar::{
+    ColumnarFile, ColumnarWriter, DataType, Field, RecordBatch, Schema, Value, WriterOptions,
+};
+
+fn batch(rows: usize) -> RecordBatch {
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("price", DataType::Float64),
+        Field::new("flag", DataType::Utf8),
+        Field::new("active", DataType::Bool),
+    ]);
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Float(i as f64 * 1.25),
+                Value::Str(format!("cat-{}", i % 8)), // low cardinality -> dict
+                Value::Bool(i % 3 == 0),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(schema, &data).unwrap()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_encode");
+    for rows in [1_000usize, 10_000] {
+        let b = batch(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &b, |bencher, b| {
+            bencher.iter(|| {
+                ColumnarWriter::encode_file(std::hint::black_box(b), WriterOptions::default())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_decode");
+    for rows in [1_000usize, 10_000] {
+        let bytes = ColumnarWriter::encode_file(&batch(rows), WriterOptions::default()).unwrap();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rows),
+            &bytes,
+            |bencher, bytes| {
+                bencher.iter(|| {
+                    let file = ColumnarFile::parse(std::hint::black_box(bytes.clone())).unwrap();
+                    file.read_all().unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_footer_only_parse(c: &mut Criterion) {
+    // Stats-based pruning never decodes chunk payloads: parsing the footer
+    // must stay cheap regardless of data volume.
+    let bytes = ColumnarWriter::encode_file(&batch(50_000), WriterOptions::default()).unwrap();
+    c.bench_function("columnar_footer_parse_50k_rows", |bencher| {
+        bencher.iter(|| ColumnarFile::parse(std::hint::black_box(bytes.clone())).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_footer_only_parse);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation E10 (§5.1): scan cost over fragmented vs compacted storage.
+//!
+//! Trickle inserts and deletes leave many small files with delete vectors;
+//! merge-on-read then pays per-file overhead and DV masking on every scan.
+//! Compaction rewrites the survivors into full files. The gap between the
+//! two bars is what the STO's compaction trigger buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polaris_core::{sto, PolarisEngine, Value};
+use std::sync::Arc;
+
+/// Build a fragmented table: 32 trickle inserts + 4 delete waves.
+fn fragmented_engine() -> Arc<PolarisEngine> {
+    let engine = PolarisEngine::in_memory();
+    let mut s = engine.session();
+    s.execute("CREATE TABLE t (id BIGINT, v BIGINT)").unwrap();
+    for wave in 0..32 {
+        let rows: Vec<String> = (0..64)
+            .map(|i| format!("({}, {})", wave * 64 + i, i))
+            .collect();
+        s.execute(&format!("INSERT INTO t VALUES {}", rows.join(",")))
+            .unwrap();
+    }
+    for wave in 0..4 {
+        s.execute(&format!(
+            "DELETE FROM t WHERE id >= {} AND id < {}",
+            wave * 500,
+            wave * 500 + 100
+        ))
+        .unwrap();
+    }
+    engine
+}
+
+fn scan_sum(engine: &Arc<PolarisEngine>) -> i64 {
+    let mut s = engine.session();
+    let out = s.query("SELECT SUM(v) AS s, COUNT(*) AS n FROM t").unwrap();
+    out.row(0)[0].as_int().unwrap()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let fragmented = fragmented_engine();
+    let expected = scan_sum(&fragmented);
+
+    let compacted = fragmented_engine();
+    // Compact until healthy (compaction is incremental per trigger).
+    while sto::compact_table(&compacted, "t").unwrap().is_some() {}
+    assert_eq!(
+        scan_sum(&compacted),
+        expected,
+        "compaction must preserve results"
+    );
+
+    let mut group = c.benchmark_group("scan_after_maintenance");
+    group.bench_function("fragmented", |b| {
+        b.iter(|| {
+            let got = scan_sum(std::hint::black_box(&fragmented));
+            assert_eq!(got, expected);
+        })
+    });
+    group.bench_function("compacted", |b| {
+        b.iter(|| {
+            let got = scan_sum(std::hint::black_box(&compacted));
+            assert_eq!(got, expected);
+        })
+    });
+    group.finish();
+
+    // Also report the file-count difference the bars come from.
+    let frag_health = sto::table_health(&fragmented, "t").unwrap();
+    let comp_health = sto::table_health(&compacted, "t").unwrap();
+    println!(
+        "fragmented: {} files ({} small, {} fragmented); compacted: {} files",
+        frag_health.file_count,
+        frag_health.small_files,
+        frag_health.fragmented_files,
+        comp_health.file_count,
+    );
+    let _ = Value::Int(0);
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! End-to-end engine latencies: insert-commit, point and aggregate
+//! queries, and the optimistic commit protocol round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polaris_core::{DataType, Field};
+use polaris_core::{PolarisEngine, RecordBatch, Schema, Value};
+use std::sync::Arc;
+
+fn loaded_engine(rows: usize) -> Arc<PolarisEngine> {
+    let engine = PolarisEngine::in_memory();
+    let mut s = engine.session();
+    s.execute("CREATE TABLE t (id BIGINT, grp VARCHAR, v FLOAT)")
+        .unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("grp", DataType::Utf8),
+        Field::new("v", DataType::Float64),
+    ]);
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("g{}", i % 10)),
+                Value::Float(i as f64),
+            ]
+        })
+        .collect();
+    let batch = RecordBatch::from_rows(schema, &data).unwrap();
+    s.insert_batch("t", &batch).unwrap();
+    engine
+}
+
+fn bench_insert_commit(c: &mut Criterion) {
+    let engine = loaded_engine(0);
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("grp", DataType::Utf8),
+        Field::new("v", DataType::Float64),
+    ]);
+    let batch = RecordBatch::from_rows(
+        schema,
+        &(0..256)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str("g".into()),
+                    Value::Float(i as f64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    c.bench_function("engine_insert256_commit", |b| {
+        b.iter(|| {
+            let mut txn = engine.begin();
+            txn.insert("t", &batch).unwrap();
+            txn.commit().unwrap()
+        })
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let engine = loaded_engine(20_000);
+    let mut s = engine.session();
+    // warm caches
+    s.query("SELECT COUNT(*) AS n FROM t").unwrap();
+    c.bench_function("engine_point_filter_20k", |b| {
+        b.iter(|| s.query("SELECT id, v FROM t WHERE id = 19999").unwrap())
+    });
+    c.bench_function("engine_group_agg_20k", |b| {
+        b.iter(|| {
+            s.query("SELECT grp, SUM(v) AS s, AVG(v) AS a FROM t GROUP BY grp")
+                .unwrap()
+        })
+    });
+    c.bench_function("engine_topn_20k", |b| {
+        b.iter(|| {
+            s.query("SELECT id, v FROM t ORDER BY v DESC LIMIT 10")
+                .unwrap()
+        })
+    });
+}
+
+fn bench_readonly_txn(c: &mut Criterion) {
+    let engine = loaded_engine(1_000);
+    c.bench_function("engine_readonly_txn_roundtrip", |b| {
+        b.iter(|| {
+            let mut txn = engine.begin();
+            txn.query("SELECT COUNT(*) AS n FROM t").unwrap();
+            txn.commit().unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert_commit,
+    bench_queries,
+    bench_readonly_txn
+);
+criterion_main!(benches);

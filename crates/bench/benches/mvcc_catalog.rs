@@ -1,0 +1,86 @@
+//! Micro-benchmarks for the SQL-FE catalog: commit-protocol latency and
+//! snapshot-read cost — the centralized validation path every Polaris
+//! transaction funnels through (§4.1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaris_catalog::{Catalog, ConflictGranularity, IsolationLevel};
+use polaris_lst::SequenceId;
+
+fn catalog_with_history(commits: u64) -> (Catalog, polaris_catalog::TableId) {
+    let c = Catalog::new();
+    let mut tx = c.begin(IsolationLevel::Snapshot);
+    let id = c.create_table(&mut tx, "t", "{}", "lake/t", &[]).unwrap();
+    c.commit(&mut tx).unwrap();
+    for i in 0..commits {
+        let mut tx = c.begin(IsolationLevel::Snapshot);
+        c.commit_write(&mut tx, &[(id, format!("m{i}"))]).unwrap();
+    }
+    (c, id)
+}
+
+fn bench_commit_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_commit");
+    for granularity in [ConflictGranularity::Table, ConflictGranularity::DataFile] {
+        let label = format!("{granularity:?}");
+        let (catalog, id) = catalog_with_history(16);
+        group.bench_function(BenchmarkId::new("write_commit", label), |b| {
+            b.iter(|| {
+                let mut tx = catalog.begin(IsolationLevel::Snapshot);
+                catalog
+                    .record_write_set(&mut tx, id, &["f1".to_owned()], granularity)
+                    .unwrap();
+                catalog
+                    .commit_write(&mut tx, &[(id, "m".to_owned())])
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_visible_manifests");
+    for commits in [64u64, 1024] {
+        let (catalog, id) = catalog_with_history(commits);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(commits),
+            &(catalog, id),
+            |b, (catalog, id)| {
+                b.iter(|| {
+                    let mut tx = catalog.begin(IsolationLevel::Snapshot);
+                    let rows = catalog.visible_manifests(&mut tx, *id).unwrap();
+                    catalog.abort(&mut tx);
+                    assert_eq!(rows.len() as u64, commits);
+                    rows
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_fetch(c: &mut Criterion) {
+    // The BE snapshot-cache fetch: only the manifests after the cached
+    // base, regardless of total history length.
+    let (catalog, id) = catalog_with_history(1024);
+    c.bench_function("catalog_manifests_between_tail8", |b| {
+        b.iter(|| {
+            let mut tx = catalog.begin(IsolationLevel::Snapshot);
+            let from = SequenceId(catalog.now().0 - 8);
+            let rows = catalog
+                .manifests_between(&mut tx, id, from, SequenceId(u64::MAX))
+                .unwrap();
+            catalog.abort(&mut tx);
+            assert_eq!(rows.len(), 8);
+            rows
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_commit_protocol,
+    bench_snapshot_read,
+    bench_incremental_fetch
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation E9 (§5.2): snapshot reconstruction cost with and without
+//! checkpoints.
+//!
+//! The log-structured design makes reconstruction O(manifests since table
+//! creation); checkpoints cut it to O(manifests since checkpoint). This
+//! bench replays chains of increasing length both ways — the gap is the
+//! entire justification for the STO's checkpointing task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaris_lst::{Checkpoint, Manifest, ManifestAction, SequenceId, TableSnapshot};
+
+/// A realistic manifest chain: every commit adds a file, and compaction
+/// churn removes older ones so the LIVE state stays bounded (~16 files)
+/// while the chain keeps growing. This is the §5.2 asymmetry: a
+/// checkpoint's size tracks live state; replay cost tracks chain length.
+fn chain(len: usize) -> Vec<(SequenceId, Manifest)> {
+    const LIVE_WINDOW: usize = 16;
+    (1..=len)
+        .map(|i| {
+            let mut actions = vec![ManifestAction::add_file(
+                format!("t/f{i}"),
+                1_000,
+                100_000,
+                (i % 8) as u32,
+            )];
+            if i > LIVE_WINDOW {
+                actions.push(ManifestAction::remove_file(format!(
+                    "t/f{}",
+                    i - LIVE_WINDOW
+                )));
+            }
+            if i % 3 == 0 && i > 1 {
+                actions.push(ManifestAction::add_dv(
+                    format!("t/f{}", i - 1),
+                    format!("t/f{}.dv{i}", i - 1),
+                    10,
+                ));
+            }
+            (SequenceId(i as u64), Manifest::from_actions(actions))
+        })
+        .collect()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_reconstruction");
+    for manifests in [32usize, 128, 512] {
+        let full = chain(manifests);
+        // Checkpoint covering all but the last 8 manifests — the steady
+        // state the STO maintains.
+        let covered = manifests - 8;
+        let base =
+            TableSnapshot::from_manifests(full[..covered].iter().map(|(s, m)| (*s, m))).unwrap();
+        let ckpt = Checkpoint::from_snapshot(&base);
+        let ckpt_bytes = ckpt.encode();
+        let tail: Vec<(SequenceId, Manifest)> = full[covered..].to_vec();
+
+        group.bench_with_input(
+            BenchmarkId::new("full_replay", manifests),
+            &full,
+            |bencher, full| {
+                bencher.iter(|| {
+                    TableSnapshot::from_manifests(full.iter().map(|(s, m)| (*s, m))).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("checkpoint_plus_tail", manifests),
+            &(ckpt_bytes, tail),
+            |bencher, (ckpt_bytes, tail)| {
+                bencher.iter(|| {
+                    let mut snap = Checkpoint::decode(std::hint::black_box(ckpt_bytes))
+                        .unwrap()
+                        .to_snapshot();
+                    for (seq, m) in tail {
+                        snap.apply_manifest(*seq, m).unwrap();
+                    }
+                    snap
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

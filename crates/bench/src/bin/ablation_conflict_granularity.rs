@@ -1,0 +1,88 @@
+//! Ablation (§4.4.1): write-write conflict detection at Table vs DataFile
+//! granularity.
+//!
+//! Workload: pairs of concurrent transactions deleting *disjoint* key
+//! ranges of the same table. At Table granularity the second committer of
+//! every pair aborts (same WriteSets row); at DataFile granularity the
+//! deletes usually touch different data files and both commit.
+
+use polaris_bench::{bench_config, engine_with_topology, header};
+use polaris_core::{ConflictGranularity, PolarisEngine};
+use polaris_exec::Expr;
+use std::sync::Arc;
+
+const PAIRS: usize = 24;
+const ROWS: i64 = 4_096;
+
+fn run(granularity: ConflictGranularity) -> (usize, usize) {
+    let mut config = bench_config();
+    config.conflict_granularity = granularity;
+    // Many distributions -> many data files -> disjoint ranges land in
+    // disjoint files most of the time.
+    config.distributions = 32;
+    config.auto_retries = 0;
+    let engine: Arc<PolarisEngine> = engine_with_topology(4, 4, 2, config);
+    let mut session = engine.session();
+    session
+        .execute("CREATE TABLE t (id BIGINT, v BIGINT)")
+        .unwrap();
+    let values: Vec<String> = (0..ROWS).map(|i| format!("({i}, {i})")).collect();
+    session
+        .execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+        .unwrap();
+
+    let mut commits = 0;
+    let mut aborts = 0;
+    for pair in 0..PAIRS {
+        // Two disjoint single-row deletes, started concurrently.
+        let k1 = (pair * 97) as i64 % ROWS;
+        let k2 = (pair * 97 + 13) as i64 % ROWS;
+        let mut t1 = engine.begin();
+        let mut t2 = engine.begin();
+        let p1 = Expr::col("id").eq(Expr::lit(k1));
+        let p2 = Expr::col("id").eq(Expr::lit(k2));
+        t1.delete("t", Some(&p1)).unwrap();
+        t2.delete("t", Some(&p2)).unwrap();
+        match t1.commit() {
+            Ok(_) => commits += 1,
+            Err(_) => aborts += 1,
+        }
+        match t2.commit() {
+            Ok(_) => commits += 1,
+            Err(e) => {
+                assert!(e.is_retryable_conflict());
+                aborts += 1;
+            }
+        }
+    }
+    (commits, aborts)
+}
+
+fn main() {
+    header(
+        "Ablation §4.4.1",
+        "concurrent disjoint deletes: conflict granularity Table vs DataFile",
+    );
+    println!(
+        "{:>12} {:>9} {:>8} {:>12}",
+        "granularity", "commits", "aborts", "abort_rate"
+    );
+    for (label, g) in [
+        ("Table", ConflictGranularity::Table),
+        ("DataFile", ConflictGranularity::DataFile),
+    ] {
+        let (commits, aborts) = run(g);
+        println!(
+            "{:>12} {:>9} {:>8} {:>11.0}%",
+            label,
+            commits,
+            aborts,
+            100.0 * aborts as f64 / (commits + aborts) as f64
+        );
+    }
+    println!();
+    println!(
+        "shape check: Table granularity aborts one of every concurrent pair (~50%); \
+         DataFile granularity lets disjoint-file deletes commit (near 0%)"
+    );
+}

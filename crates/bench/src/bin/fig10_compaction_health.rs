@@ -1,0 +1,99 @@
+//! Figure 10: autonomous data compaction discovering and correcting
+//! storage-health issues caused by WP1 data maintenance.
+//!
+//! The paper shows a horizontal green/red bar per table: red after a DM
+//! phase fragments files, turning green again within minutes once the STO
+//! compacts them. This harness prints the same timeline: one row per
+//! health sample, `GREEN`/`RED` per table, before and after each STO pass.
+
+use polaris_bench::{bench_config, engine_with_topology, header};
+use polaris_workloads::lstbench::{self, Wp1Event};
+use polaris_workloads::tpcds;
+
+const SF: f64 = 1.0;
+const PHASES: usize = 4;
+
+fn main() {
+    header(
+        "Figure 10",
+        "storage health (green/red) across WP1 SU/DM phases with autonomous compaction",
+    );
+    let mut config = bench_config();
+    config.compact_min_rows = 64;
+    // DM deletes ~5% of each table per phase; a 4% fragmentation threshold
+    // makes every DM phase trip the health monitor, as in the paper's run.
+    config.compact_max_deleted = 0.04;
+    let engine = engine_with_topology(6, 4, 2, config);
+    lstbench::setup_tpcds(&engine, SF, 42).unwrap();
+
+    let events = lstbench::run_wp1(&engine, PHASES, SF, 42).unwrap();
+
+    let tables = tpcds::tables();
+    println!("{:>6} {:>10}  {}", "phase", "moment", tables.join("  "));
+    let mut row: Vec<&str> = vec!["?"; tables.len()];
+    let mut current: Option<(usize, bool)> = None;
+    let flush = |phase_moment: Option<(usize, bool)>, row: &mut Vec<&str>| {
+        if let Some((phase, after)) = phase_moment {
+            let moment = if after { "post-STO" } else { "post-DM" };
+            println!("{:>6} {:>10}  {}", phase, moment, row.join("  "));
+        }
+        row.fill("?");
+    };
+    for event in &events {
+        match event {
+            Wp1Event::Health {
+                phase,
+                after_sto,
+                health,
+                ..
+            } => {
+                if current != Some((*phase, *after_sto)) {
+                    flush(current, &mut row);
+                    current = Some((*phase, *after_sto));
+                }
+                let idx = tables.iter().position(|t| *t == health.table).unwrap();
+                // Pad to the table-name width so columns line up.
+                row[idx] = if health.is_healthy() { "GREEN" } else { "RED" };
+            }
+            Wp1Event::Sto { phase, report } => {
+                flush(current.take(), &mut row);
+                println!(
+                    "{:>6} {:>10}  sto: {} compactions, {} checkpoints, {} published, {} gc'd",
+                    phase,
+                    "sto-pass",
+                    report.compactions,
+                    report.checkpoints,
+                    report.published,
+                    report.gc_deleted
+                );
+            }
+            Wp1Event::Su { phase, report } => {
+                flush(current.take(), &mut row);
+                println!(
+                    "{:>6} {:>10}  su power run: {:.1} ms",
+                    phase,
+                    "su",
+                    report.total.as_secs_f64() * 1e3
+                );
+            }
+            Wp1Event::Dm { phase, report } => {
+                flush(current.take(), &mut row);
+                println!(
+                    "{:>6} {:>10}  dm: +{} rows, -{} rows in {:.1} ms",
+                    phase,
+                    "dm",
+                    report.inserted,
+                    report.deleted,
+                    report.duration.as_secs_f64() * 1e3
+                );
+            }
+            Wp1Event::Checkpoint { .. } => {}
+        }
+    }
+    flush(current, &mut row);
+    println!();
+    println!(
+        "shape check: post-DM rows show RED (fragmentation); \
+         post-STO rows return to GREEN (paper: tables back to green within minutes of the next SU phase)"
+    );
+}

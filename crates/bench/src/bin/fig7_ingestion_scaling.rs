@@ -1,0 +1,78 @@
+//! Figure 7: load time for the TPC-H `lineitem` table at increasing scale
+//! factors, with elastic (cost-based) resource allocation.
+//!
+//! Paper setup: lineitem has 40 source files at 100 GB and 400 at 1 TB;
+//! loads parallelize across source files but not within one, so the file
+//! count caps parallelism. The elastic allocator sizes the topology from
+//! the estimated cost, and load time grows **sub-linearly** in data volume
+//! while the resource factor (bar labels) grows with scale.
+//!
+//! Here: scale factor 1.0 = 6 000 lineitem rows and 4 source files per SF
+//! unit (the 100 GB→40-files ratio scaled down). Expect the `time/SF`
+//! column to *fall* as SF grows — the sub-linear shape.
+
+use polaris_bench::{bench_config, engine_with_latency, header, ingest_model, ms};
+use polaris_dcp::{CostEstimate, ElasticAllocator, ResourceAllocator};
+use polaris_workloads::tpch;
+use std::time::Instant;
+
+fn main() {
+    header(
+        "Figure 7",
+        "lineitem load time vs scale factor (elastic resources); labels = resource factor",
+    );
+    println!(
+        "{:>6} {:>8} {:>7} {:>7} {:>12} {:>16}",
+        "sf", "rows", "files", "nodes", "load_ms", "ms_per_sf_unit"
+    );
+    let allocator = ElasticAllocator {
+        cpu_per_node: 1.0,
+        max_nodes: None,
+    };
+    let mut baseline_nodes = None;
+    for sf in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let files = ((4.0 * sf).round() as usize).max(1);
+        let rows = tpch::rows_at("lineitem", sf);
+        let bytes = rows as u64 * 100; // ~100 B/row estimate, as the FE would
+        let estimate = CostEstimate {
+            bytes,
+            files,
+            // One cost unit per source file's worth of work at this scale.
+            cpu_cost: files as f64,
+        };
+        let nodes = allocator.nodes_for(&estimate);
+        let base = *baseline_nodes.get_or_insert(nodes);
+
+        let mut config = bench_config();
+        config.distributions = files as u32;
+        config.max_write_tasks = files;
+        let engine = engine_with_latency(2, nodes, 1, config, ingest_model());
+        let mut session = engine.session();
+        session.execute(&tpch::ddl_of("lineitem")).unwrap();
+
+        // One bulk-load statement over all source files. With
+        // `distributions = files`, every source file maps to one write
+        // task, so parallelism is capped by the file count exactly as in
+        // the paper (§7.1).
+        let sources = tpch::source_files("lineitem", sf, 42, files);
+        let all = polaris_core::RecordBatch::concat(&sources).unwrap();
+        let started = Instant::now();
+        let mut txn = engine.begin();
+        txn.insert("lineitem", &all).unwrap();
+        txn.commit().unwrap();
+        let elapsed = started.elapsed();
+
+        println!(
+            "{:>6.1} {:>8} {:>7} {:>7} {:>12} {:>16.2}   resource_factor={:.1}x",
+            sf,
+            rows,
+            files,
+            nodes,
+            ms(elapsed),
+            elapsed.as_secs_f64() * 1e3 / sf,
+            nodes as f64 / base as f64,
+        );
+    }
+    println!();
+    println!("shape check: ms_per_sf_unit should DECREASE with sf (sub-linear load time)");
+}

@@ -1,0 +1,38 @@
+//! # polaris-catalog
+//!
+//! The SQL-DB stand-in: a multi-version concurrency-control store with
+//! Snapshot Isolation, hosting the Polaris system catalog.
+//!
+//! In the paper, the SQL Front End manages every user transaction as a SQL
+//! DB transaction with Snapshot Isolation over two new catalog tables
+//! (§3.1, §4.1):
+//!
+//! * **Manifests** — `(TableId, ManifestFileName, SequenceId, TxnId)` rows,
+//!   one per (committed transaction × modified table). The visible subset
+//!   of this table *is* a transaction's snapshot.
+//! * **WriteSets** — rows upserted at commit for every table (or data
+//!   file, §4.4.1) a transaction updated/deleted. First-committer-wins on
+//!   these rows under SI is the entire write-write conflict check.
+//!
+//! This crate reproduces exactly that mechanism:
+//!
+//! * [`MvccStore`] — generic versioned key-value store with
+//!   [`IsolationLevel::Snapshot`] (default), `ReadCommittedSnapshot` and
+//!   `Serializable` modes, first-committer-wins validation, and a commit
+//!   lock that serializes commit order (§4.1.2 step 2).
+//! * [`Catalog`] — the typed system-catalog API on top: logical table
+//!   metadata, Manifests, WriteSets, Checkpoints, and the transaction
+//!   registry used by garbage collection (§5.3).
+
+mod catalog;
+mod error;
+mod mvcc;
+
+pub use catalog::{
+    Catalog, CatalogImage, CatalogKey, CatalogTxn, CatalogValue, CheckpointRow, ManifestRow,
+    TableId, TableImage, TableMeta,
+};
+pub use error::{CatalogError, CatalogResult};
+pub use mvcc::{
+    CommitOutcome, ConflictGranularity, IsolationLevel, MvccStore, Timestamp, Txn, TxnId, TxnStatus,
+};

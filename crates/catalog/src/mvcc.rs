@@ -1,0 +1,737 @@
+//! Generic multi-version store with Snapshot Isolation — the transactional
+//! engine the SQL FE runs user transactions on.
+
+use crate::{CatalogError, CatalogResult};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Logical commit timestamp. Timestamp 0 is "before everything".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// Transaction identifier, unique for the lifetime of the store.
+///
+/// Mirrors the paper's durable SQL DB transaction id (§3.1) used to stamp
+/// files for garbage collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// Isolation level of a transaction (§4.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// Snapshot Isolation: reads see the snapshot as of transaction begin;
+    /// first-committer-wins on writes. The Polaris default.
+    #[default]
+    Snapshot,
+    /// Read-Committed Snapshot Isolation: each read sees the latest
+    /// committed state at the time of the read.
+    ReadCommittedSnapshot,
+    /// Serializable: SI plus read-set validation (a transaction aborts if
+    /// anything it read was overwritten by a concurrent committer).
+    Serializable,
+}
+
+/// Granularity of write-write conflict detection (§4.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictGranularity {
+    /// Conflicts detected per table — the schema shown in Figure 4.
+    #[default]
+    Table,
+    /// Conflicts detected per data file: two updates/deletes conflict only
+    /// if they touch the same data file.
+    DataFile,
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Executing (read phase, §4.1.1).
+    Active,
+    /// Validation succeeded and writes are installed.
+    Committed,
+    /// Rolled back (user abort or failed validation).
+    Aborted,
+}
+
+/// Result of a successful commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The commit timestamp — also the logical *sequence number* assigned
+    /// to the transaction's manifests.
+    pub commit_ts: Timestamp,
+}
+
+/// One version of a key: installed at `ts` by `txn`; `value == None` is a
+/// tombstone (delete).
+#[derive(Debug, Clone)]
+struct Version<V> {
+    ts: Timestamp,
+    value: Option<V>,
+}
+
+/// A transaction handle. Writes buffer locally and become visible only if
+/// [`MvccStore::commit`] succeeds — the optimistic read phase of §4.1.1.
+#[derive(Debug)]
+pub struct Txn<K, V> {
+    /// Unique id.
+    pub id: TxnId,
+    /// Snapshot timestamp: this transaction sees versions with `ts <=
+    /// snapshot`.
+    pub snapshot: Timestamp,
+    /// Isolation level.
+    pub isolation: IsolationLevel,
+    writes: BTreeMap<K, Option<V>>,
+    /// Keys read, tracked only under `Serializable`.
+    reads: HashSet<K>,
+    status: TxnStatus,
+}
+
+impl<K: Ord + Clone, V> Txn<K, V> {
+    /// Keys written so far (buffered).
+    pub fn written_keys(&self) -> impl Iterator<Item = &K> {
+        self.writes.keys()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TxnStatus {
+        self.status
+    }
+}
+
+/// Generic MVCC store with Snapshot Isolation.
+///
+/// Concurrency model: many transactions execute concurrently; reads are
+/// never blocked; commits serialize through a single commit lock
+/// (§4.1.2 step 2), where first-committer-wins validation happens.
+pub struct MvccStore<K, V> {
+    /// Versioned rows. RwLock: reads share, installs exclusive.
+    rows: RwLock<BTreeMap<K, Vec<Version<V>>>>,
+    /// Latest committed timestamp.
+    committed: AtomicU64,
+    /// Next transaction id.
+    next_txn: AtomicU64,
+    /// The commit lock.
+    commit_lock: Mutex<()>,
+    /// Active transactions: id -> snapshot ts (for GC watermarks, §5.3).
+    active: Mutex<HashMap<TxnId, Timestamp>>,
+}
+
+impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> Default for MvccStore<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, V> {
+    /// An empty store at timestamp 0.
+    pub fn new() -> Self {
+        MvccStore {
+            rows: RwLock::new(BTreeMap::new()),
+            committed: AtomicU64::new(0),
+            next_txn: AtomicU64::new(1),
+            commit_lock: Mutex::new(()),
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Latest committed timestamp.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.committed.load(Ordering::SeqCst))
+    }
+
+    /// Advance the commit clock to at least `floor` — used when restoring
+    /// a catalog backup so new commits sequence after everything restored.
+    pub fn advance_clock(&self, floor: Timestamp) {
+        self.committed.fetch_max(floor.0, Ordering::SeqCst);
+    }
+
+    /// Begin a transaction at the current snapshot.
+    pub fn begin(&self, isolation: IsolationLevel) -> Txn<K, V> {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
+        let snapshot = self.now();
+        self.active.lock().insert(id, snapshot);
+        Txn {
+            id,
+            snapshot,
+            isolation,
+            writes: BTreeMap::new(),
+            reads: HashSet::new(),
+            status: TxnStatus::Active,
+        }
+    }
+
+    /// Begin a transaction pinned to an explicit snapshot (time travel /
+    /// Query As Of, §6.1). Such transactions are read-only by convention;
+    /// writes would fail validation against everything committed since.
+    pub fn begin_at(&self, snapshot: Timestamp) -> Txn<K, V> {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
+        self.active.lock().insert(id, snapshot);
+        Txn {
+            id,
+            snapshot,
+            isolation: IsolationLevel::Snapshot,
+            writes: BTreeMap::new(),
+            reads: HashSet::new(),
+            status: TxnStatus::Active,
+        }
+    }
+
+    /// The effective read timestamp for a transaction right now.
+    fn read_ts(&self, txn: &Txn<K, V>) -> Timestamp {
+        match txn.isolation {
+            IsolationLevel::ReadCommittedSnapshot => self.now(),
+            _ => txn.snapshot,
+        }
+    }
+
+    /// Read a key through the transaction's snapshot, overlaid with its own
+    /// writes.
+    pub fn read(&self, txn: &mut Txn<K, V>, key: &K) -> CatalogResult<Option<V>> {
+        self.ensure_active(txn)?;
+        if txn.isolation == IsolationLevel::Serializable {
+            txn.reads.insert(key.clone());
+        }
+        if let Some(buffered) = txn.writes.get(key) {
+            return Ok(buffered.clone());
+        }
+        let ts = self.read_ts(txn);
+        let rows = self.rows.read();
+        Ok(Self::visible(&rows, key, ts))
+    }
+
+    fn visible(rows: &BTreeMap<K, Vec<Version<V>>>, key: &K, ts: Timestamp) -> Option<V> {
+        rows.get(key).and_then(|versions| {
+            versions
+                .iter()
+                .rev()
+                .find(|v| v.ts <= ts)
+                .and_then(|v| v.value.clone())
+        })
+    }
+
+    /// Range scan `[lo, hi]` through the transaction's snapshot, overlaid
+    /// with its own writes, ascending by key.
+    pub fn scan(
+        &self,
+        txn: &mut Txn<K, V>,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+    ) -> CatalogResult<Vec<(K, V)>> {
+        self.ensure_active(txn)?;
+        let ts = self.read_ts(txn);
+        let rows = self.rows.read();
+        let mut out: BTreeMap<K, V> = rows
+            .range((lo.cloned(), hi.cloned()))
+            .filter_map(|(k, versions)| {
+                versions
+                    .iter()
+                    .rev()
+                    .find(|v| v.ts <= ts)
+                    .and_then(|v| v.value.clone())
+                    .map(|v| (k.clone(), v))
+            })
+            .collect();
+        drop(rows);
+        let in_range = |k: &K| {
+            (match lo {
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+                Bound::Unbounded => true,
+            }) && (match hi {
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+                Bound::Unbounded => true,
+            })
+        };
+        for (k, w) in txn.writes.range((lo.cloned(), hi.cloned())) {
+            debug_assert!(in_range(k));
+            match w {
+                Some(v) => {
+                    out.insert(k.clone(), v.clone());
+                }
+                None => {
+                    out.remove(k);
+                }
+            }
+        }
+        if txn.isolation == IsolationLevel::Serializable {
+            for k in out.keys() {
+                txn.reads.insert(k.clone());
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Buffer a write (upsert). Visible to this transaction immediately,
+    /// to others only after commit.
+    pub fn write(&self, txn: &mut Txn<K, V>, key: K, value: V) -> CatalogResult<()> {
+        self.ensure_active(txn)?;
+        txn.writes.insert(key, Some(value));
+        Ok(())
+    }
+
+    /// Buffer a delete (tombstone).
+    pub fn delete(&self, txn: &mut Txn<K, V>, key: K) -> CatalogResult<()> {
+        self.ensure_active(txn)?;
+        txn.writes.insert(key, None);
+        Ok(())
+    }
+
+    /// Validation + commit (§4.1.2).
+    ///
+    /// Under the commit lock: first-committer-wins validation of the write
+    /// set (and read set under `Serializable`); on success a commit
+    /// timestamp is assigned, `extra(commit_ts)` may contribute additional
+    /// writes computed *at* the commit point (Polaris uses this to insert
+    /// `Manifests` rows keyed by the just-assigned sequence number), and
+    /// all versions install atomically.
+    pub fn commit_with(
+        &self,
+        txn: &mut Txn<K, V>,
+        extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)>,
+    ) -> CatalogResult<CommitOutcome> {
+        self.ensure_active(txn)?;
+        let _guard = self.commit_lock.lock();
+        {
+            let rows = self.rows.read();
+            // First committer wins: any version of a written key newer than
+            // our snapshot means a concurrent transaction got there first.
+            for key in txn.writes.keys() {
+                if Self::newest_ts(&rows, key) > txn.snapshot {
+                    txn.status = TxnStatus::Aborted;
+                    self.active.lock().remove(&txn.id);
+                    return Err(CatalogError::WriteWriteConflict {
+                        key: format_key(key),
+                    });
+                }
+            }
+            if txn.isolation == IsolationLevel::Serializable {
+                for key in &txn.reads {
+                    if Self::newest_ts(&rows, key) > txn.snapshot {
+                        txn.status = TxnStatus::Aborted;
+                        self.active.lock().remove(&txn.id);
+                        return Err(CatalogError::SerializationFailure {
+                            key: format_key(key),
+                        });
+                    }
+                }
+            }
+        }
+        let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
+        let extra_writes = extra(commit_ts);
+        {
+            let mut rows = self.rows.write();
+            for (key, value) in std::mem::take(&mut txn.writes) {
+                rows.entry(key).or_default().push(Version {
+                    ts: commit_ts,
+                    value,
+                });
+            }
+            for (key, value) in extra_writes {
+                rows.entry(key).or_default().push(Version {
+                    ts: commit_ts,
+                    value,
+                });
+            }
+        }
+        self.committed.store(commit_ts.0, Ordering::SeqCst);
+        txn.status = TxnStatus::Committed;
+        self.active.lock().remove(&txn.id);
+        Ok(CommitOutcome { commit_ts })
+    }
+
+    /// Commit without extra writes.
+    pub fn commit(&self, txn: &mut Txn<K, V>) -> CatalogResult<CommitOutcome> {
+        self.commit_with(txn, |_| Vec::new())
+    }
+
+    /// Roll back: buffered writes are discarded; nothing was ever visible.
+    pub fn abort(&self, txn: &mut Txn<K, V>) {
+        txn.writes.clear();
+        txn.status = TxnStatus::Aborted;
+        self.active.lock().remove(&txn.id);
+    }
+
+    fn newest_ts(rows: &BTreeMap<K, Vec<Version<V>>>, key: &K) -> Timestamp {
+        rows.get(key)
+            .and_then(|v| v.last())
+            .map_or(Timestamp(0), |v| v.ts)
+    }
+
+    fn ensure_active(&self, txn: &Txn<K, V>) -> CatalogResult<()> {
+        if txn.status != TxnStatus::Active {
+            return Err(CatalogError::TxnNotActive { txn: txn.id.0 });
+        }
+        Ok(())
+    }
+
+    /// Smallest snapshot timestamp among active transactions, if any — the
+    /// GC watermark of §5.3.
+    pub fn min_active_snapshot(&self) -> Option<Timestamp> {
+        self.active.lock().values().min().copied()
+    }
+
+    /// Smallest id among active transactions. Files are stamped with their
+    /// creating transaction's id; an unreferenced file whose stamp is below
+    /// this watermark is guaranteed to belong to a finished (and therefore
+    /// aborted) transaction and is safe to delete (§5.3). When no
+    /// transaction is active, the next id to be allocated is returned.
+    pub fn min_active_txn_id(&self) -> TxnId {
+        self.active
+            .lock()
+            .keys()
+            .min()
+            .copied()
+            .unwrap_or(TxnId(self.next_txn.load(Ordering::SeqCst)))
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Drop versions superseded before `before` (and tombstones entirely in
+    /// the past), keeping at least the newest version of each key. Safe
+    /// when `before <= min_active_snapshot()`.
+    pub fn vacuum(&self, before: Timestamp) -> usize {
+        let mut rows = self.rows.write();
+        let mut removed = 0;
+        rows.retain(|_, versions| {
+            // Find the newest version <= before: everything older is
+            // unreachable by any current or future snapshot.
+            if let Some(idx) = versions.iter().rposition(|v| v.ts <= before) {
+                removed += idx;
+                versions.drain(..idx);
+            }
+            // A lone tombstone in the past can go entirely.
+            if versions.len() == 1 && versions[0].value.is_none() && versions[0].ts <= before {
+                removed += 1;
+                return false;
+            }
+            true
+        });
+        removed
+    }
+
+    /// Total number of stored versions (for tests/metrics).
+    pub fn version_count(&self) -> usize {
+        self.rows.read().values().map(Vec::len).sum()
+    }
+}
+
+fn format_key<K: std::fmt::Debug>(key: &K) -> String {
+    format!("{key:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::Bound::{Excluded, Included, Unbounded};
+
+    type Store = MvccStore<String, i64>;
+
+    fn k(s: &str) -> String {
+        s.to_owned()
+    }
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let s = Store::new();
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t1, k("a"), 1).unwrap();
+        // invisible to others before commit
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut t2, &k("a")).unwrap(), None);
+        s.commit(&mut t1).unwrap();
+        // still invisible to t2 (snapshot taken before commit)
+        assert_eq!(s.read(&mut t2, &k("a")).unwrap(), None);
+        // visible to a new transaction
+        let mut t3 = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut t3, &k("a")).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn own_writes_visible_immediately() {
+        let s = Store::new();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("a"), 7).unwrap();
+        assert_eq!(s.read(&mut t, &k("a")).unwrap(), Some(7));
+        s.delete(&mut t, k("a")).unwrap();
+        assert_eq!(s.read(&mut t, &k("a")).unwrap(), None);
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let s = Store::new();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut setup, k("x"), 0).unwrap();
+        s.commit(&mut setup).unwrap();
+
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t1, k("x"), 1).unwrap();
+        s.write(&mut t2, k("x"), 2).unwrap();
+        s.commit(&mut t1).unwrap();
+        let err = s.commit(&mut t2).unwrap_err();
+        assert!(matches!(err, CatalogError::WriteWriteConflict { .. }));
+        assert_eq!(t2.status(), TxnStatus::Aborted);
+        // winner's value endures
+        let mut t3 = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut t3, &k("x")).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_conflict() {
+        let s = Store::new();
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t1, k("a"), 1).unwrap();
+        s.write(&mut t2, k("b"), 2).unwrap();
+        s.commit(&mut t1).unwrap();
+        s.commit(&mut t2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_are_repeatable() {
+        let s = Store::new();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut setup, k("a"), 1).unwrap();
+        s.commit(&mut setup).unwrap();
+
+        let mut reader = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut reader, &k("a")).unwrap(), Some(1));
+        let mut writer = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut writer, k("a"), 2).unwrap();
+        s.commit(&mut writer).unwrap();
+        // non-repeatable read anomaly prevented
+        assert_eq!(s.read(&mut reader, &k("a")).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn rcsi_sees_latest_committed() {
+        let s = Store::new();
+        let mut reader = s.begin(IsolationLevel::ReadCommittedSnapshot);
+        assert_eq!(s.read(&mut reader, &k("a")).unwrap(), None);
+        let mut writer = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut writer, k("a"), 5).unwrap();
+        s.commit(&mut writer).unwrap();
+        assert_eq!(s.read(&mut reader, &k("a")).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn serializable_detects_write_after_read() {
+        let s = Store::new();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut setup, k("a"), 1).unwrap();
+        s.write(&mut setup, k("b"), 1).unwrap();
+        s.commit(&mut setup).unwrap();
+
+        // Classic write-skew shape: t1 reads a writes b; t2 reads b writes a.
+        let mut t1 = s.begin(IsolationLevel::Serializable);
+        let mut t2 = s.begin(IsolationLevel::Serializable);
+        let a = s.read(&mut t1, &k("a")).unwrap().unwrap();
+        let b = s.read(&mut t2, &k("b")).unwrap().unwrap();
+        s.write(&mut t1, k("b"), a + 10).unwrap();
+        s.write(&mut t2, k("a"), b + 10).unwrap();
+        s.commit(&mut t1).unwrap();
+        let err = s.commit(&mut t2).unwrap_err();
+        assert!(matches!(err, CatalogError::SerializationFailure { .. }));
+    }
+
+    #[test]
+    fn write_skew_allowed_under_si() {
+        // Same shape as above succeeds under plain SI — documenting the
+        // §4.4.2 caveat that SI permits non-serializable interleavings.
+        let s = Store::new();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut setup, k("a"), 1).unwrap();
+        s.write(&mut setup, k("b"), 1).unwrap();
+        s.commit(&mut setup).unwrap();
+
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        let _ = s.read(&mut t1, &k("a")).unwrap();
+        let _ = s.read(&mut t2, &k("b")).unwrap();
+        s.write(&mut t1, k("b"), 99).unwrap();
+        s.write(&mut t2, k("a"), 99).unwrap();
+        s.commit(&mut t1).unwrap();
+        s.commit(&mut t2).unwrap(); // write sets disjoint: SI allows it
+    }
+
+    #[test]
+    fn scan_merges_snapshot_and_own_writes() {
+        let s = Store::new();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        for (key, v) in [("a", 1i64), ("b", 2), ("c", 3)] {
+            s.write(&mut setup, k(key), v).unwrap();
+        }
+        s.commit(&mut setup).unwrap();
+
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("b"), 20).unwrap(); // overwrite
+        s.delete(&mut t, k("c")).unwrap(); // delete
+        s.write(&mut t, k("d"), 4).unwrap(); // insert
+        let all = s.scan(&mut t, Unbounded, Unbounded).unwrap();
+        assert_eq!(all, vec![(k("a"), 1), (k("b"), 20), (k("d"), 4)]);
+        let sub = s
+            .scan(&mut t, Included(&k("b")), Excluded(&k("d")))
+            .unwrap();
+        assert_eq!(sub, vec![(k("b"), 20)]);
+    }
+
+    #[test]
+    fn phantom_prevention_under_si_scans() {
+        let s = Store::new();
+        let mut reader = s.begin(IsolationLevel::Snapshot);
+        assert!(s
+            .scan(&mut reader, Unbounded, Unbounded)
+            .unwrap()
+            .is_empty());
+        let mut writer = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut writer, k("new"), 1).unwrap();
+        s.commit(&mut writer).unwrap();
+        // the committed row is not a phantom for the old snapshot
+        assert!(s
+            .scan(&mut reader, Unbounded, Unbounded)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn commit_with_extra_writes_at_commit_ts() {
+        let s = Store::new();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("w"), 1).unwrap();
+        let outcome = s
+            .commit_with(&mut t, |ts| {
+                vec![(format!("manifest@{}", ts.0), Some(ts.0 as i64))]
+            })
+            .unwrap();
+        let mut r = s.begin(IsolationLevel::Snapshot);
+        let key = format!("manifest@{}", outcome.commit_ts.0);
+        assert_eq!(
+            s.read(&mut r, &key).unwrap(),
+            Some(outcome.commit_ts.0 as i64)
+        );
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let s = Store::new();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("a"), 1).unwrap();
+        s.abort(&mut t);
+        assert!(matches!(
+            s.read(&mut t, &k("a")),
+            Err(CatalogError::TxnNotActive { .. })
+        ));
+        let mut r = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut r, &k("a")).unwrap(), None);
+    }
+
+    #[test]
+    fn operations_on_finished_txn_fail() {
+        let s = Store::new();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.commit(&mut t).unwrap();
+        assert!(s.write(&mut t, k("a"), 1).is_err());
+        assert!(s.commit(&mut t).is_err());
+    }
+
+    #[test]
+    fn min_active_snapshot_tracks_oldest() {
+        let s = Store::new();
+        assert_eq!(s.min_active_snapshot(), None);
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut bump = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut bump, k("z"), 1).unwrap();
+        s.commit(&mut bump).unwrap();
+        let t2 = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.min_active_snapshot(), Some(t1.snapshot));
+        s.abort(&mut t1);
+        assert_eq!(s.min_active_snapshot(), Some(t2.snapshot));
+        assert_eq!(s.active_count(), 1);
+    }
+
+    #[test]
+    fn begin_at_reads_historical_snapshot() {
+        let s = Store::new();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("v"), 1).unwrap();
+        let first = s.commit(&mut t).unwrap().commit_ts;
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("v"), 2).unwrap();
+        s.commit(&mut t).unwrap();
+        let mut hist = s.begin_at(first);
+        assert_eq!(s.read(&mut hist, &k("v")).unwrap(), Some(1));
+        let mut hist0 = s.begin_at(Timestamp(0));
+        assert_eq!(s.read(&mut hist0, &k("v")).unwrap(), None);
+    }
+
+    #[test]
+    fn vacuum_drops_superseded_versions() {
+        let s = Store::new();
+        for i in 0..5i64 {
+            let mut t = s.begin(IsolationLevel::Snapshot);
+            s.write(&mut t, k("hot"), i).unwrap();
+            s.commit(&mut t).unwrap();
+        }
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.delete(&mut t, k("dead")).unwrap(); // tombstone for nonexistent is fine
+        s.commit(&mut t).unwrap();
+        assert_eq!(s.version_count(), 6);
+        let removed = s.vacuum(s.now());
+        assert_eq!(removed, 5); // 4 old "hot" versions + dead tombstone
+        let mut r = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut r, &k("hot")).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn vacuum_respects_watermark() {
+        let s = Store::new();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("a"), 1).unwrap();
+        let ts1 = s.commit(&mut t).unwrap().commit_ts;
+        let mut old_reader = s.begin(IsolationLevel::Snapshot);
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("a"), 2).unwrap();
+        s.commit(&mut t).unwrap();
+        // vacuum only up to the active reader's snapshot
+        s.vacuum(s.min_active_snapshot().unwrap());
+        assert_eq!(s.read(&mut old_reader, &k("a")).unwrap(), Some(1));
+        let _ = ts1;
+    }
+
+    #[test]
+    fn concurrent_commit_stress() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new());
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut setup, k("counter"), 0).unwrap();
+        s.commit(&mut setup).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut committed = 0;
+                    for _ in 0..50 {
+                        let mut t = s.begin(IsolationLevel::Snapshot);
+                        let v = s.read(&mut t, &k("counter")).unwrap().unwrap();
+                        s.write(&mut t, k("counter"), v + 1).unwrap();
+                        if s.commit(&mut t).is_ok() {
+                            committed += 1;
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        let total: i64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        // Lost updates are impossible: the counter equals the number of
+        // successful commits exactly.
+        let mut r = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut r, &k("counter")).unwrap(), Some(total));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests over random interleavings of MVCC transactions,
+//! verifying the Snapshot Isolation axioms no schedule may violate:
+//!
+//! 1. Reads are repeatable: a transaction sees one consistent snapshot.
+//! 2. First-committer-wins: of two overlapping writers of the same key,
+//!    at most one commits.
+//! 3. Committed state equals a serial replay of the committed
+//!    transactions in commit order.
+
+use polaris_catalog::{CatalogError, IsolationLevel, MvccStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Store = MvccStore<u8, i64>;
+
+/// One step of an interleaved schedule over a fixed set of transactions.
+#[derive(Debug, Clone)]
+enum Step {
+    Begin(u8),
+    Read(u8, u8),
+    Write(u8, u8, i64),
+    Commit(u8),
+    Abort(u8),
+}
+
+fn step_strategy(txns: u8, keys: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..txns).prop_map(Step::Begin),
+        (0..txns, 0..keys).prop_map(|(t, k)| Step::Read(t, k)),
+        (0..txns, 0..keys, -100i64..100).prop_map(|(t, k, v)| Step::Write(t, k, v)),
+        (0..txns).prop_map(Step::Commit),
+        (0..txns).prop_map(Step::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn si_axioms_hold_for_all_schedules(
+        steps in proptest::collection::vec(step_strategy(4, 3), 1..60),
+    ) {
+        let store = Store::new();
+        let mut txns: Vec<Option<polaris_catalog::Txn<u8, i64>>> =
+            (0..4).map(|_| None).collect();
+        // Per-transaction: first observed value per key (for repeatability)
+        // and the write set (for serial replay).
+        let mut first_reads: Vec<BTreeMap<u8, Option<i64>>> =
+            vec![BTreeMap::new(); 4];
+        let mut writes: Vec<BTreeMap<u8, i64>> = vec![BTreeMap::new(); 4];
+        // Committed transactions' write sets in commit order.
+        let mut committed: Vec<BTreeMap<u8, i64>> = Vec::new();
+
+        for step in &steps {
+            match step {
+                Step::Begin(t) => {
+                    let t = *t as usize;
+                    if txns[t].is_none() {
+                        txns[t] = Some(store.begin(IsolationLevel::Snapshot));
+                        first_reads[t].clear();
+                        writes[t].clear();
+                    }
+                }
+                Step::Read(t, k) => {
+                    let ti = *t as usize;
+                    if let Some(txn) = txns[ti].as_mut() {
+                        let got = store.read(txn, k).unwrap();
+                        match first_reads[ti].get(k) {
+                            // Axiom 1: repeatable reads (own writes shadow).
+                            Some(first) if !writes[ti].contains_key(k) => {
+                                prop_assert_eq!(&got, first, "non-repeatable read");
+                            }
+                            Some(_) => {}
+                            None => {
+                                if !writes[ti].contains_key(k) {
+                                    first_reads[ti].insert(*k, got);
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::Write(t, k, v) => {
+                    let ti = *t as usize;
+                    if let Some(txn) = txns[ti].as_mut() {
+                        store.write(txn, *k, *v).unwrap();
+                        writes[ti].insert(*k, *v);
+                    }
+                }
+                Step::Commit(t) => {
+                    let ti = *t as usize;
+                    if let Some(mut txn) = txns[ti].take() {
+                        match store.commit(&mut txn) {
+                            Ok(_) => committed.push(writes[ti].clone()),
+                            Err(e) => {
+                                // Axiom 2: only WW conflicts abort commits.
+                                let is_ww =
+                                    matches!(e, CatalogError::WriteWriteConflict { .. });
+                                prop_assert!(is_ww, "unexpected commit error");
+                            }
+                        }
+                    }
+                }
+                Step::Abort(t) => {
+                    let ti = *t as usize;
+                    if let Some(mut txn) = txns[ti].take() {
+                        store.abort(&mut txn);
+                    }
+                }
+            }
+        }
+        // Axiom 3: final committed state == serial replay in commit order.
+        let mut model: BTreeMap<u8, i64> = BTreeMap::new();
+        for ws in &committed {
+            for (k, v) in ws {
+                model.insert(*k, *v);
+            }
+        }
+        let mut check = store.begin(IsolationLevel::Snapshot);
+        for k in 0..3u8 {
+            let got = store.read(&mut check, &k).unwrap();
+            prop_assert_eq!(got, model.get(&k).copied(), "key {} diverged", k);
+        }
+    }
+
+    /// Overlapping writers of one key: exactly one commits (never both).
+    #[test]
+    fn overlapping_writers_never_both_commit(
+        v1 in any::<i64>(),
+        v2 in any::<i64>(),
+        commit_order in any::<bool>(),
+    ) {
+        let store = Store::new();
+        let mut a = store.begin(IsolationLevel::Snapshot);
+        let mut b = store.begin(IsolationLevel::Snapshot);
+        store.write(&mut a, 0u8, v1).unwrap();
+        store.write(&mut b, 0u8, v2).unwrap();
+        let (first, second) = if commit_order { (&mut a, &mut b) } else { (&mut b, &mut a) };
+        let r1 = store.commit(first);
+        let r2 = store.commit(second);
+        prop_assert!(r1.is_ok());
+        prop_assert!(r2.is_err());
+        let mut check = store.begin(IsolationLevel::Snapshot);
+        let expected = if commit_order { v1 } else { v2 };
+        prop_assert_eq!(store.read(&mut check, &0u8).unwrap(), Some(expected));
+    }
+}

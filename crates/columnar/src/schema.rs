@@ -1,0 +1,166 @@
+//! Table and file schemas.
+
+use crate::{ColumnarError, ColumnarResult, DataType};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column with nullability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (case-sensitive internally; the SQL layer lower-cases).
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered collection of fields. Cheap to clone (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Build a schema; panics on duplicate column names (a programming
+    /// error, not an input error — DDL validation happens in the SQL layer).
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate column name {:?}",
+                f.name
+            );
+        }
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> ColumnarResult<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| ColumnarError::UnknownColumn {
+                column: name.to_owned(),
+            })
+    }
+
+    /// The field named `name`.
+    pub fn field(&self, name: &str) -> ColumnarResult<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Project onto the named columns, preserving the order given.
+    pub fn project(&self, names: &[&str]) -> ColumnarResult<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.field(n).cloned())
+            .collect::<ColumnarResult<Vec<_>>>()?;
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+            if field.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.index_of("price").unwrap(), 2);
+        assert_eq!(s.field("name").unwrap().data_type, DataType::Utf8);
+        assert!(s.field("name").unwrap().nullable);
+        assert!(matches!(
+            s.index_of("ghost"),
+            Err(ColumnarError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let s = schema();
+        let p = s.project(&["price", "id"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fields()[0].name, "price");
+        assert_eq!(p.fields()[1].name, "id");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            schema().to_string(),
+            "(id Int64, name Utf8 NULL, price Float64)"
+        );
+    }
+}

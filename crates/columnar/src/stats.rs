@@ -1,0 +1,170 @@
+//! Per-column statistics used for scan pruning and compaction triggers.
+
+use crate::{ColumnVector, Value};
+use std::cmp::Ordering;
+
+/// Min/max/null statistics for one column chunk.
+///
+/// Scans prune row groups whose `[min, max]` interval cannot satisfy a
+/// predicate; the STO's compaction trigger (§5.1) aggregates row and delete
+/// counts gathered alongside these stats during SELECTs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Minimum non-null value, if any non-null value exists.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any non-null value exists.
+    pub max: Option<Value>,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Total number of rows covered.
+    pub row_count: u64,
+}
+
+impl ColumnStats {
+    /// Compute stats over a vector.
+    pub fn from_vector(v: &ColumnVector) -> Self {
+        let mut stats = ColumnStats {
+            row_count: v.len() as u64,
+            ..Default::default()
+        };
+        for i in 0..v.len() {
+            stats.observe(&v.value(i));
+        }
+        // row_count was double-counted by observe; fix up.
+        stats.row_count = v.len() as u64;
+        stats
+    }
+
+    /// Fold one value into the stats.
+    pub fn observe(&mut self, value: &Value) {
+        self.row_count += 1;
+        if value.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        match &self.min {
+            None => self.min = Some(value.clone()),
+            Some(m) => {
+                if value.sql_cmp(m) == Some(Ordering::Less) {
+                    self.min = Some(value.clone());
+                }
+            }
+        }
+        match &self.max {
+            None => self.max = Some(value.clone()),
+            Some(m) => {
+                if value.sql_cmp(m) == Some(Ordering::Greater) {
+                    self.max = Some(value.clone());
+                }
+            }
+        }
+    }
+
+    /// Merge stats from another chunk of the same column.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.null_count += other.null_count;
+        self.row_count += other.row_count;
+        for v in [&other.min, &other.max].into_iter().flatten() {
+            let mut probe = ColumnStats::default();
+            std::mem::swap(self, &mut probe);
+            probe.observe(v);
+            probe.row_count -= 1; // observe counts a row; merge must not
+            *self = probe;
+        }
+    }
+
+    /// Could a value equal to `v` exist in this chunk?
+    pub fn may_contain(&self, v: &Value) -> bool {
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => {
+                min.sql_cmp(v) != Some(Ordering::Greater) && max.sql_cmp(v) != Some(Ordering::Less)
+            }
+            // No non-null values at all: only NULL predicates can match,
+            // and those are handled separately.
+            _ => false,
+        }
+    }
+
+    /// Could a value strictly greater than `v` exist?
+    pub fn may_contain_gt(&self, v: &Value) -> bool {
+        self.max
+            .as_ref()
+            .is_some_and(|max| max.sql_cmp(v) == Some(Ordering::Greater))
+    }
+
+    /// Could a value strictly less than `v` exist?
+    pub fn may_contain_lt(&self, v: &Value) -> bool {
+        self.min
+            .as_ref()
+            .is_some_and(|min| min.sql_cmp(v) == Some(Ordering::Less))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    #[test]
+    fn stats_over_vector() {
+        let v = ColumnVector::from_values(
+            DataType::Int64,
+            &[Value::Int(5), Value::Null, Value::Int(-2), Value::Int(9)],
+        )
+        .unwrap();
+        let s = ColumnStats::from_vector(&v);
+        assert_eq!(s.min, Some(Value::Int(-2)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.row_count, 4);
+    }
+
+    #[test]
+    fn all_null_chunk() {
+        let v = ColumnVector::from_values(DataType::Int64, &[Value::Null, Value::Null]).unwrap();
+        let s = ColumnStats::from_vector(&v);
+        assert_eq!(s.min, None);
+        assert!(!s.may_contain(&Value::Int(0)));
+        assert!(!s.may_contain_gt(&Value::Int(0)));
+        assert!(!s.may_contain_lt(&Value::Int(0)));
+    }
+
+    #[test]
+    fn pruning_bounds() {
+        let mut s = ColumnStats::default();
+        s.observe(&Value::Int(10));
+        s.observe(&Value::Int(20));
+        assert!(s.may_contain(&Value::Int(10)));
+        assert!(s.may_contain(&Value::Int(15)));
+        assert!(!s.may_contain(&Value::Int(9)));
+        assert!(!s.may_contain(&Value::Int(21)));
+        assert!(s.may_contain_gt(&Value::Int(19)));
+        assert!(!s.may_contain_gt(&Value::Int(20)));
+        assert!(s.may_contain_lt(&Value::Int(11)));
+        assert!(!s.may_contain_lt(&Value::Int(10)));
+    }
+
+    #[test]
+    fn merge_combines_ranges_and_counts() {
+        let mut a = ColumnStats::default();
+        a.observe(&Value::Int(1));
+        a.observe(&Value::Null);
+        let mut b = ColumnStats::default();
+        b.observe(&Value::Int(100));
+        a.merge(&b);
+        assert_eq!(a.min, Some(Value::Int(1)));
+        assert_eq!(a.max, Some(Value::Int(100)));
+        assert_eq!(a.null_count, 1);
+        assert_eq!(a.row_count, 3);
+    }
+
+    #[test]
+    fn string_stats() {
+        let mut s = ColumnStats::default();
+        s.observe(&Value::Str("beta".into()));
+        s.observe(&Value::Str("alpha".into()));
+        assert_eq!(s.min, Some(Value::Str("alpha".into())));
+        assert!(s.may_contain(&Value::Str("azure".into())));
+        assert!(!s.may_contain(&Value::Str("zeta".into())));
+    }
+}

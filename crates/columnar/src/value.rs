@@ -1,0 +1,220 @@
+//! Logical data types and dynamically typed scalar values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical column types supported by the engine.
+///
+/// A deliberately small set: the TPC-H/TPC-DS-shaped evaluation workloads
+/// need integers, decimals (modelled as `Float64`), strings, booleans and
+/// dates (modelled as days-since-epoch `Date32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float (also used for decimals).
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Boolean.
+    Bool,
+    /// Days since 1970-01-01, stored as `i32`.
+    Date32,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bool => "Bool",
+            DataType::Date32 => "Date32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar: literal values, statistics bounds, and
+/// row-wise interfaces all use `Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// An [`DataType::Int64`] value.
+    Int(i64),
+    /// A [`DataType::Float64`] value.
+    Float(f64),
+    /// A [`DataType::Utf8`] value.
+    Str(String),
+    /// A [`DataType::Bool`] value.
+    Bool(bool),
+    /// A [`DataType::Date32`] value (days since epoch).
+    Date(i32),
+}
+
+impl Value {
+    /// The logical type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date32),
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float payload; integers widen losslessly-enough for aggregation.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Date payload, if this is a `Date`.
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares as unknown (`None`); values
+    /// of incompatible types also yield `None`. Int/Float compare
+    /// numerically.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Int(b)) => Some((*a as i64).cmp(b)),
+            (Value::Int(a), Value::Date(b)) => Some(a.cmp(&(*b as i64))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Route through `pad` so callers' width/alignment flags apply.
+        let s = match self {
+            Value::Null => "NULL".to_owned(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => v.to_string(),
+            Value::Str(v) => v.clone(),
+            Value::Bool(v) => v.to_string(),
+            Value::Date(v) => format!("date#{v}"),
+        };
+        f.pad(&s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_round_trip() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int64));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Date(10).data_type(), Some(DataType::Date32));
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_numeric_widening() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_incompatible_types_is_unknown() {
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Str("t".into())), None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Date(7).as_date(), Some(7));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+}

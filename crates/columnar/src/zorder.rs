@@ -1,0 +1,147 @@
+//! Z-order (Morton) key interleaving.
+//!
+//! Polaris overlays columnar data with an index for range-based retrieval
+//! over a composite key by Z-ordering rows within each distribution (§2.3):
+//! the partitioning function `p(r)` is the order induced by the interleaved
+//! key. Sorting rows by their Z-value clusters nearby composite keys into
+//! the same data cells, so min/max stats prune multi-column range
+//! predicates effectively.
+
+/// Interleave the bits of up to 4 dimension keys into one 128-bit Z-value.
+///
+/// Each dimension contributes its `min(64, 128 / dims.len())` high-order
+/// bits, so 1- and 2-dimension keys interleave losslessly while 3- and
+/// 4-dimension keys keep their most significant 42/32 bits — plenty for
+/// clustering. Keys should be normalized to unsigned (see [`normalize_i64`])
+/// before interleaving so ordering is preserved.
+pub fn zvalue(dims: &[u64]) -> u128 {
+    assert!(
+        !dims.is_empty() && dims.len() <= 4,
+        "z-order supports 1..=4 dimensions"
+    );
+    let n = dims.len() as u32;
+    let bits_per_dim = (128 / n).min(64);
+    let mut out = 0u128;
+    for bit in 0..bits_per_dim {
+        for (d, &key) in dims.iter().enumerate() {
+            // Take bits from the top of each key so coarse ordering is
+            // preserved under truncation.
+            let src_bit = 63 - bit;
+            let b = ((key >> src_bit) & 1) as u128;
+            let dst_bit = 127 - (bit * n + d as u32);
+            out |= b << dst_bit;
+        }
+    }
+    out
+}
+
+/// Map a signed key to an unsigned key preserving order
+/// (`i64::MIN → 0`, `i64::MAX → u64::MAX`).
+pub fn normalize_i64(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Map a float to an unsigned key preserving IEEE total order (negatives
+/// reverse, positives shift above them; NaN sorts last).
+pub fn normalize_f64(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Compute the sort permutation that orders rows by the Z-value of their
+/// composite keys. `keys[i]` holds the normalized key values for row `i`.
+pub fn zorder_permutation(keys: &[Vec<u64>]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| zvalue(&keys[i]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_dim_preserves_order() {
+        let a = zvalue(&[normalize_i64(-5)]);
+        let b = zvalue(&[normalize_i64(3)]);
+        let c = zvalue(&[normalize_i64(1000)]);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn normalize_preserves_order_at_extremes() {
+        assert_eq!(normalize_i64(i64::MIN), 0);
+        assert_eq!(normalize_i64(i64::MAX), u64::MAX);
+        assert!(normalize_i64(-1) < normalize_i64(0));
+        assert!(normalize_i64(0) < normalize_i64(1));
+    }
+
+    #[test]
+    fn two_dims_cluster_locality() {
+        // Points near each other in both dimensions get nearby z-values:
+        // the quadrant ordering (low/low < low/high,high/low < high/high)
+        // must hold for high-order bits.
+        let ll = zvalue(&[0, 0]);
+        let lh = zvalue(&[0, u64::MAX]);
+        let hl = zvalue(&[u64::MAX, 0]);
+        let hh = zvalue(&[u64::MAX, u64::MAX]);
+        assert!(ll < lh && ll < hl);
+        assert!(lh < hh && hl < hh);
+    }
+
+    #[test]
+    fn permutation_sorts_by_zvalue() {
+        let keys = vec![
+            vec![normalize_i64(9), normalize_i64(9)],
+            vec![normalize_i64(0), normalize_i64(0)],
+            vec![normalize_i64(5), normalize_i64(5)],
+        ];
+        let perm = zorder_permutation(&keys);
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "z-order supports")]
+    fn too_many_dims_panics() {
+        zvalue(&[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn normalize_f64_preserves_order() {
+        let values = [-f64::INFINITY, -100.5, -0.0, 0.0, 1e-9, 42.0, f64::INFINITY];
+        for w in values.windows(2) {
+            assert!(
+                normalize_f64(w[0]) <= normalize_f64(w[1]),
+                "{} !<= {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(normalize_f64(f64::NAN) > normalize_f64(f64::INFINITY));
+    }
+
+    proptest! {
+        #[test]
+        fn single_dim_is_monotone(a in any::<i64>(), b in any::<i64>()) {
+            let za = zvalue(&[normalize_i64(a)]);
+            let zb = zvalue(&[normalize_i64(b)]);
+            prop_assert_eq!(a.cmp(&b), za.cmp(&zb));
+        }
+
+        #[test]
+        fn dominance_is_preserved(
+            a1 in any::<u32>(), a2 in any::<u32>(),
+            d1 in 1u32..1000, d2 in 1u32..1000,
+        ) {
+            // If point B dominates point A in every dimension, zB > zA.
+            let a = [(a1 as u64) << 32, (a2 as u64) << 32];
+            let b = [((a1 + d1) as u64) << 32, ((a2 + d2) as u64) << 32];
+            prop_assert!(zvalue(&b) > zvalue(&a));
+        }
+    }
+}

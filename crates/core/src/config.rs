@@ -1,0 +1,90 @@
+//! Engine configuration.
+
+use polaris_catalog::{ConflictGranularity, IsolationLevel};
+use polaris_columnar::WriterOptions;
+
+/// Tunables of a [`PolarisEngine`](crate::PolarisEngine).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of distribution buckets `d(r)` (§2.3). Writes spread new
+    /// data files across distributions; tasks own disjoint distributions.
+    pub distributions: u32,
+    /// Columnar writer options (row-group size, encoding heuristics).
+    pub writer: WriterOptions,
+    /// Write-write conflict granularity (§4.4.1).
+    pub conflict_granularity: ConflictGranularity,
+    /// Default isolation for new transactions (§4.4.2).
+    pub default_isolation: IsolationLevel,
+    /// Compaction trigger: files with fewer live rows are "small" (§5.1).
+    pub compact_min_rows: u64,
+    /// Compaction trigger: files with a higher deleted fraction are
+    /// fragmented (§5.1).
+    pub compact_max_deleted: f64,
+    /// Checkpoint trigger: manifests accumulated since the last checkpoint
+    /// (§5.2; the paper's experiment uses 10).
+    pub checkpoint_every: u64,
+    /// GC retention, in commit-sequence units: a file logically removed at
+    /// sequence `s` becomes collectable once the current sequence exceeds
+    /// `s + retention_seqs` (§5.3).
+    pub retention_seqs: u64,
+    /// Snapshots retained per table in each BE snapshot cache.
+    pub snapshot_cache_capacity: usize,
+    /// Ceiling on tasks per write statement (the elastic allocator sizes
+    /// within this).
+    pub max_write_tasks: usize,
+    /// Ceiling on tasks per read statement.
+    pub max_read_tasks: usize,
+    /// Automatic transaction retries on commit conflict for auto-commit
+    /// statements.
+    pub auto_retries: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            distributions: 8,
+            writer: WriterOptions::default(),
+            conflict_granularity: ConflictGranularity::Table,
+            default_isolation: IsolationLevel::Snapshot,
+            compact_min_rows: 1024,
+            compact_max_deleted: 0.2,
+            checkpoint_every: 10,
+            retention_seqs: 100,
+            snapshot_cache_capacity: 8,
+            max_write_tasks: 16,
+            max_read_tasks: 16,
+            auto_retries: 3,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config tuned for small unit tests: tiny row groups and aggressive
+    /// background triggers.
+    pub fn for_testing() -> Self {
+        EngineConfig {
+            writer: WriterOptions {
+                row_group_rows: 128,
+                ..Default::default()
+            },
+            compact_min_rows: 16,
+            checkpoint_every: 4,
+            retention_seqs: 2,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.distributions > 0);
+        assert!(c.compact_max_deleted > 0.0 && c.compact_max_deleted < 1.0);
+        assert_eq!(c.conflict_granularity, ConflictGranularity::Table);
+        assert_eq!(c.default_isolation, IsolationLevel::Snapshot);
+    }
+}

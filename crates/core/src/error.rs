@@ -1,0 +1,162 @@
+//! The engine-level error type.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type PolarisResult<T> = Result<T, PolarisError>;
+
+/// Errors surfaced by the Polaris transaction engine.
+#[derive(Debug)]
+pub enum PolarisError {
+    /// Write-write conflict detected at commit: the transaction was rolled
+    /// back and can be retried (§4.1.2).
+    Conflict {
+        /// Description of the conflicting object.
+        detail: String,
+    },
+    /// Catalog error other than a conflict.
+    Catalog(polaris_catalog::CatalogError),
+    /// Distributed execution failure that exhausted retries.
+    Dcp(polaris_dcp::DcpError),
+    /// Single-node execution error.
+    Exec(polaris_exec::ExecError),
+    /// Physical metadata error.
+    Lst(polaris_lst::LstError),
+    /// Object store error.
+    Store(polaris_store::StoreError),
+    /// SQL syntax error.
+    Parse(polaris_sql::ParseError),
+    /// SQL planning error.
+    Plan(polaris_sql::PlanError),
+    /// Misuse of the API or an unsupported feature (e.g. unique
+    /// constraints, §4.4.3).
+    Unsupported {
+        /// What was attempted.
+        detail: String,
+    },
+    /// Invalid input (schema mismatch, unknown table, …).
+    Invalid {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl PolarisError {
+    /// Should the caller retry the whole transaction?
+    pub fn is_retryable_conflict(&self) -> bool {
+        match self {
+            PolarisError::Conflict { .. } => true,
+            PolarisError::Catalog(e) => e.is_retryable_conflict(),
+            _ => false,
+        }
+    }
+
+    /// Shorthand for [`PolarisError::Invalid`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        PolarisError::Invalid {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`PolarisError::Unsupported`].
+    pub fn unsupported(detail: impl Into<String>) -> Self {
+        PolarisError::Unsupported {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PolarisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolarisError::Conflict { detail } => write!(f, "transaction conflict: {detail}"),
+            PolarisError::Catalog(e) => write!(f, "catalog: {e}"),
+            PolarisError::Dcp(e) => write!(f, "distributed execution: {e}"),
+            PolarisError::Exec(e) => write!(f, "execution: {e}"),
+            PolarisError::Lst(e) => write!(f, "physical metadata: {e}"),
+            PolarisError::Store(e) => write!(f, "storage: {e}"),
+            PolarisError::Parse(e) => write!(f, "{e}"),
+            PolarisError::Plan(e) => write!(f, "{e}"),
+            PolarisError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            PolarisError::Invalid { detail } => write!(f, "invalid: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PolarisError {}
+
+impl From<polaris_catalog::CatalogError> for PolarisError {
+    fn from(e: polaris_catalog::CatalogError) -> Self {
+        if e.is_retryable_conflict() {
+            PolarisError::Conflict {
+                detail: e.to_string(),
+            }
+        } else {
+            PolarisError::Catalog(e)
+        }
+    }
+}
+
+impl From<polaris_dcp::DcpError> for PolarisError {
+    fn from(e: polaris_dcp::DcpError) -> Self {
+        PolarisError::Dcp(e)
+    }
+}
+
+impl From<polaris_exec::ExecError> for PolarisError {
+    fn from(e: polaris_exec::ExecError) -> Self {
+        PolarisError::Exec(e)
+    }
+}
+
+impl From<polaris_lst::LstError> for PolarisError {
+    fn from(e: polaris_lst::LstError) -> Self {
+        PolarisError::Lst(e)
+    }
+}
+
+impl From<polaris_store::StoreError> for PolarisError {
+    fn from(e: polaris_store::StoreError) -> Self {
+        PolarisError::Store(e)
+    }
+}
+
+impl From<polaris_sql::ParseError> for PolarisError {
+    fn from(e: polaris_sql::ParseError) -> Self {
+        PolarisError::Parse(e)
+    }
+}
+
+impl From<polaris_sql::PlanError> for PolarisError {
+    fn from(e: polaris_sql::PlanError) -> Self {
+        PolarisError::Plan(e)
+    }
+}
+
+impl From<polaris_columnar::ColumnarError> for PolarisError {
+    fn from(e: polaris_columnar::ColumnarError) -> Self {
+        PolarisError::Exec(polaris_exec::ExecError::Columnar(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicts_are_retryable() {
+        let e: PolarisError =
+            polaris_catalog::CatalogError::WriteWriteConflict { key: "t".into() }.into();
+        assert!(e.is_retryable_conflict());
+        assert!(matches!(e, PolarisError::Conflict { .. }));
+        let e: PolarisError = polaris_catalog::CatalogError::NotFound { what: "t".into() }.into();
+        assert!(!e.is_retryable_conflict());
+    }
+
+    #[test]
+    fn display() {
+        assert!(PolarisError::unsupported("unique constraints")
+            .to_string()
+            .contains("unique constraints"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Schema (de)serialization for the catalog's `schema_json` column.
+
+use crate::{PolarisError, PolarisResult};
+use polaris_columnar::{DataType, Field, Schema};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct FieldJson {
+    name: String,
+    #[serde(rename = "type")]
+    data_type: String,
+    nullable: bool,
+}
+
+fn type_name(dt: DataType) -> &'static str {
+    match dt {
+        DataType::Int64 => "int64",
+        DataType::Float64 => "float64",
+        DataType::Utf8 => "utf8",
+        DataType::Bool => "bool",
+        DataType::Date32 => "date32",
+    }
+}
+
+fn type_from_name(name: &str) -> PolarisResult<DataType> {
+    Ok(match name {
+        "int64" => DataType::Int64,
+        "float64" => DataType::Float64,
+        "utf8" => DataType::Utf8,
+        "bool" => DataType::Bool,
+        "date32" => DataType::Date32,
+        other => return Err(PolarisError::invalid(format!("unknown type {other}"))),
+    })
+}
+
+/// Serialize a schema to the catalog JSON form.
+pub(crate) fn schema_to_json(schema: &Schema) -> String {
+    let fields: Vec<FieldJson> = schema
+        .fields()
+        .iter()
+        .map(|f| FieldJson {
+            name: f.name.clone(),
+            data_type: type_name(f.data_type).to_owned(),
+            nullable: f.nullable,
+        })
+        .collect();
+    serde_json::to_string(&fields).expect("schemas always serialize")
+}
+
+/// Parse the catalog JSON form back into a schema.
+pub(crate) fn schema_from_json(json: &str) -> PolarisResult<Schema> {
+    let fields: Vec<FieldJson> = serde_json::from_str(json)
+        .map_err(|e| PolarisError::invalid(format!("bad schema json: {e}")))?;
+    let fields = fields
+        .into_iter()
+        .map(|f| {
+            Ok(Field {
+                name: f.name,
+                data_type: type_from_name(&f.data_type)?,
+                nullable: f.nullable,
+            })
+        })
+        .collect::<PolarisResult<Vec<_>>>()?;
+    Ok(Schema::new(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::nullable("b", DataType::Float64),
+            Field::new("c", DataType::Utf8),
+            Field::nullable("d", DataType::Bool),
+            Field::new("e", DataType::Date32),
+        ]);
+        let json = schema_to_json(&schema);
+        assert_eq!(schema_from_json(&json).unwrap(), schema);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(schema_from_json("nope").is_err());
+        assert!(schema_from_json(r#"[{"name":"x","type":"blob","nullable":false}]"#).is_err());
+    }
+}

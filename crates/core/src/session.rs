@@ -1,0 +1,200 @@
+//! Sessions: the T-SQL surface with auto-commit and explicit transactions.
+
+use crate::schema_json::schema_to_json;
+use crate::{PolarisEngine, PolarisError, PolarisResult, QueryResult, SequenceId, Transaction};
+use polaris_catalog::IsolationLevel;
+use polaris_columnar::{Field, RecordBatch, Schema};
+use polaris_sql::Statement;
+use std::sync::Arc;
+
+/// What one executed statement produced.
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    /// A SELECT's rows.
+    Rows(RecordBatch),
+    /// DML row count.
+    Affected(u64),
+    /// DDL completed.
+    Ddl,
+    /// BEGIN TRAN.
+    Begun,
+    /// COMMIT; carries the assigned sequence for write transactions.
+    Committed(Option<SequenceId>),
+    /// ROLLBACK.
+    RolledBack,
+}
+
+/// A user session: executes SQL with auto-commit semantics, or under an
+/// explicit `BEGIN … COMMIT` transaction.
+///
+/// Auto-commit DML that loses its optimistic validation is retried up to
+/// `EngineConfig::auto_retries` times with a fresh snapshot — the paper's
+/// "the user transaction succeeds … and is retried otherwise" (§3).
+/// Explicit transactions are *not* auto-retried: the conflict error
+/// surfaces so the application can re-run its logic.
+pub struct Session {
+    engine: Arc<PolarisEngine>,
+    isolation: IsolationLevel,
+    current: Option<Transaction>,
+}
+
+impl Session {
+    pub(crate) fn new(engine: Arc<PolarisEngine>) -> Self {
+        let isolation = engine.config().default_isolation;
+        Session {
+            engine,
+            isolation,
+            current: None,
+        }
+    }
+
+    /// Override the isolation level for subsequently started transactions
+    /// (§4.4.2).
+    pub fn set_isolation(&mut self, isolation: IsolationLevel) {
+        self.isolation = isolation;
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &Arc<PolarisEngine> {
+        &self.engine
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> PolarisResult<StatementOutcome> {
+        let stmt = polaris_sql::parse(sql)?;
+        self.execute_parsed(&stmt)
+    }
+
+    /// Execute a `;`-separated script, stopping at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> PolarisResult<Vec<StatementOutcome>> {
+        let stmts = polaris_sql::parse_many(sql)?;
+        stmts.iter().map(|s| self.execute_parsed(s)).collect()
+    }
+
+    /// Convenience: run a SELECT and return its rows.
+    pub fn query(&mut self, sql: &str) -> PolarisResult<RecordBatch> {
+        match self.execute(sql)? {
+            StatementOutcome::Rows(batch) => Ok(batch),
+            _ => Err(PolarisError::invalid("statement did not produce rows")),
+        }
+    }
+
+    fn execute_parsed(&mut self, stmt: &Statement) -> PolarisResult<StatementOutcome> {
+        match stmt {
+            Statement::Begin => {
+                if self.current.is_some() {
+                    return Err(PolarisError::invalid("transaction already open"));
+                }
+                self.current = Some(Transaction::begin(Arc::clone(&self.engine), self.isolation));
+                Ok(StatementOutcome::Begun)
+            }
+            Statement::Commit => {
+                let txn = self
+                    .current
+                    .take()
+                    .ok_or_else(|| PolarisError::invalid("no open transaction"))?;
+                let info = txn.commit()?;
+                Ok(StatementOutcome::Committed(info.sequence))
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .current
+                    .take()
+                    .ok_or_else(|| PolarisError::invalid("no open transaction"))?;
+                txn.rollback();
+                Ok(StatementOutcome::RolledBack)
+            }
+            Statement::CreateTable { name, columns } => {
+                if self.current.is_some() {
+                    return Err(PolarisError::unsupported(
+                        "DDL inside explicit transactions",
+                    ));
+                }
+                let fields: Vec<Field> = columns
+                    .iter()
+                    .map(|c| Field {
+                        name: c.name.clone(),
+                        data_type: c.data_type,
+                        nullable: c.nullable,
+                    })
+                    .collect();
+                self.engine.create_table(name, &Schema::new(fields))?;
+                Ok(StatementOutcome::Ddl)
+            }
+            Statement::DropTable { name } => {
+                if self.current.is_some() {
+                    return Err(PolarisError::unsupported(
+                        "DDL inside explicit transactions",
+                    ));
+                }
+                self.engine.drop_table(name)?;
+                Ok(StatementOutcome::Ddl)
+            }
+            dml => {
+                if let Some(txn) = self.current.as_mut() {
+                    return Ok(outcome_of(txn.execute_statement(dml)?));
+                }
+                // Auto-commit with conflict retries.
+                let retries = self.engine.config().auto_retries;
+                let mut attempt = 0;
+                loop {
+                    let mut txn = Transaction::begin(Arc::clone(&self.engine), self.isolation);
+                    let result = txn
+                        .execute_statement(dml)
+                        .and_then(|r| txn.commit().map(|_| r));
+                    match result {
+                        Ok(r) => return Ok(outcome_of(r)),
+                        Err(e) if e.is_retryable_conflict() && attempt < retries => {
+                            attempt += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Create a table from a programmatic schema (bypasses SQL).
+    pub fn create_table(&self, name: &str, schema: &Schema) -> PolarisResult<()> {
+        self.engine.create_table(name, schema)?;
+        Ok(())
+    }
+
+    /// Bulk-insert a batch (auto-commit or inside the open transaction).
+    pub fn insert_batch(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
+        if let Some(txn) = self.current.as_mut() {
+            return txn.insert(table, batch);
+        }
+        let retries = self.engine.config().auto_retries;
+        let mut attempt = 0;
+        loop {
+            let mut txn = Transaction::begin(Arc::clone(&self.engine), self.isolation);
+            let result = txn
+                .insert(table, batch)
+                .and_then(|n| txn.commit().map(|_| n));
+            match result {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_retryable_conflict() && attempt < retries => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Serialize a schema the way the catalog stores it (useful for
+    /// debugging and tests).
+    pub fn schema_json(schema: &Schema) -> String {
+        schema_to_json(schema)
+    }
+}
+
+fn outcome_of(result: QueryResult) -> StatementOutcome {
+    match result.rows_affected {
+        Some(n) => StatementOutcome::Affected(n),
+        None => StatementOutcome::Rows(result.batch),
+    }
+}

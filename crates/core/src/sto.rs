@@ -1,0 +1,523 @@
+//! The System Task Orchestrator (§5): autonomous storage optimizations.
+//!
+//! The STO monitors table statistics and runs four maintenance actions
+//! without user intervention: data **compaction** (§5.1), manifest
+//! **checkpointing** (§5.2), **garbage collection** (§5.3) and async
+//! **Delta publishing** (§5.4). Each action is exposed as an explicit
+//! function (the figure harnesses drive them deterministically) plus a
+//! background [`StoRunner`] thread that applies the paper's triggers.
+
+use crate::{PolarisEngine, PolarisResult, SequenceId};
+use polaris_columnar::RecordBatch;
+use polaris_exec::{scan::scan_cell, write as bewrite};
+use polaris_lst::{publish, Checkpoint, Manifest, ManifestAction};
+use polaris_store::{BlobPath, Stamp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Storage health (the SELECT-time statistics of §5.1)
+// ---------------------------------------------------------------------
+
+/// Health summary for one table's storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableHealth {
+    /// Table name.
+    pub table: String,
+    /// Live data files.
+    pub file_count: usize,
+    /// Small files (fewer live rows than `compact_min_rows`) that share a
+    /// distribution with another small file — i.e. files compaction could
+    /// actually merge. A lone small file per distribution is the floor
+    /// compaction can reach and is not counted.
+    pub small_files: usize,
+    /// Files whose deleted fraction exceeds `compact_max_deleted`.
+    pub fragmented_files: usize,
+    /// Rows visible after delete-vector masking.
+    pub live_rows: u64,
+    /// Physical rows before masking.
+    pub total_rows: u64,
+}
+
+impl TableHealth {
+    /// Green in the Figure 10 sense: no fragmented files and no mergeable
+    /// small files.
+    pub fn is_healthy(&self) -> bool {
+        self.fragmented_files == 0 && self.small_files == 0
+    }
+}
+
+/// Compute the health of a table from snapshot metadata alone (no data
+/// reads — row and delete counts live in the manifests).
+pub fn table_health(engine: &Arc<PolarisEngine>, table: &str) -> PolarisResult<TableHealth> {
+    let config = *engine.config();
+    let mut ctxn = engine.catalog().begin(config.default_isolation);
+    let (meta, _) = engine.table_meta(&mut ctxn, table)?;
+    let snap = engine.snapshot(&mut ctxn, &meta, None)?;
+    engine.catalog().abort(&mut ctxn);
+    let mut health = TableHealth {
+        table: table.to_owned(),
+        file_count: snap.file_count(),
+        small_files: 0,
+        fragmented_files: 0,
+        live_rows: snap.live_rows(),
+        total_rows: snap.total_rows(),
+    };
+    let mut small_by_dist: HashMap<u32, usize> = HashMap::new();
+    for f in snap.files() {
+        if f.deleted_fraction() > config.compact_max_deleted {
+            health.fragmented_files += 1;
+        } else if f.live_rows() < config.compact_min_rows {
+            *small_by_dist.entry(f.entry.distribution).or_default() += 1;
+        }
+    }
+    health.small_files = small_by_dist.values().filter(|&&n| n >= 2).sum();
+    Ok(health)
+}
+
+// ---------------------------------------------------------------------
+// Compaction (§5.1)
+// ---------------------------------------------------------------------
+
+/// Outcome of one compaction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Low-quality files rewritten (logically removed).
+    pub compacted_files: usize,
+    /// Replacement files written.
+    pub new_files: usize,
+    /// Live rows carried over.
+    pub rows: u64,
+    /// Sequence the compaction committed at.
+    pub committed_at: SequenceId,
+}
+
+/// Compact a table if its health warrants it.
+///
+/// Runs in its own transaction with the same SI semantics as user
+/// transactions: rewritten files are only *logically* removed (GC deletes
+/// them after retention), and — as the paper warns — the commit can
+/// conflict with concurrent user updates, in which case
+/// [`PolarisError::Conflict`](crate::PolarisError::Conflict) surfaces.
+pub fn compact_table(
+    engine: &Arc<PolarisEngine>,
+    table: &str,
+) -> PolarisResult<Option<CompactionReport>> {
+    let config = *engine.config();
+    let mut txn = engine.begin();
+    let tid = txn.table_state(table)?;
+    let view = txn.tables[&tid].view();
+    let data_root = txn.tables[&tid].meta.data_root.clone();
+    // Victims: fragmented files, plus small files in distributions that
+    // have at least two of them (a lone small file has nothing to merge
+    // with — compaction is per distribution).
+    let mut victims = Vec::new();
+    let mut small_by_dist: HashMap<u32, Vec<polaris_lst::DataFileState>> = HashMap::new();
+    for f in view.files() {
+        if f.deleted_fraction() > config.compact_max_deleted {
+            victims.push(f.clone());
+        } else if f.live_rows() < config.compact_min_rows {
+            small_by_dist
+                .entry(f.entry.distribution)
+                .or_default()
+                .push(f.clone());
+        }
+    }
+    for (_, group) in small_by_dist {
+        if group.len() >= 2 {
+            victims.extend(group);
+        }
+    }
+    if victims.is_empty() {
+        return Ok(None);
+    }
+
+    // Read surviving rows per distribution and rewrite them compacted.
+    let store = Arc::clone(engine.store());
+    let stamp = Stamp(txn.id());
+    let mut by_dist: HashMap<u32, Vec<RecordBatch>> = HashMap::new();
+    let mut rows = 0u64;
+    let mut actions = Vec::new();
+    for victim in &victims {
+        let cell = polaris_exec::Cell::from_state(victim);
+        if let Some(batch) = scan_cell(&*store, &cell, None, None)? {
+            rows += batch.num_rows() as u64;
+            by_dist
+                .entry(victim.entry.distribution)
+                .or_default()
+                .push(batch);
+        }
+        actions.push(ManifestAction::remove_file(victim.entry.path.clone()));
+    }
+    let mut new_files = 0;
+    for (dist, batches) in by_dist {
+        let merged = RecordBatch::concat(&batches)?;
+        if merged.num_rows() == 0 {
+            continue;
+        }
+        let path = format!("{data_root}/data/compact-t{}-d{dist}.pcf", txn.id());
+        let written = bewrite::write_data_file(&*store, &path, &merged, config.writer, stamp)?;
+        actions.push(crate::txn::add_file_action(
+            written.path,
+            written.rows,
+            written.bytes,
+            dist,
+            &merged,
+        ));
+        new_files += 1;
+    }
+    txn.apply_actions(table, &actions)?;
+    let info = txn.commit()?;
+    Ok(Some(CompactionReport {
+        compacted_files: victims.len(),
+        new_files,
+        rows,
+        committed_at: info.sequence.expect("compaction writes"),
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing (§5.2)
+// ---------------------------------------------------------------------
+
+/// Outcome of one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Sequence the checkpoint covers through.
+    pub covers: SequenceId,
+    /// Live files captured.
+    pub files: usize,
+    /// Manifests the checkpoint folded in since the previous one.
+    pub folded_manifests: usize,
+}
+
+/// Manifests committed for `table` after its latest checkpoint.
+pub fn manifests_since_checkpoint(
+    engine: &Arc<PolarisEngine>,
+    table: &str,
+) -> PolarisResult<usize> {
+    let mut ctxn = engine.catalog().begin(engine.config().default_isolation);
+    let (meta, _) = engine.table_meta(&mut ctxn, table)?;
+    let last = engine
+        .catalog()
+        .latest_checkpoint(&mut ctxn, meta.id, SequenceId(u64::MAX))?
+        .map(|(seq, _)| seq)
+        .unwrap_or(SequenceId(0));
+    let rows =
+        engine
+            .catalog()
+            .manifests_between(&mut ctxn, meta.id, last, SequenceId(u64::MAX))?;
+    engine.catalog().abort(&mut ctxn);
+    Ok(rows.len())
+}
+
+/// Write a checkpoint unconditionally (no-op if nothing new to fold).
+///
+/// Unlike compaction, checkpointing touches no data files and can never
+/// conflict with user transactions.
+pub fn checkpoint_table(
+    engine: &Arc<PolarisEngine>,
+    table: &str,
+) -> PolarisResult<Option<CheckpointReport>> {
+    let folded = manifests_since_checkpoint(engine, table)?;
+    if folded == 0 {
+        return Ok(None);
+    }
+    let mut ctxn = engine.catalog().begin(engine.config().default_isolation);
+    let (meta, _) = engine.table_meta(&mut ctxn, table)?;
+    let snap = engine.snapshot(&mut ctxn, &meta, None)?;
+    let ckpt = Checkpoint::from_snapshot(&snap);
+    let path = format!("{}/_ckpt/{:020}.json", meta.data_root, ckpt.upto.0);
+    engine
+        .store()
+        .put(&BlobPath::new(path.clone())?, ckpt.encode(), Stamp::SYSTEM)?;
+    engine
+        .catalog()
+        .add_checkpoint(&mut ctxn, meta.id, ckpt.upto, &path)?;
+    engine.catalog().commit(&mut ctxn)?;
+    // Publish the compacted state to the lake too (§5.4): other engines
+    // reading the Delta log can start from this checkpoint instead of
+    // replaying every commit file.
+    publish::publish_snapshot_as_delta(&**engine.store(), &meta.data_root, &snap)?;
+    Ok(Some(CheckpointReport {
+        covers: ckpt.upto,
+        files: ckpt.file_count(),
+        folded_manifests: folded,
+    }))
+}
+
+/// Checkpoint only once `checkpoint_every` manifests have accumulated —
+/// the paper's trigger (10 in the Figure 11 experiment).
+pub fn checkpoint_if_needed(
+    engine: &Arc<PolarisEngine>,
+    table: &str,
+) -> PolarisResult<Option<CheckpointReport>> {
+    if (manifests_since_checkpoint(engine, table)? as u64) < engine.config().checkpoint_every {
+        return Ok(None);
+    }
+    checkpoint_table(engine, table)
+}
+
+// ---------------------------------------------------------------------
+// Garbage collection (§5.3)
+// ---------------------------------------------------------------------
+
+/// Outcome of a GC sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Blobs physically deleted.
+    pub deleted: usize,
+    /// Unknown blobs retained because an in-flight transaction may own
+    /// them (stamp ≥ min active transaction id).
+    pub retained_inflight: usize,
+    /// Blobs referenced by some active set.
+    pub active: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    Active,
+    /// Logically removed at this sequence.
+    Removed(SequenceId),
+}
+
+/// Sweep all tables: delete files that are logically removed beyond the
+/// retention window, or that belong to aborted transactions.
+///
+/// Tables can share lineage through zero-copy clones, so the sweep builds
+/// one global active set: a file referenced by *any* table stays (§5.3).
+pub fn garbage_collect(engine: &Arc<PolarisEngine>) -> PolarisResult<GcReport> {
+    let config = *engine.config();
+    let mut ctxn = engine.catalog().begin(config.default_isolation);
+    let tables = engine.catalog().list_tables(&mut ctxn)?;
+    let now = SequenceId(engine.catalog().now().0);
+    let min_active_txn = engine.catalog().min_active_txn_id();
+
+    // Fates are computed in two phases. WITHIN one table's manifest chain
+    // the LAST action for a path wins (a file added and later removed is
+    // removed). ACROSS tables sharing lineage (clones), Active wins — a
+    // file is reachable if any table still references it — and among
+    // removals the latest sequence wins (retention counts from the last
+    // table to let go).
+    let mut fates: HashMap<String, Fate> = HashMap::new();
+    let merge = |path: &str, fate: Fate, fates: &mut HashMap<String, Fate>| match (
+        fates.get(path),
+        &fate,
+    ) {
+        (Some(Fate::Active), _) => {}
+        (Some(Fate::Removed(_)), Fate::Active) => {
+            fates.insert(path.to_owned(), Fate::Active);
+        }
+        (Some(Fate::Removed(old)), Fate::Removed(new)) if new <= old => {}
+        _ => {
+            fates.insert(path.to_owned(), fate);
+        }
+    };
+    let mut roots: Vec<String> = Vec::new();
+    for meta in &tables {
+        if !roots.contains(&meta.data_root) {
+            roots.push(meta.data_root.clone());
+        }
+        // Phase 1: per-table replay, last action wins.
+        let mut local: HashMap<String, Fate> = HashMap::new();
+        let rows = engine.catalog().visible_manifests(&mut ctxn, meta.id)?;
+        for (seq, row) in &rows {
+            // Committed manifest blobs are always reachable metadata.
+            local.insert(row.manifest_file.clone(), Fate::Active);
+            let raw = engine
+                .store()
+                .get(&BlobPath::new(row.manifest_file.clone())?)?;
+            for action in Manifest::decode(&raw)?.actions {
+                match action {
+                    ManifestAction::AddFile(e) => {
+                        local.insert(e.path, Fate::Active);
+                    }
+                    ManifestAction::RemoveFile { path } => {
+                        local.insert(path, Fate::Removed(*seq));
+                    }
+                    ManifestAction::AddDv { dv, .. } => {
+                        local.insert(dv.path, Fate::Active);
+                    }
+                    ManifestAction::RemoveDv { dv_path, .. } => {
+                        local.insert(dv_path, Fate::Removed(*seq));
+                    }
+                }
+            }
+        }
+        for (_, ckpt) in engine.catalog().checkpoints(&mut ctxn, meta.id)? {
+            local.insert(ckpt.path, Fate::Active);
+        }
+        // Phase 2: merge into the shared-lineage view.
+        for (path, fate) in local {
+            merge(&path, fate, &mut fates);
+        }
+    }
+    engine.catalog().abort(&mut ctxn);
+
+    let mut report = GcReport::default();
+    for root in roots {
+        for blob in engine.store().list(&format!("{root}/"))? {
+            let path = blob.path.as_str();
+            // The published Delta log (§5.4) is the user-accessible copy of
+            // the metadata: never subject to internal GC.
+            if path.contains("/_delta_log/") {
+                report.active += 1;
+                continue;
+            }
+            match fates.get(path) {
+                Some(Fate::Active) => report.active += 1,
+                Some(Fate::Removed(at)) => {
+                    if now.0.saturating_sub(at.0) > config.retention_seqs {
+                        engine.store().delete(&blob.path)?;
+                        report.deleted += 1;
+                    } else {
+                        // Within retention: still reachable by time travel.
+                        report.active += 1;
+                    }
+                }
+                None => {
+                    // Never referenced by any manifest: either an in-flight
+                    // transaction's private file or an aborted leftover.
+                    if blob.stamp.0 < min_active_txn.0 {
+                        engine.store().delete(&blob.path)?;
+                        report.deleted += 1;
+                    } else {
+                        report.retained_inflight += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Async Delta publishing (§5.4)
+// ---------------------------------------------------------------------
+
+/// Publish manifests committed since the last publish as Delta-log files
+/// under the table's `_delta_log/`. Returns the number published.
+pub fn publish_table(engine: &Arc<PolarisEngine>, table: &str) -> PolarisResult<usize> {
+    let mut ctxn = engine.catalog().begin(engine.config().default_isolation);
+    let (meta, _) = engine.table_meta(&mut ctxn, table)?;
+    let rows = engine.catalog().visible_manifests(&mut ctxn, meta.id)?;
+    let Some((last_seq, _)) = rows.last() else {
+        engine.catalog().abort(&mut ctxn);
+        return Ok(0);
+    };
+    let (from, to) = engine.publish_range(meta.id, *last_seq);
+    let mut published = 0;
+    for (seq, row) in rows {
+        if seq <= from || seq > to {
+            continue;
+        }
+        let raw = engine
+            .store()
+            .get(&BlobPath::new(row.manifest_file.clone())?)?;
+        let manifest = Manifest::decode(&raw)?;
+        publish::publish_manifest_as_delta(&**engine.store(), &meta.data_root, seq, &manifest)?;
+        published += 1;
+    }
+    engine.catalog().abort(&mut ctxn);
+    Ok(published)
+}
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+/// Summary of one orchestrator tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoTickReport {
+    /// Checkpoints written.
+    pub checkpoints: usize,
+    /// Compactions committed.
+    pub compactions: usize,
+    /// Compactions lost to conflicts with user transactions.
+    pub compaction_conflicts: usize,
+    /// Manifests published to Delta logs.
+    pub published: usize,
+    /// Blobs reclaimed by GC.
+    pub gc_deleted: usize,
+}
+
+/// Run one monitoring pass over every table: publish new commits,
+/// checkpoint and compact where triggers fire, then GC.
+pub fn run_once(engine: &Arc<PolarisEngine>) -> PolarisResult<StoTickReport> {
+    let mut report = StoTickReport::default();
+    let mut ctxn = engine.catalog().begin(engine.config().default_isolation);
+    let tables: Vec<String> = engine
+        .catalog()
+        .list_tables(&mut ctxn)?
+        .into_iter()
+        .map(|m| m.name)
+        .collect();
+    engine.catalog().abort(&mut ctxn);
+    for table in &tables {
+        report.published += publish_table(engine, table)?;
+        if checkpoint_if_needed(engine, table)?.is_some() {
+            report.checkpoints += 1;
+        }
+        if !table_health(engine, table)?.is_healthy() {
+            match compact_table(engine, table) {
+                Ok(Some(_)) => report.compactions += 1,
+                Ok(None) => {}
+                Err(e) if e.is_retryable_conflict() => report.compaction_conflicts += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    report.gc_deleted = garbage_collect(engine)?.deleted;
+    // Periodic catalog backup (§6.3): one per orchestrator pass, enabling
+    // point-in-time restore of the whole database.
+    engine.backup_catalog("system/catalog-backup.json")?;
+    Ok(report)
+}
+
+/// Background STO thread applying [`run_once`] on an interval.
+pub struct StoRunner {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StoRunner {
+    /// Start the orchestrator.
+    pub fn start(engine: Arc<PolarisEngine>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("polaris-sto".to_owned())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    // Maintenance failures (e.g. compaction conflicts) must
+                    // not kill the orchestrator.
+                    let _ = run_once(&engine);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawning the STO thread");
+        StoRunner {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop and join the orchestrator.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StoRunner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

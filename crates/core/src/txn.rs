@@ -1,0 +1,865 @@
+//! User transactions: the optimistic read phase and the commit protocol.
+
+use crate::read::execute_select;
+use crate::{PolarisEngine, PolarisError, PolarisResult, QueryResult};
+use polaris_catalog::{CatalogTxn, IsolationLevel, TableId, TableMeta};
+use polaris_columnar::{ColumnVector, DataType, RecordBatch, Schema, Value};
+use polaris_dcp::{TaskError, WorkflowDag, WorkloadClass};
+use polaris_exec::{cell::partition_cells, cells_of_snapshot, write as bewrite, Expr};
+use polaris_lst::{Manifest, ManifestAction, SequenceId, TableSnapshot, TxnDelta};
+use polaris_sql::Statement;
+use polaris_store::{BlobPath, BlockId, Stamp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-table transactional state: the private, uncommitted world of the
+/// transaction (§3.2.3).
+pub(crate) struct TxnTable {
+    pub(crate) meta: TableMeta,
+    pub(crate) schema: Schema,
+    /// Committed snapshot captured at first touch (SI read phase §4.1.1).
+    pub(crate) base: Arc<TableSnapshot>,
+    /// Reconciled private changes.
+    pub(crate) delta: TxnDelta,
+    /// The transaction-manifest blob for this table.
+    manifest_path: BlobPath,
+    /// Currently committed block list of the manifest blob.
+    blocks: Vec<BlockId>,
+}
+
+impl TxnTable {
+    /// The snapshot this transaction's statements read: committed base
+    /// overlaid with own writes.
+    pub(crate) fn view(&self) -> TableSnapshot {
+        self.delta.overlay(&self.base)
+    }
+}
+
+/// Outcome of a successful commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// Sequence number assigned to the transaction's manifests; `None` for
+    /// read-only transactions (nothing entered the Manifests table).
+    pub sequence: Option<SequenceId>,
+}
+
+/// An explicit multi-statement, multi-table user transaction.
+///
+/// Dropped without [`commit`](Transaction::commit) ⇒ rolled back; any
+/// files it wrote are unreachable and reclaimed by GC (§5.3).
+pub struct Transaction {
+    engine: Arc<PolarisEngine>,
+    pub(crate) ctxn: CatalogTxn,
+    pub(crate) tables: HashMap<TableId, TxnTable>,
+    /// Statement counter, used in block IDs and file names.
+    stmt: u32,
+    finished: bool,
+}
+
+/// What a write task reports back to the DCP: the blocks it staged and the
+/// manifest actions inside them (§3.2.2 step 6).
+type WriteTaskResult = (Vec<BlockId>, Vec<ManifestAction>, u64);
+
+impl Transaction {
+    pub(crate) fn begin(engine: Arc<PolarisEngine>, isolation: IsolationLevel) -> Self {
+        let ctxn = engine.catalog().begin(isolation);
+        Transaction {
+            engine,
+            ctxn,
+            tables: HashMap::new(),
+            stmt: 0,
+            finished: false,
+        }
+    }
+
+    /// The engine this transaction runs on.
+    pub fn engine(&self) -> &Arc<PolarisEngine> {
+        &self.engine
+    }
+
+    /// The durable transaction id (stamps files for GC).
+    pub fn id(&self) -> u64 {
+        self.ctxn.id.0
+    }
+
+    fn stamp(&self) -> Stamp {
+        Stamp(self.ctxn.id.0)
+    }
+
+    fn check_active(&self) -> PolarisResult<()> {
+        if self.finished {
+            return Err(PolarisError::invalid("transaction already finished"));
+        }
+        Ok(())
+    }
+
+    /// Load (or return cached) per-table state, capturing the committed
+    /// snapshot on first touch.
+    pub(crate) fn table_state(&mut self, name: &str) -> PolarisResult<TableId> {
+        self.check_active()?;
+        let (meta, schema) = self.engine.table_meta(&mut self.ctxn, name)?;
+        if self.tables.contains_key(&meta.id) {
+            // RCSI (§4.4.2): each statement may see later commits, so the
+            // committed base refreshes on every touch — but only while this
+            // transaction has not written to the table, because the private
+            // delta is expressed against the base it was built on.
+            if self.ctxn.isolation == IsolationLevel::ReadCommittedSnapshot
+                && self.tables[&meta.id].delta.is_empty()
+            {
+                let base = self.engine.snapshot(&mut self.ctxn, &meta, None)?;
+                self.tables.get_mut(&meta.id).expect("checked above").base = base;
+            }
+            return Ok(meta.id);
+        }
+        let base = self.engine.snapshot(&mut self.ctxn, &meta, None)?;
+        let manifest_path = BlobPath::new(format!(
+            "{}/_log/txn-{}-{}.json",
+            meta.data_root, self.ctxn.id.0, meta.id.0
+        ))?;
+        let id = meta.id;
+        self.tables.insert(
+            id,
+            TxnTable {
+                meta,
+                schema,
+                base,
+                delta: TxnDelta::new(),
+                manifest_path,
+                blocks: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Insert a batch of rows. Distributed across write nodes by
+    /// distribution bucket; never conflicts with concurrent transactions
+    /// (§4).
+    pub fn insert(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
+        self.stmt += 1;
+        let tid = self.table_state(table)?;
+        let t = &self.tables[&tid];
+        if batch.schema() != &t.schema {
+            return Err(PolarisError::invalid(format!(
+                "insert schema {} does not match table schema {}",
+                batch.schema(),
+                t.schema
+            )));
+        }
+        if batch.num_rows() == 0 {
+            return Ok(0);
+        }
+        let config = self.engine.config();
+        // Z-order clustering (§2.3): sort rows by the interleaved cluster
+        // key so files get tight, mostly disjoint min/max statistics.
+        let cluster_by = t.meta.cluster_by.clone();
+        let clustered;
+        let batch = if cluster_by.is_empty() {
+            batch
+        } else {
+            clustered = cluster_batch(batch, &t.schema, &cluster_by)?;
+            &clustered
+        };
+        // Partition rows into distributions. Unclustered tables spread
+        // round-robin; clustered tables take contiguous z-ranges so each
+        // distribution (and therefore each file) covers a key range.
+        let dists = config.distributions as usize;
+        let mut by_dist: Vec<Vec<usize>> = vec![Vec::new(); dists];
+        let n = batch.num_rows();
+        for i in 0..n {
+            let d = if cluster_by.is_empty() {
+                i % dists
+            } else {
+                i * dists / n
+            };
+            by_dist[d.min(dists - 1)].push(i);
+        }
+        let groups: Vec<(u32, RecordBatch)> = by_dist
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idx)| !idx.is_empty())
+            .map(|(d, idx)| (d as u32, batch.take(&idx)))
+            .collect();
+
+        // One task per distribution group, capped.
+        let task_groups = chunk_evenly(groups, config.max_write_tasks);
+        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::new();
+        let store = Arc::clone(self.engine.store());
+        let writer = config.writer;
+        let stamp = self.stamp();
+        let stmt = self.stmt;
+        let data_root = t.meta.data_root.clone();
+        let manifest_path = t.manifest_path.clone();
+        let txn_id = self.ctxn.id.0;
+        for group in task_groups {
+            let store = Arc::clone(&store);
+            let data_root = data_root.clone();
+            let manifest_path = manifest_path.clone();
+            let group = Arc::new(group);
+            dag.add_task(move |ctx| {
+                let mut actions = Vec::new();
+                let mut rows = 0u64;
+                for (dist, part) in group.iter() {
+                    let path = format!(
+                        "{data_root}/data/t{txn_id}-s{stmt}-d{dist}-a{}.pcf",
+                        ctx.attempt
+                    );
+                    let written = bewrite::write_data_file(&*store, &path, part, writer, stamp)
+                        .map_err(exec_to_task)?;
+                    rows += written.rows;
+                    actions.push(add_file_action(
+                        written.path,
+                        written.rows,
+                        written.bytes,
+                        *dist,
+                        part,
+                    ));
+                }
+                // Stage one manifest block per task (§3.2.2); the ID folds
+                // in the attempt so stale attempts are never committed.
+                let block = BlockId::new(format!("ins-s{stmt}-t{}-a{}", ctx.task, ctx.attempt));
+                let payload = Manifest::encode_actions(&actions);
+                store
+                    .stage_block(&manifest_path, block.clone(), payload, stamp)
+                    .map_err(store_to_task)?;
+                Ok((vec![block], actions, rows))
+            });
+        }
+        let results = self.engine.pool().run_dag(dag, WorkloadClass::Write)?;
+        // FE: aggregate block IDs, apply actions to the private delta, and
+        // append-commit the manifest blob (insert path of §3.2.3).
+        let mut new_blocks = Vec::new();
+        let mut inserted = 0;
+        {
+            let t = self.tables.get_mut(&tid).expect("state loaded above");
+            for (ids, actions, rows) in results {
+                new_blocks.extend(ids);
+                inserted += rows;
+                for action in &actions {
+                    t.delta.apply(&t.base, action)?;
+                }
+            }
+            t.blocks.extend(new_blocks);
+        }
+        self.commit_manifest_blocks(tid)?;
+        Ok(inserted)
+    }
+
+    /// Delete rows matching `predicate` (all rows when `None`). Returns
+    /// the number of rows deleted.
+    pub fn delete(&mut self, table: &str, predicate: Option<&Expr>) -> PolarisResult<u64> {
+        self.stmt += 1;
+        let tid = self.table_state(table)?;
+        let view = self.tables[&tid].view();
+
+        // DELETE without WHERE removes whole files — pure metadata.
+        let Some(predicate) = predicate else {
+            let mut removed_rows = 0;
+            let actions: Vec<ManifestAction> = view
+                .files()
+                .map(|f| {
+                    removed_rows += f.live_rows();
+                    ManifestAction::remove_file(f.entry.path.clone())
+                })
+                .collect();
+            let t = self.tables.get_mut(&tid).expect("state loaded above");
+            for action in &actions {
+                t.delta.apply(&t.base, action)?;
+            }
+            self.rewrite_manifest(tid)?;
+            return Ok(removed_rows);
+        };
+
+        let cells = cells_of_snapshot(&view);
+        if cells.is_empty() {
+            return Ok(0);
+        }
+        let config = self.engine.config();
+        let groups = partition_cells(
+            cells,
+            config.max_write_tasks.min(config.distributions as usize),
+        );
+        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::new();
+        let stamp = self.stamp();
+        let stmt = self.stmt;
+        let txn_id = self.ctxn.id.0;
+        let data_root = self.tables[&tid].meta.data_root.clone();
+        let manifest_path = self.tables[&tid].manifest_path.clone();
+        for group in groups.into_iter().filter(|g| !g.is_empty()) {
+            let store = Arc::clone(self.engine.store());
+            let predicate = predicate.clone();
+            let data_root = data_root.clone();
+            let manifest_path = manifest_path.clone();
+            let group = Arc::new(group);
+            dag.add_task(move |ctx| {
+                let mut actions = Vec::new();
+                let mut deleted = 0u64;
+                for cell in group.iter() {
+                    let Some(outcome) = bewrite::delete_matching(&*store, cell, &predicate)
+                        .map_err(exec_to_task)?
+                    else {
+                        continue;
+                    };
+                    let dv_path = format!(
+                        "{data_root}/dv/{}-t{txn_id}-s{stmt}-a{}.dv",
+                        file_stem(&cell.file),
+                        ctx.attempt
+                    );
+                    bewrite::write_delete_vector(&*store, &dv_path, &outcome.merged, stamp)
+                        .map_err(exec_to_task)?;
+                    if let Some(old) = &cell.dv_path {
+                        actions.push(ManifestAction::remove_dv(cell.file.clone(), old.clone()));
+                    }
+                    actions.push(ManifestAction::add_dv(
+                        cell.file.clone(),
+                        dv_path,
+                        outcome.merged.cardinality() as u64,
+                    ));
+                    deleted += outcome.newly_deleted;
+                }
+                let block = BlockId::new(format!("del-s{stmt}-t{}-a{}", ctx.task, ctx.attempt));
+                store
+                    .stage_block(
+                        &manifest_path,
+                        block.clone(),
+                        Manifest::encode_actions(&actions),
+                        stamp,
+                    )
+                    .map_err(store_to_task)?;
+                Ok((vec![block], actions, deleted))
+            });
+        }
+        let results = self.engine.pool().run_dag(dag, WorkloadClass::Write)?;
+        let mut deleted = 0;
+        {
+            let t = self.tables.get_mut(&tid).expect("state loaded above");
+            for (_, actions, n) in results {
+                deleted += n;
+                for action in &actions {
+                    t.delta.apply(&t.base, action)?;
+                }
+            }
+        }
+        // Updates/deletes trigger the reconciling manifest rewrite
+        // (§3.2.3): the committed manifest reflects only the net delta.
+        self.rewrite_manifest(tid)?;
+        Ok(deleted)
+    }
+
+    /// Update rows matching `predicate`: delete + re-insert with the
+    /// assignments applied (§4.1.1 step 2).
+    pub fn update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> PolarisResult<u64> {
+        self.stmt += 1;
+        let tid = self.table_state(table)?;
+        let t = &self.tables[&tid];
+        let schema = t.schema.clone();
+        for (col, _) in assignments {
+            schema
+                .field(col)
+                .map_err(|_| PolarisError::invalid(format!("unknown column {col} in UPDATE")))?;
+        }
+        let view = t.view();
+        let cells = cells_of_snapshot(&view);
+        if cells.is_empty() {
+            return Ok(0);
+        }
+        let config = self.engine.config();
+        let groups = partition_cells(
+            cells,
+            config.max_write_tasks.min(config.distributions as usize),
+        );
+        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::new();
+        let stamp = self.stamp();
+        let stmt = self.stmt;
+        let txn_id = self.ctxn.id.0;
+        let data_root = t.meta.data_root.clone();
+        let manifest_path = t.manifest_path.clone();
+        let writer = config.writer;
+        let assignments: Arc<Vec<(String, Expr)>> = Arc::new(assignments.to_vec());
+        let predicate = predicate.cloned();
+        for group in groups.into_iter().filter(|g| !g.is_empty()) {
+            let store = Arc::clone(self.engine.store());
+            let predicate = predicate.clone();
+            let data_root = data_root.clone();
+            let manifest_path = manifest_path.clone();
+            let schema = schema.clone();
+            let assignments = Arc::clone(&assignments);
+            let group = Arc::new(group);
+            dag.add_task(move |ctx| {
+                let mut actions = Vec::new();
+                let mut updated = 0u64;
+                for cell in group.iter() {
+                    // Rows to rewrite: live rows matching the predicate.
+                    let Some(live) = bewrite::live_matching_rows(&*store, cell, predicate.as_ref())
+                        .map_err(exec_to_task)?
+                    else {
+                        continue;
+                    };
+                    // Delete them from the original file.
+                    let pred = predicate.clone().unwrap_or_else(|| Expr::lit(true));
+                    let Some(outcome) =
+                        bewrite::delete_matching(&*store, cell, &pred).map_err(exec_to_task)?
+                    else {
+                        continue;
+                    };
+                    let dv_path = format!(
+                        "{data_root}/dv/{}-t{txn_id}-s{stmt}-a{}.dv",
+                        file_stem(&cell.file),
+                        ctx.attempt
+                    );
+                    bewrite::write_delete_vector(&*store, &dv_path, &outcome.merged, stamp)
+                        .map_err(exec_to_task)?;
+                    if let Some(old) = &cell.dv_path {
+                        actions.push(ManifestAction::remove_dv(cell.file.clone(), old.clone()));
+                    }
+                    actions.push(ManifestAction::add_dv(
+                        cell.file.clone(),
+                        dv_path,
+                        outcome.merged.cardinality() as u64,
+                    ));
+                    // Re-insert the updated versions.
+                    let new_rows = apply_assignments(&live, &schema, &assignments)
+                        .map_err(|e| TaskError::fatal(e.to_string()))?;
+                    let path = format!(
+                        "{data_root}/data/t{txn_id}-s{stmt}-u{}-a{}.pcf",
+                        file_stem(&cell.file),
+                        ctx.attempt
+                    );
+                    let written =
+                        bewrite::write_data_file(&*store, &path, &new_rows, writer, stamp)
+                            .map_err(exec_to_task)?;
+                    actions.push(add_file_action(
+                        written.path,
+                        written.rows,
+                        written.bytes,
+                        cell.distribution,
+                        &new_rows,
+                    ));
+                    updated += new_rows.num_rows() as u64;
+                }
+                let block = BlockId::new(format!("upd-s{stmt}-t{}-a{}", ctx.task, ctx.attempt));
+                store
+                    .stage_block(
+                        &manifest_path,
+                        block.clone(),
+                        Manifest::encode_actions(&actions),
+                        stamp,
+                    )
+                    .map_err(store_to_task)?;
+                Ok((vec![block], actions, updated))
+            });
+        }
+        let results = self.engine.pool().run_dag(dag, WorkloadClass::Write)?;
+        let mut updated = 0;
+        {
+            let t = self.tables.get_mut(&tid).expect("state loaded above");
+            for (_, actions, n) in results {
+                updated += n;
+                for action in &actions {
+                    t.delta.apply(&t.base, action)?;
+                }
+            }
+        }
+        self.rewrite_manifest(tid)?;
+        Ok(updated)
+    }
+
+    /// Apply a pre-built action delta — the entry point compaction (§5.1)
+    /// and restore (§6.3) use. Actions must already reference files that
+    /// exist in storage.
+    pub(crate) fn apply_actions(
+        &mut self,
+        table: &str,
+        actions: &[ManifestAction],
+    ) -> PolarisResult<()> {
+        self.stmt += 1;
+        let tid = self.table_state(table)?;
+        {
+            let t = self.tables.get_mut(&tid).expect("state loaded above");
+            for action in actions {
+                t.delta.apply(&t.base, action)?;
+            }
+        }
+        self.rewrite_manifest(tid)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Run a SELECT (parsed and planned by the FE) under this
+    /// transaction's snapshot plus its own writes.
+    pub fn query(&mut self, sql: &str) -> PolarisResult<RecordBatch> {
+        let stmt = polaris_sql::parse(sql)?;
+        match stmt {
+            Statement::Select(sel) => {
+                let plan = polaris_sql::plan_select(&sel)?;
+                Ok(execute_select(self, &plan)?.batch)
+            }
+            _ => Err(PolarisError::invalid("query() requires a SELECT statement")),
+        }
+    }
+
+    /// Execute one parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> PolarisResult<QueryResult> {
+        self.check_active()?;
+        match stmt {
+            Statement::Select(sel) => {
+                let plan = polaris_sql::plan_select(sel)?;
+                execute_select(self, &plan)
+            }
+            Statement::Insert { table, rows } => {
+                let tid = self.table_state(table)?;
+                let schema = self.tables[&tid].schema.clone();
+                let coerced = coerce_rows(&schema, rows)?;
+                let batch = RecordBatch::from_rows(schema, &coerced)
+                    .map_err(|e| PolarisError::invalid(e.to_string()))?;
+                let n = self.insert(table, &batch)?;
+                Ok(QueryResult::affected(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let assignments = assignments
+                    .iter()
+                    .map(|(c, e)| Ok((c.clone(), polaris_sql::lower_expr(e)?)))
+                    .collect::<PolarisResult<Vec<_>>>()?;
+                let predicate = predicate
+                    .as_ref()
+                    .map(polaris_sql::lower_expr)
+                    .transpose()?;
+                let n = self.update(table, &assignments, predicate.as_ref())?;
+                Ok(QueryResult::affected(n))
+            }
+            Statement::Delete { table, predicate } => {
+                let predicate = predicate
+                    .as_ref()
+                    .map(polaris_sql::lower_expr)
+                    .transpose()?;
+                let n = self.delete(table, predicate.as_ref())?;
+                Ok(QueryResult::affected(n))
+            }
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback => Err(PolarisError::invalid(
+                "DDL and transaction control are handled by the session",
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Manifest plumbing
+    // ------------------------------------------------------------------
+
+    /// Append path: re-commit the manifest blob with the accumulated block
+    /// list (insert statements, §3.2.3).
+    fn commit_manifest_blocks(&mut self, tid: TableId) -> PolarisResult<()> {
+        let stamp = self.stamp();
+        let t = self.tables.get_mut(&tid).expect("state loaded");
+        self.engine
+            .store()
+            .commit_block_list(&t.manifest_path, &t.blocks, stamp)?;
+        Ok(())
+    }
+
+    /// Rewrite path: serialize the reconciled delta into fresh blocks and
+    /// commit only those — obsolete blocks from earlier statements are
+    /// discarded by storage (update/delete statements, §3.2.3).
+    fn rewrite_manifest(&mut self, tid: TableId) -> PolarisResult<()> {
+        let stamp = self.stamp();
+        let max_tasks = self.engine.config().max_write_tasks;
+        let stmt = self.stmt;
+        let store = Arc::clone(self.engine.store());
+        let t = self.tables.get_mut(&tid).expect("state loaded");
+        let actions = t.delta.to_actions();
+        let chunk_size = actions.len().div_ceil(max_tasks).max(1);
+        let mut ids = Vec::new();
+        for (k, chunk) in actions.chunks(chunk_size).enumerate() {
+            let id = BlockId::new(format!("rw-s{stmt}-k{k}"));
+            store.stage_block(
+                &t.manifest_path,
+                id.clone(),
+                Manifest::encode_actions(chunk),
+                stamp,
+            )?;
+            ids.push(id);
+        }
+        store.commit_block_list(&t.manifest_path, &ids, stamp)?;
+        t.blocks = ids;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / rollback (§4.1.2)
+    // ------------------------------------------------------------------
+
+    /// Validate and commit.
+    ///
+    /// For each modified table the write set is recorded (step 1), then
+    /// the catalog transaction commits under the commit lock (steps 2–4):
+    /// first-committer-wins on the WriteSets rows resolves write-write
+    /// conflicts; the Manifests rows are inserted with the assigned
+    /// sequence. On conflict everything rolls back and
+    /// [`PolarisError::Conflict`] is returned — the transaction can be
+    /// retried from scratch.
+    pub fn commit(mut self) -> PolarisResult<CommitInfo> {
+        self.check_active()?;
+        self.finished = true;
+        let granularity = self.engine.config().conflict_granularity;
+        let mut manifests: Vec<(TableId, String)> = Vec::new();
+        let mut write_sets: Vec<(TableId, Vec<String>)> = Vec::new();
+        for (tid, t) in &self.tables {
+            if t.delta.is_empty() {
+                continue;
+            }
+            manifests.push((*tid, t.manifest_path.as_str().to_owned()));
+            let modified: Vec<String> = t.delta.modified_base_files().map(str::to_owned).collect();
+            if !modified.is_empty() {
+                write_sets.push((*tid, modified));
+            }
+        }
+        if manifests.is_empty() {
+            // Read-only (or DDL-only): plain catalog commit, no sequence.
+            self.engine.catalog().commit(&mut self.ctxn)?;
+            return Ok(CommitInfo { sequence: None });
+        }
+        for (tid, modified) in &write_sets {
+            self.engine
+                .catalog()
+                .record_write_set(&mut self.ctxn, *tid, modified, granularity)?;
+        }
+        match self
+            .engine
+            .catalog()
+            .commit_write(&mut self.ctxn, &manifests)
+        {
+            Ok(outcome) => Ok(CommitInfo {
+                sequence: Some(SequenceId(outcome.commit_ts.0)),
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Roll back: private changes vanish; files are reclaimed by GC.
+    pub fn rollback(mut self) {
+        if !self.finished {
+            self.engine.catalog().abort(&mut self.ctxn);
+            self.finished = true;
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.engine.catalog().abort(&mut self.ctxn);
+        }
+    }
+}
+
+/// Group `items` into at most `max` chunks of near-equal size.
+fn chunk_evenly<T>(items: Vec<T>, max: usize) -> Vec<Vec<T>> {
+    assert!(max > 0);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = n.min(max);
+    let mut out: Vec<Vec<T>> = (0..chunks).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % chunks].push(item);
+    }
+    out
+}
+
+fn file_stem(path: &str) -> String {
+    let name = path.rsplit('/').next().unwrap_or(path);
+    name.trim_end_matches(".pcf").to_owned()
+}
+
+fn exec_to_task(e: polaris_exec::ExecError) -> TaskError {
+    match e {
+        polaris_exec::ExecError::Store(_) => TaskError::transient(e.to_string()),
+        other => TaskError::fatal(other.to_string()),
+    }
+}
+
+fn store_to_task(e: polaris_store::StoreError) -> TaskError {
+    TaskError::transient(e.to_string())
+}
+
+/// Rebuild `live` with assignments applied, coercing back onto the table
+/// schema.
+fn apply_assignments(
+    live: &RecordBatch,
+    schema: &Schema,
+    assignments: &[(String, Expr)],
+) -> PolarisResult<RecordBatch> {
+    let mut columns = Vec::with_capacity(schema.len());
+    for field in schema.fields() {
+        let expr = assignments
+            .iter()
+            .find(|(c, _)| c == &field.name)
+            .map(|(_, e)| e.clone())
+            .unwrap_or_else(|| Expr::col(field.name.clone()));
+        let values = expr.eval(live)?;
+        let mut col = ColumnVector::empty(field.data_type);
+        for v in &values {
+            col.push(&coerce_value(v, field.data_type)?)
+                .map_err(|e| PolarisError::invalid(e.to_string()))?;
+        }
+        columns.push(col);
+    }
+    RecordBatch::new(schema.clone(), columns).map_err(|e| PolarisError::invalid(e.to_string()))
+}
+
+/// Build an `AddFile` action carrying per-column min/max ranges computed
+/// from the written batch — the Delta-style manifest statistics that let
+/// scans prune files without fetching them.
+pub(crate) fn add_file_action(
+    path: String,
+    rows: u64,
+    bytes: u64,
+    distribution: u32,
+    batch: &RecordBatch,
+) -> ManifestAction {
+    use polaris_columnar::ColumnStats;
+    use polaris_lst::{ColRange, DataFileEntry, RangeVal};
+    let mut col_ranges = Vec::new();
+    for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
+        let stats = ColumnStats::from_vector(col);
+        if let (Some(min), Some(max)) = (&stats.min, &stats.max) {
+            if let (Some(min), Some(max)) = (RangeVal::from_value(min), RangeVal::from_value(max)) {
+                col_ranges.push(ColRange {
+                    column: field.name.clone(),
+                    min,
+                    max,
+                });
+            }
+        }
+    }
+    ManifestAction::AddFile(DataFileEntry {
+        path,
+        rows,
+        bytes,
+        distribution,
+        col_ranges,
+    })
+}
+
+/// Sort a batch by the Z-value of its cluster-key columns.
+fn cluster_batch(
+    batch: &RecordBatch,
+    schema: &Schema,
+    cluster_by: &[String],
+) -> PolarisResult<RecordBatch> {
+    use polaris_columnar::zorder;
+    let mut key_cols = Vec::with_capacity(cluster_by.len());
+    for key in cluster_by {
+        let _ = schema
+            .field(key)
+            .map_err(|e| PolarisError::invalid(e.to_string()))?;
+        key_cols.push(
+            batch
+                .column_by_name(key)
+                .map_err(|e| PolarisError::invalid(e.to_string()))?,
+        );
+    }
+    let keys: Vec<Vec<u64>> = (0..batch.num_rows())
+        .map(|row| {
+            key_cols
+                .iter()
+                .map(|col| match col.value(row) {
+                    Value::Int(v) => zorder::normalize_i64(v),
+                    Value::Date(v) => zorder::normalize_i64(v as i64),
+                    Value::Float(v) => zorder::normalize_f64(v),
+                    // NULLs and other types sort first.
+                    _ => 0,
+                })
+                .collect()
+        })
+        .collect();
+    let perm = zorder::zorder_permutation(&keys);
+    Ok(batch.take(&perm))
+}
+
+/// Coerce literal rows onto the table schema (INSERT ... VALUES).
+fn coerce_rows(schema: &Schema, rows: &[Vec<Value>]) -> PolarisResult<Vec<Vec<Value>>> {
+    rows.iter()
+        .map(|row| {
+            if row.len() != schema.len() {
+                return Err(PolarisError::invalid(format!(
+                    "INSERT row has {} values, table has {} columns",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+            row.iter()
+                .zip(schema.fields())
+                .map(|(v, f)| coerce_value(v, f.data_type))
+                .collect()
+        })
+        .collect()
+}
+
+/// Widen/narrow a literal onto a column type where lossless.
+fn coerce_value(v: &Value, target: DataType) -> PolarisResult<Value> {
+    Ok(match (v, target) {
+        (Value::Null, _) => Value::Null,
+        (Value::Int(i), DataType::Float64) => Value::Float(*i as f64),
+        (Value::Int(i), DataType::Date32) => Value::Date(*i as i32),
+        (Value::Date(d), DataType::Int64) => Value::Int(*d as i64),
+        (v, t) if v.data_type() == Some(t) => v.clone(),
+        (v, t) => return Err(PolarisError::invalid(format!("cannot coerce {v} to {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_evenly_shapes() {
+        assert_eq!(chunk_evenly::<i32>(vec![], 4).len(), 0);
+        let chunks = chunk_evenly(vec![1, 2, 3, 4, 5], 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len() + chunks[1].len(), 5);
+        let chunks = chunk_evenly(vec![1, 2], 8);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(
+            coerce_value(&Value::Int(3), DataType::Float64).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            coerce_value(&Value::Int(3), DataType::Date32).unwrap(),
+            Value::Date(3)
+        );
+        assert_eq!(
+            coerce_value(&Value::Null, DataType::Utf8).unwrap(),
+            Value::Null
+        );
+        assert!(coerce_value(&Value::Str("x".into()), DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn file_stems() {
+        assert_eq!(file_stem("lake/t/data/f1.pcf"), "f1");
+        assert_eq!(file_stem("plain"), "plain");
+    }
+}

@@ -1,0 +1,166 @@
+//! Cost-based resource allocation: elastic (serverless) vs fixed capacity.
+
+/// Inputs to the sizing decision, estimated by the SQL FE at compile time
+/// (§7.1): data volume, number of independently readable source units, and
+/// an abstract CPU cost of the plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Total bytes the job will process.
+    pub bytes: u64,
+    /// Number of source files (loads do not parallelize *within* a file,
+    /// only across files — the Figure 7 bottleneck).
+    pub files: usize,
+    /// Abstract CPU cost units; "in general, the CPU cost of the plan
+    /// dominates" (§7.1).
+    pub cpu_cost: f64,
+}
+
+/// Decides how many compute nodes a job gets.
+pub trait ResourceAllocator: Send + Sync {
+    /// Number of nodes to allocate for a job with the given estimate.
+    fn nodes_for(&self, estimate: &CostEstimate) -> usize;
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// The serverless model of Microsoft Fabric: topology size is unbounded
+/// and fluctuates with demand; cost to the customer is `nodes × time`, so
+/// allocating more nodes for a bigger job is free *if* scaling is
+/// efficient.
+///
+/// Sizing: one node per `cpu_per_node` cost units, but never more nodes
+/// than source files (the §7.1 file-count bottleneck) and never fewer
+/// than 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticAllocator {
+    /// CPU cost units one node absorbs.
+    pub cpu_per_node: f64,
+    /// Optional hard ceiling (the production system is unbounded; tests
+    /// cap it).
+    pub max_nodes: Option<usize>,
+}
+
+impl Default for ElasticAllocator {
+    fn default() -> Self {
+        ElasticAllocator {
+            cpu_per_node: 1.0,
+            max_nodes: None,
+        }
+    }
+}
+
+impl ResourceAllocator for ElasticAllocator {
+    fn nodes_for(&self, estimate: &CostEstimate) -> usize {
+        let by_cpu = (estimate.cpu_cost / self.cpu_per_node).ceil() as usize;
+        let capped_by_files = by_cpu.min(estimate.files.max(1));
+        let capped = match self.max_nodes {
+            Some(max) => capped_by_files.min(max),
+            None => capped_by_files,
+        };
+        capped.max(1)
+    }
+
+    fn label(&self) -> &'static str {
+        "elastic"
+    }
+}
+
+/// The previous-generation model (Synapse SQL DW, Figure 8 baseline): a
+/// provisioned cluster of fixed size regardless of job cost.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedAllocator {
+    /// The provisioned node count.
+    pub nodes: usize,
+}
+
+impl ResourceAllocator for FixedAllocator {
+    fn nodes_for(&self, _estimate: &CostEstimate) -> usize {
+        self.nodes.max(1)
+    }
+
+    fn label(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+impl CostEstimate {
+    /// Estimate for a bulk load: CPU cost proportional to bytes, with the
+    /// per-file parallelism cap carried in `files`.
+    pub fn for_load(bytes: u64, files: usize) -> Self {
+        // 1 cost unit ~ 64 MiB of input to parse, sort and encode.
+        CostEstimate {
+            bytes,
+            files,
+            cpu_cost: bytes as f64 / (64.0 * 1024.0 * 1024.0),
+        }
+    }
+
+    /// Estimate for a scan-heavy query.
+    pub fn for_scan(bytes: u64, files: usize) -> Self {
+        // Scans are cheaper per byte than loads.
+        CostEstimate {
+            bytes,
+            files,
+            cpu_cost: bytes as f64 / (256.0 * 1024.0 * 1024.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn elastic_scales_with_cost() {
+        let alloc = ElasticAllocator::default();
+        let small = alloc.nodes_for(&CostEstimate::for_load(64 * MIB, 100));
+        let big = alloc.nodes_for(&CostEstimate::for_load(64 * 100 * MIB, 100));
+        assert!(big > small);
+        assert_eq!(big, 100);
+    }
+
+    #[test]
+    fn elastic_is_capped_by_file_count() {
+        let alloc = ElasticAllocator::default();
+        // Plenty of CPU cost but only 4 source files: 4 nodes max.
+        let n = alloc.nodes_for(&CostEstimate::for_load(10_000 * MIB, 4));
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn elastic_never_returns_zero() {
+        let alloc = ElasticAllocator::default();
+        assert_eq!(alloc.nodes_for(&CostEstimate::for_load(0, 0)), 1);
+    }
+
+    #[test]
+    fn elastic_respects_ceiling() {
+        let alloc = ElasticAllocator {
+            cpu_per_node: 1.0,
+            max_nodes: Some(8),
+        };
+        let n = alloc.nodes_for(&CostEstimate::for_load(10_000 * MIB, 1000));
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn fixed_ignores_cost() {
+        let alloc = FixedAllocator { nodes: 6 };
+        assert_eq!(alloc.nodes_for(&CostEstimate::for_load(MIB, 1)), 6);
+        assert_eq!(
+            alloc.nodes_for(&CostEstimate::for_load(100_000 * MIB, 1000)),
+            6
+        );
+        assert_eq!(alloc.label(), "fixed");
+    }
+
+    #[test]
+    fn scan_estimates_are_cheaper_than_loads() {
+        let load = CostEstimate::for_load(1024 * MIB, 10);
+        let scan = CostEstimate::for_scan(1024 * MIB, 10);
+        assert!(scan.cpu_cost < load.cpu_cost);
+    }
+}

@@ -1,0 +1,134 @@
+//! Workflow DAGs: tasks with data-dependency edges.
+
+use crate::{DcpError, DcpResult, TaskError};
+use std::sync::Arc;
+
+/// Execution context handed to each task attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCtx {
+    /// Node the attempt runs on.
+    pub node: u64,
+    /// Attempt number, starting at 0. Retried attempts see higher numbers —
+    /// BEs fold this into block IDs so stale attempts never commit
+    /// (§3.2.2).
+    pub attempt: u32,
+    /// Index of the task within its DAG.
+    pub task: usize,
+}
+
+/// A task body: re-runnable (retries execute it again), sendable across
+/// node threads, returning a `T` on success.
+pub type TaskFn<T> = Arc<dyn Fn(&TaskCtx) -> Result<T, TaskError> + Send + Sync>;
+
+struct TaskNode<T> {
+    run: TaskFn<T>,
+    deps: Vec<usize>,
+}
+
+/// Scheduler-ready form of a DAG: task bodies plus dependency lists.
+pub(crate) type DagParts<T> = (Vec<TaskFn<T>>, Vec<Vec<usize>>);
+
+/// A DAG of tasks producing values of type `T`.
+///
+/// The distributed plan of both reads and writes is expressed this way
+/// (§3.3): each node is a pipeline of operators over a disjoint set of data
+/// cells; edges are data dependencies.
+/// [`ComputePool::run_dag`](crate::ComputePool::run_dag) returns one `T`
+/// per task, in task order.
+pub struct WorkflowDag<T> {
+    tasks: Vec<TaskNode<T>>,
+}
+
+impl<T> Default for WorkflowDag<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkflowDag<T> {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        WorkflowDag { tasks: Vec::new() }
+    }
+
+    /// Add a task with no dependencies; returns its index.
+    pub fn add_task(
+        &mut self,
+        run: impl Fn(&TaskCtx) -> Result<T, TaskError> + Send + Sync + 'static,
+    ) -> usize {
+        self.add_task_with_deps(run, Vec::new())
+    }
+
+    /// Add a task depending on earlier tasks; returns its index.
+    pub fn add_task_with_deps(
+        &mut self,
+        run: impl Fn(&TaskCtx) -> Result<T, TaskError> + Send + Sync + 'static,
+        deps: Vec<usize>,
+    ) -> usize {
+        self.tasks.push(TaskNode {
+            run: Arc::new(run),
+            deps,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the DAG empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Validate edges and return `(task fns, dependency lists)` in a
+    /// scheduler-friendly form.
+    pub(crate) fn into_parts(self) -> DcpResult<DagParts<T>> {
+        let n = self.tasks.len();
+        let mut fns = Vec::with_capacity(n);
+        let mut deps = Vec::with_capacity(n);
+        for (i, t) in self.tasks.into_iter().enumerate() {
+            for &d in &t.deps {
+                if d >= i {
+                    // Tasks only depend on earlier indices, which also rules
+                    // out cycles by construction.
+                    return Err(DcpError::InvalidDag {
+                        detail: format!("task {i} depends on non-earlier task {d}"),
+                    });
+                }
+            }
+            fns.push(t.run);
+            deps.push(t.deps);
+        }
+        Ok((fns, deps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let mut dag: WorkflowDag<i32> = WorkflowDag::new();
+        let a = dag.add_task(|_| Ok(1));
+        let b = dag.add_task(|_| Ok(2));
+        let c = dag.add_task_with_deps(|_| Ok(3), vec![a, b]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(dag.len(), 3);
+        let (fns, deps) = dag.into_parts().unwrap();
+        assert_eq!(fns.len(), 3);
+        assert_eq!(deps[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_forward_and_self_edges() {
+        let mut dag: WorkflowDag<i32> = WorkflowDag::new();
+        dag.add_task_with_deps(|_| Ok(1), vec![0]); // self edge
+        assert!(matches!(dag.into_parts(), Err(DcpError::InvalidDag { .. })));
+        let mut dag: WorkflowDag<i32> = WorkflowDag::new();
+        dag.add_task_with_deps(|_| Ok(1), vec![5]); // forward edge
+        assert!(matches!(dag.into_parts(), Err(DcpError::InvalidDag { .. })));
+    }
+}

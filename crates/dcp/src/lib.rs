@@ -1,0 +1,39 @@
+//! # polaris-dcp
+//!
+//! The Polaris Distributed Computation Platform substrate (§1, §3.3, §4.3).
+//!
+//! Polaris packages data and processing into **tasks** that can be moved
+//! across compute nodes and restarted at task level; inter-task
+//! dependencies form a **workflow DAG**; a scheduler places tasks onto a
+//! dynamically changing **topology** of compute nodes and is resilient to
+//! node failures. Reads and writes are handled *uniformly*: a write
+//! statement is just a DAG whose leaf tasks return manifest block IDs
+//! instead of rows.
+//!
+//! This crate reproduces those control-plane properties on threads:
+//!
+//! * [`ComputePool`] — a topology of worker nodes, each with a workload
+//!   class ([`WorkloadClass`]) and capacity; nodes can join and leave (or
+//!   be killed) at any time.
+//! * [`WorkflowDag`] — tasks with dependencies; [`ComputePool::run_dag`]
+//!   schedules ready tasks onto free nodes of the right class, retries
+//!   failed attempts on surviving nodes, and aggregates results.
+//! * [`TaskError`] — transient faults (including [`TaskError::NodeLost`])
+//!   are retried; fatal errors fail the DAG.
+//! * [`ResourceAllocator`] / [`ElasticAllocator`] / [`FixedAllocator`] —
+//!   the cost-based elastic sizing of §7.1 vs the capacity-capped baseline
+//!   of Figure 8.
+//!
+//! Workload separation (§4.3) falls out of node classes: write tasks only
+//! run on `Write` nodes, so data loading never steals capacity from
+//! reporting queries — the property Figure 9 demonstrates.
+
+mod alloc;
+mod dag;
+mod error;
+mod pool;
+
+pub use alloc::{CostEstimate, ElasticAllocator, FixedAllocator, ResourceAllocator};
+pub use dag::{TaskCtx, TaskFn, WorkflowDag};
+pub use error::{DcpError, DcpResult, TaskError};
+pub use pool::{ComputePool, NodeId, PoolStats, WorkloadClass};

@@ -1,0 +1,576 @@
+//! The compute pool: a dynamic topology of worker nodes with task-level
+//! scheduling, retries, and workload separation.
+
+use crate::dag::{TaskCtx, TaskFn, WorkflowDag};
+use crate::{DcpError, DcpResult, TaskError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identifier of a compute node within the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+/// Workload class a node serves (§4.3 workload separation).
+///
+/// The WLM allocates separate sets of compute nodes for reads and writes so
+/// that ETL never interferes with reporting; `System` nodes run STO
+/// background tasks (compaction, checkpointing, GC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Query execution nodes.
+    Read,
+    /// Data loading / DML nodes.
+    Write,
+    /// Background storage-optimization nodes.
+    System,
+}
+
+impl WorkloadClass {
+    fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::Read => "Read",
+            WorkloadClass::Write => "Write",
+            WorkloadClass::System => "System",
+        }
+    }
+}
+
+/// A job shipped to a worker thread. The `bool` argument tells the job
+/// whether its node was still alive when dequeued: jobs on a dead node
+/// report [`TaskError::NodeLost`] without running.
+type Job = Box<dyn FnOnce(bool) + Send + 'static>;
+
+struct NodeHandle {
+    class: WorkloadClass,
+    alive: Arc<AtomicBool>,
+    /// Tasks currently queued or running on the node.
+    busy: Arc<AtomicUsize>,
+    capacity: usize,
+    sender: Sender<Job>,
+    _worker: JoinHandle<()>,
+}
+
+/// Aggregate pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Task attempts executed to completion (success or failure).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed earlier attempt.
+    pub retries: u64,
+    /// Tasks whose attempt was lost to a node failure.
+    pub node_losses: u64,
+}
+
+/// A dynamic topology of compute nodes executing task DAGs.
+///
+/// Nodes are OS threads; each has a workload class and a slot capacity.
+/// The scheduler in [`run_dag`](ComputePool::run_dag) dispatches ready
+/// tasks to the least-loaded alive node of the requested class, retries
+/// transient failures (including node loss) on surviving nodes, and fails
+/// the DAG only when retries are exhausted or a fatal error occurs.
+pub struct ComputePool {
+    nodes: RwLock<HashMap<NodeId, NodeHandle>>,
+    next_node: AtomicU64,
+    stats: Mutex<PoolStats>,
+    /// Default retry budget per task.
+    max_attempts: u32,
+}
+
+impl Default for ComputePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputePool {
+    /// An empty pool with a default retry budget of 4 attempts per task.
+    pub fn new() -> Self {
+        ComputePool {
+            nodes: RwLock::new(HashMap::new()),
+            next_node: AtomicU64::new(1),
+            stats: Mutex::new(PoolStats::default()),
+            max_attempts: 4,
+        }
+    }
+
+    /// A pool pre-provisioned with `read` + `write` nodes of capacity
+    /// `slots` each.
+    pub fn with_topology(read: usize, write: usize, slots: usize) -> Self {
+        let pool = Self::new();
+        pool.add_nodes(WorkloadClass::Read, read, slots);
+        pool.add_nodes(WorkloadClass::Write, write, slots);
+        pool
+    }
+
+    /// Override the per-task retry budget.
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        assert!(attempts >= 1);
+        self.max_attempts = attempts;
+    }
+
+    /// Add `count` nodes of the given class, each with `capacity` task
+    /// slots. Returns the new node ids. Nodes joining mid-run pick up work
+    /// immediately — the elasticity the paper's serverless model relies on.
+    pub fn add_nodes(&self, class: WorkloadClass, count: usize, capacity: usize) -> Vec<NodeId> {
+        assert!(capacity >= 1, "a node needs at least one slot");
+        let mut out = Vec::with_capacity(count);
+        let mut nodes = self.nodes.write();
+        for _ in 0..count {
+            let id = NodeId(self.next_node.fetch_add(1, Ordering::SeqCst));
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            let alive = Arc::new(AtomicBool::new(true));
+            let alive_worker = Arc::clone(&alive);
+            let worker = std::thread::Builder::new()
+                .name(format!("polaris-node-{}", id.0))
+                .spawn(move || {
+                    for job in rx {
+                        job(alive_worker.load(Ordering::SeqCst));
+                    }
+                })
+                .expect("spawning a node worker thread");
+            nodes.insert(
+                id,
+                NodeHandle {
+                    class,
+                    alive,
+                    busy: Arc::new(AtomicUsize::new(0)),
+                    capacity,
+                    sender: tx,
+                    _worker: worker,
+                },
+            );
+            out.push(id);
+        }
+        out
+    }
+
+    /// Kill a node: its running and queued tasks report
+    /// [`TaskError::NodeLost`] and are retried elsewhere. Returns `false`
+    /// if the node is unknown or already dead.
+    pub fn kill_node(&self, id: NodeId) -> bool {
+        let nodes = self.nodes.read();
+        match nodes.get(&id) {
+            Some(h) => h.alive.swap(false, Ordering::SeqCst),
+            None => false,
+        }
+    }
+
+    /// Remove dead nodes from the topology entirely.
+    pub fn reap_dead(&self) -> usize {
+        let mut nodes = self.nodes.write();
+        let before = nodes.len();
+        nodes.retain(|_, h| h.alive.load(Ordering::SeqCst));
+        before - nodes.len()
+    }
+
+    /// Alive nodes in a class.
+    pub fn alive_count(&self, class: WorkloadClass) -> usize {
+        self.nodes
+            .read()
+            .values()
+            .filter(|h| h.class == class && h.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Total task slots across alive nodes of a class.
+    pub fn capacity(&self, class: WorkloadClass) -> usize {
+        self.nodes
+            .read()
+            .values()
+            .filter(|h| h.class == class && h.alive.load(Ordering::SeqCst))
+            .map(|h| h.capacity)
+            .sum()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PoolStats {
+        *self.stats.lock()
+    }
+
+    /// Run every task of `dag` on nodes of `class`; returns one result per
+    /// task, in task order.
+    pub fn run_dag<T: Send + 'static>(
+        &self,
+        dag: WorkflowDag<T>,
+        class: WorkloadClass,
+    ) -> DcpResult<Vec<T>> {
+        let (fns, deps) = dag.into_parts()?;
+        let n = fns.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Dependency bookkeeping.
+        let mut pending: Vec<usize> = deps.iter().map(Vec::len).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                dependents[d].push(i);
+            }
+        }
+        let mut ready: Vec<(usize, u32)> = (0..n)
+            .filter(|&i| pending[i] == 0)
+            .map(|i| (i, 0))
+            .collect();
+        let (result_tx, result_rx) = unbounded::<(usize, u32, Result<T, TaskError>)>();
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut completed = 0usize;
+        let mut in_flight = 0usize;
+
+        while completed < n {
+            // Dispatch as many ready tasks as capacity allows.
+            let mut defer = Vec::new();
+            while let Some((task, attempt)) = ready.pop() {
+                match self.dispatch(class, task, attempt, &fns[task], &result_tx) {
+                    Ok(()) => in_flight += 1,
+                    Err(()) => defer.push((task, attempt)),
+                }
+            }
+            ready.extend(defer);
+            if in_flight == 0 {
+                assert!(!ready.is_empty(), "scheduler stalled with incomplete DAG");
+                if self.alive_count(class) == 0 {
+                    // Nothing running and no node that could ever run it.
+                    return Err(DcpError::NoCapacity {
+                        class: class.name(),
+                    });
+                }
+                // Alive nodes exist but all slots are held by other DAGs
+                // sharing the pool: back off briefly and retry dispatch.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                continue;
+            }
+            // Collect one completion (blocking), then loop to dispatch more.
+            let (task, attempt, outcome) =
+                result_rx.recv().expect("result channel cannot close early");
+            in_flight -= 1;
+            {
+                let mut stats = self.stats.lock();
+                stats.attempts += 1;
+                if attempt > 0 {
+                    stats.retries += 1;
+                }
+                if matches!(outcome, Err(TaskError::NodeLost { .. })) {
+                    stats.node_losses += 1;
+                }
+            }
+            match outcome {
+                Ok(value) => {
+                    results[task] = Some(value);
+                    completed += 1;
+                    for &dep in &dependents[task] {
+                        pending[dep] -= 1;
+                        if pending[dep] == 0 {
+                            ready.push((dep, 0));
+                        }
+                    }
+                }
+                Err(err) if err.is_retryable() && attempt + 1 < self.max_attempts => {
+                    ready.push((task, attempt + 1));
+                }
+                Err(err) if err.is_retryable() => {
+                    return Err(DcpError::RetriesExhausted {
+                        task,
+                        attempts: attempt + 1,
+                        last: err,
+                    });
+                }
+                Err(err) => return Err(DcpError::TaskFailed { task, error: err }),
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all tasks completed"))
+            .collect())
+    }
+
+    /// Convenience: run independent tasks (a flat DAG) and collect results.
+    pub fn run_tasks<T: Send + 'static>(
+        &self,
+        tasks: Vec<TaskFn<T>>,
+        class: WorkloadClass,
+    ) -> DcpResult<Vec<T>> {
+        let mut dag = WorkflowDag::new();
+        for t in tasks {
+            let t = Arc::clone(&t);
+            dag.add_task(move |ctx: &TaskCtx| t(ctx));
+        }
+        self.run_dag(dag, class)
+    }
+
+    /// Try to place one attempt on the least-loaded alive node of `class`.
+    /// `Err(())` means no node currently has a free slot.
+    fn dispatch<T: Send + 'static>(
+        &self,
+        class: WorkloadClass,
+        task: usize,
+        attempt: u32,
+        run: &TaskFn<T>,
+        result_tx: &Sender<(usize, u32, Result<T, TaskError>)>,
+    ) -> Result<(), ()> {
+        let nodes = self.nodes.read();
+        let Some((id, handle)) = nodes
+            .iter()
+            .filter(|(_, h)| {
+                h.class == class
+                    && h.alive.load(Ordering::SeqCst)
+                    && h.busy.load(Ordering::SeqCst) < h.capacity
+            })
+            .min_by_key(|(id, h)| (h.busy.load(Ordering::SeqCst), id.0))
+        else {
+            return Err(());
+        };
+        let node_id = *id;
+        handle.busy.fetch_add(1, Ordering::SeqCst);
+        let busy = Arc::clone(&handle.busy);
+        let alive = Arc::clone(&handle.alive);
+        let run = Arc::clone(run);
+        let tx = result_tx.clone();
+        let job: Job = Box::new(move |alive_at_dequeue| {
+            let outcome = if !alive_at_dequeue {
+                Err(TaskError::NodeLost { node: node_id.0 })
+            } else {
+                let ctx = TaskCtx {
+                    node: node_id.0,
+                    attempt,
+                    task,
+                };
+                let result = run(&ctx);
+                // A node killed while the task ran discards its output:
+                // Polaris treats it as lost and re-schedules (§4.3). Any
+                // blocks the attempt staged are never committed.
+                if alive.load(Ordering::SeqCst) {
+                    result
+                } else {
+                    Err(TaskError::NodeLost { node: node_id.0 })
+                }
+            };
+            busy.fetch_sub(1, Ordering::SeqCst);
+            let _ = tx.send((task, attempt, outcome));
+        });
+        if handle.sender.send(job).is_err() {
+            // Worker gone (pool shutting down): report as node loss.
+            handle.busy.fetch_sub(1, Ordering::SeqCst);
+            let _ = result_tx.send((task, attempt, Err(TaskError::NodeLost { node: node_id.0 })));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_flat_dag_and_orders_results() {
+        let pool = ComputePool::with_topology(2, 0, 2);
+        let mut dag = WorkflowDag::new();
+        for i in 0..10i64 {
+            dag.add_task(move |_| Ok(i * i));
+        }
+        let results = pool.run_dag(dag, WorkloadClass::Read).unwrap();
+        assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let pool = ComputePool::with_topology(4, 0, 2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut dag = WorkflowDag::new();
+        let o = Arc::clone(&order);
+        let a = dag.add_task(move |_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            o.lock().push("a");
+            Ok(())
+        });
+        let o = Arc::clone(&order);
+        let b = dag.add_task(move |_| {
+            o.lock().push("b");
+            Ok(())
+        });
+        let o = Arc::clone(&order);
+        dag.add_task_with_deps(
+            move |_| {
+                o.lock().push("c");
+                Ok(())
+            },
+            vec![a, b],
+        );
+        pool.run_dag(dag, WorkloadClass::Read).unwrap();
+        let order = order.lock();
+        let pos = |x: &str| order.iter().position(|&s| s == x).unwrap();
+        assert!(pos("c") > pos("a") && pos("c") > pos("b"));
+    }
+
+    #[test]
+    fn retries_transient_failures() {
+        let pool = ComputePool::with_topology(2, 0, 2);
+        let tries = Arc::new(AtomicU32::new(0));
+        let mut dag = WorkflowDag::new();
+        let t = Arc::clone(&tries);
+        dag.add_task(move |ctx| {
+            t.fetch_add(1, Ordering::SeqCst);
+            if ctx.attempt < 2 {
+                Err(TaskError::transient("flaky"))
+            } else {
+                Ok(ctx.attempt)
+            }
+        });
+        let results = pool.run_dag(dag, WorkloadClass::Read).unwrap();
+        assert_eq!(results, vec![2]);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert_eq!(pool.stats().retries, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_dag() {
+        let mut pool = ComputePool::with_topology(1, 0, 1);
+        pool.set_max_attempts(3);
+        let mut dag: WorkflowDag<()> = WorkflowDag::new();
+        dag.add_task(|_| Err(TaskError::transient("always")));
+        let err = pool.run_dag(dag, WorkloadClass::Read).unwrap_err();
+        assert!(matches!(
+            err,
+            DcpError::RetriesExhausted { attempts: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn fatal_errors_fail_immediately() {
+        let pool = ComputePool::with_topology(1, 0, 1);
+        let mut dag: WorkflowDag<()> = WorkflowDag::new();
+        dag.add_task(|_| Err(TaskError::fatal("bug")));
+        let err = pool.run_dag(dag, WorkloadClass::Read).unwrap_err();
+        assert!(matches!(err, DcpError::TaskFailed { task: 0, .. }));
+        assert_eq!(pool.stats().retries, 0);
+    }
+
+    #[test]
+    fn workload_classes_are_separate() {
+        let pool = ComputePool::with_topology(1, 1, 1);
+        assert_eq!(pool.alive_count(WorkloadClass::Read), 1);
+        assert_eq!(pool.alive_count(WorkloadClass::Write), 1);
+        assert_eq!(pool.alive_count(WorkloadClass::System), 0);
+        // a DAG on an empty class fails fast
+        let mut dag: WorkflowDag<()> = WorkflowDag::new();
+        dag.add_task(|_| Ok(()));
+        assert!(matches!(
+            pool.run_dag(dag, WorkloadClass::System),
+            Err(DcpError::NoCapacity { class: "System" })
+        ));
+    }
+
+    #[test]
+    fn node_kill_mid_task_retries_on_survivor() {
+        let pool = Arc::new(ComputePool::with_topology(0, 2, 1));
+        let ids = {
+            let nodes = pool.nodes.read();
+            nodes.keys().copied().collect::<Vec<_>>()
+        };
+        let victim = ids[0];
+        let pool2 = Arc::clone(&pool);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            pool2.kill_node(victim);
+        });
+        // 8 slow tasks across 2 single-slot nodes; one node dies mid-run.
+        let mut dag = WorkflowDag::new();
+        for i in 0..8i64 {
+            dag.add_task(move |ctx| {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                Ok((i, ctx.node))
+            });
+        }
+        let results = pool.run_dag(dag, WorkloadClass::Write).unwrap();
+        killer.join().unwrap();
+        assert_eq!(results.len(), 8);
+        // all successful attempts must come from the survivor or the victim
+        // before death; the DAG still completed exactly once per task.
+        let firsts: Vec<i64> = results.iter().map(|(i, _)| *i).collect();
+        assert_eq!(firsts, (0..8).collect::<Vec<_>>());
+        assert_eq!(pool.alive_count(WorkloadClass::Write), 1);
+        assert!(pool.stats().node_losses > 0 || results.iter().all(|(_, n)| *n != victim.0));
+    }
+
+    #[test]
+    fn all_nodes_dead_reports_no_capacity() {
+        let pool = ComputePool::with_topology(1, 0, 1);
+        let id = *pool.nodes.read().keys().next().unwrap();
+        pool.kill_node(id);
+        let mut dag: WorkflowDag<()> = WorkflowDag::new();
+        dag.add_task(|_| Ok(()));
+        assert!(matches!(
+            pool.run_dag(dag, WorkloadClass::Read),
+            Err(DcpError::NoCapacity { .. })
+        ));
+        assert_eq!(pool.reap_dead(), 1);
+        assert_eq!(pool.alive_count(WorkloadClass::Read), 0);
+    }
+
+    #[test]
+    fn nodes_can_join_and_expand_capacity() {
+        let pool = ComputePool::with_topology(1, 0, 1);
+        assert_eq!(pool.capacity(WorkloadClass::Read), 1);
+        pool.add_nodes(WorkloadClass::Read, 3, 2);
+        assert_eq!(pool.capacity(WorkloadClass::Read), 7);
+        assert_eq!(pool.alive_count(WorkloadClass::Read), 4);
+    }
+
+    #[test]
+    fn empty_dag_is_trivially_done() {
+        let pool = ComputePool::with_topology(1, 0, 1);
+        let results: Vec<i32> = pool
+            .run_dag(WorkflowDag::new(), WorkloadClass::Read)
+            .unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn parallelism_scales_with_nodes() {
+        // 8 tasks of ~20ms each: 8 single-slot nodes should finish much
+        // faster than 1. Coarse 2x threshold keeps this robust on CI.
+        let time_with = |nodes: usize| {
+            let pool = ComputePool::with_topology(nodes, 0, 1);
+            let mut dag = WorkflowDag::new();
+            for _ in 0..8 {
+                dag.add_task(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Ok(())
+                });
+            }
+            let start = std::time::Instant::now();
+            pool.run_dag(dag, WorkloadClass::Read).unwrap();
+            start.elapsed()
+        };
+        let serial = time_with(1);
+        let parallel = time_with(8);
+        assert!(
+            parallel * 2 < serial,
+            "parallel {parallel:?} should be well under serial {serial:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_dags_share_the_pool() {
+        let pool = Arc::new(ComputePool::with_topology(4, 0, 2));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut dag = WorkflowDag::new();
+                    for i in 0..10i64 {
+                        dag.add_task(move |_| Ok(i));
+                    }
+                    pool.run_dag(dag, WorkloadClass::Read).unwrap().len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 10);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Data cells: the unit of parallelism the DCP assigns to tasks (§2.3).
+
+use polaris_columnar::ColumnStats;
+use polaris_lst::{ColRange, DataFileState, TableSnapshot};
+
+/// One data cell: an immutable data file (plus its delete vector) within a
+/// distribution bucket.
+///
+/// Polaris abstracts a table as cells `C_ij` where `i` is the partition and
+/// `j` the distribution `d(r)`; tasks receive *disjoint* sets of cells,
+/// which is what makes distributed writes merge-free (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Blob path of the data file.
+    pub file: String,
+    /// Physical row count of the file.
+    pub rows: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Distribution bucket.
+    pub distribution: u32,
+    /// Delete-vector blob path, if the file has deleted rows.
+    pub dv_path: Option<String>,
+    /// Manifest-carried per-column ranges for metadata-only pruning.
+    pub col_ranges: Vec<ColRange>,
+}
+
+impl Cell {
+    /// Build a cell from a snapshot's file state.
+    pub fn from_state(state: &DataFileState) -> Self {
+        Cell {
+            file: state.entry.path.clone(),
+            rows: state.entry.rows,
+            bytes: state.entry.bytes,
+            distribution: state.entry.distribution,
+            dv_path: state.delete_vector.as_ref().map(|dv| dv.path.clone()),
+            col_ranges: state.entry.col_ranges.clone(),
+        }
+    }
+
+    /// Manifest-level statistics lookup for predicate pruning: columns
+    /// without a recorded range return `None` (no pruning possible).
+    pub fn range_stats(&self, column: &str) -> Option<ColumnStats> {
+        self.col_ranges
+            .iter()
+            .find(|r| r.column == column)
+            .map(|r| {
+                let mut stats = ColumnStats::default();
+                stats.observe(&r.min.to_value());
+                stats.observe(&r.max.to_value());
+                stats.row_count = self.rows;
+                stats
+            })
+    }
+}
+
+/// All cells of a snapshot, ordered by file path.
+pub fn cells_of_snapshot(snapshot: &TableSnapshot) -> Vec<Cell> {
+    snapshot.files().map(Cell::from_state).collect()
+}
+
+/// Partition cells into `tasks` disjoint groups by distribution bucket, so
+/// each task owns whole distributions. Groups may be empty when there are
+/// fewer distributions than tasks.
+pub fn partition_cells(cells: Vec<Cell>, tasks: usize) -> Vec<Vec<Cell>> {
+    assert!(tasks > 0, "need at least one task");
+    let mut groups: Vec<Vec<Cell>> = (0..tasks).map(|_| Vec::new()).collect();
+    for cell in cells {
+        groups[(cell.distribution as usize) % tasks].push(cell);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_lst::{Manifest, ManifestAction, SequenceId};
+
+    fn snapshot() -> TableSnapshot {
+        let m = Manifest::from_actions(vec![
+            ManifestAction::add_file("t/f0", 10, 100, 0),
+            ManifestAction::add_file("t/f1", 10, 100, 1),
+            ManifestAction::add_file("t/f2", 10, 100, 2),
+            ManifestAction::add_file("t/f3", 10, 100, 3),
+            ManifestAction::add_dv("t/f1", "t/f1.dv", 2),
+        ]);
+        TableSnapshot::from_manifests([(SequenceId(1), &m)]).unwrap()
+    }
+
+    #[test]
+    fn cells_carry_dv_paths() {
+        let cells = cells_of_snapshot(&snapshot());
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[1].dv_path.as_deref(), Some("t/f1.dv"));
+        assert_eq!(cells[0].dv_path, None);
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let cells = cells_of_snapshot(&snapshot());
+        let groups = partition_cells(cells.clone(), 3);
+        assert_eq!(groups.len(), 3);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, cells.len());
+        // distribution k lands in group k % 3
+        for group in groups.iter().enumerate() {
+            for cell in group.1 {
+                assert_eq!(cell.distribution as usize % 3, group.0);
+            }
+        }
+    }
+
+    #[test]
+    fn more_tasks_than_distributions_leaves_empties() {
+        let cells = cells_of_snapshot(&snapshot());
+        let groups = partition_cells(cells, 8);
+        assert_eq!(groups.iter().filter(|g| !g.is_empty()).count(), 4);
+    }
+}

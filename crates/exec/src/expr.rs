@@ -1,0 +1,556 @@
+//! Scalar expressions with SQL NULL semantics and statistics-based pruning.
+
+use crate::{ExecError, ExecResult};
+use polaris_columnar::{Bitmap, ColumnStats, DataType, RecordBatch, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (NULL on division by zero, like T-SQL with ANSI_WARNINGS off)
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// three-valued `AND`
+    And,
+    /// three-valued `OR`
+    Or,
+}
+
+/// A scalar expression tree evaluated row-wise over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation (NULL stays NULL).
+    Not(Box<Expr>),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+    /// `expr LIKE '%s%'` restricted to substring match.
+    Contains {
+        /// String-typed operand.
+        expr: Box<Expr>,
+        /// Substring to search for.
+        needle: String,
+    },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Binary op helper.
+    pub fn binary(self, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::Eq, other)
+    }
+
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        self.binary(BinOp::Lt, other)
+    }
+
+    /// `self <= other`
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::LtEq, other)
+    }
+
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        self.binary(BinOp::Gt, other)
+    }
+
+    /// `self >= other`
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::GtEq, other)
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinOp::And, other)
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinOp::Or, other)
+    }
+
+    /// Evaluate row `row` of `batch`.
+    pub fn eval_row(&self, batch: &RecordBatch, row: usize) -> ExecResult<Value> {
+        Ok(match self {
+            Expr::Column(name) => batch.column_by_name(name)?.value(row),
+            Expr::Literal(v) => v.clone(),
+            Expr::Binary { left, op, right } => {
+                let l = left.eval_row(batch, row)?;
+                let r = right.eval_row(batch, row)?;
+                eval_binary(&l, *op, &r)?
+            }
+            Expr::Not(inner) => match inner.eval_row(batch, row)? {
+                Value::Null => Value::Null,
+                Value::Bool(b) => Value::Bool(!b),
+                other => return Err(ExecError::plan(format!("NOT applied to non-bool {other}"))),
+            },
+            Expr::IsNull(inner) => Value::Bool(inner.eval_row(batch, row)?.is_null()),
+            Expr::Contains { expr, needle } => match expr.eval_row(batch, row)? {
+                Value::Null => Value::Null,
+                Value::Str(s) => Value::Bool(s.contains(needle.as_str())),
+                other => {
+                    return Err(ExecError::plan(format!(
+                        "LIKE applied to non-string {other}"
+                    )))
+                }
+            },
+        })
+    }
+
+    /// Evaluate over every row, producing a column of results.
+    pub fn eval(&self, batch: &RecordBatch) -> ExecResult<Vec<Value>> {
+        (0..batch.num_rows())
+            .map(|i| self.eval_row(batch, i))
+            .collect()
+    }
+
+    /// Evaluate as a predicate: a bitmap set where the expression is TRUE
+    /// (NULL and FALSE both filter the row out, per SQL semantics).
+    pub fn eval_predicate(&self, batch: &RecordBatch) -> ExecResult<Bitmap> {
+        let mut mask = Bitmap::with_len(batch.num_rows());
+        for i in 0..batch.num_rows() {
+            if self.eval_row(batch, i)? == Value::Bool(true) {
+                mask.set(i);
+            }
+        }
+        Ok(mask)
+    }
+
+    /// Infer the result type against a schema (used by projections).
+    pub fn result_type(&self, schema: &polaris_columnar::Schema) -> ExecResult<DataType> {
+        Ok(match self {
+            Expr::Column(name) => schema.field(name)?.data_type,
+            Expr::Literal(v) => v.data_type().unwrap_or(DataType::Int64),
+            Expr::Binary { left, op, right } => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                    let l = left.result_type(schema)?;
+                    let r = right.result_type(schema)?;
+                    if l == DataType::Float64 || r == DataType::Float64 {
+                        DataType::Float64
+                    } else {
+                        DataType::Int64
+                    }
+                }
+                BinOp::Div => DataType::Float64,
+                _ => DataType::Bool,
+            },
+            Expr::Not(_) | Expr::IsNull(_) | Expr::Contains { .. } => DataType::Bool,
+        })
+    }
+
+    /// Collect every column name this expression references.
+    pub fn referenced_columns(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Column(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.referenced_columns(out),
+            Expr::Contains { expr, .. } => expr.referenced_columns(out),
+        }
+    }
+
+    /// Could any row of a chunk with the given per-column statistics match
+    /// this predicate? Conservative: `true` when unsure. Used for row-group
+    /// and file pruning during scans.
+    pub fn may_match(&self, stats_of: &dyn Fn(&str) -> Option<ColumnStats>) -> bool {
+        match self {
+            Expr::Binary { left, op, right } => match (left.as_ref(), op, right.as_ref()) {
+                (Expr::Column(c), BinOp::And, _) | (Expr::Column(c), BinOp::Or, _) => {
+                    let _ = c;
+                    true
+                }
+                (_, BinOp::And, _) => left.may_match(stats_of) && right.may_match(stats_of),
+                (_, BinOp::Or, _) => left.may_match(stats_of) || right.may_match(stats_of),
+                (Expr::Column(c), cmp, Expr::Literal(v))
+                | (Expr::Literal(v), cmp, Expr::Column(c))
+                    if !v.is_null() =>
+                {
+                    let Some(stats) = stats_of(c) else {
+                        return true;
+                    };
+                    // Normalize to column-on-left orientation.
+                    let flipped = matches!(left.as_ref(), Expr::Literal(_));
+                    let cmp = if flipped { flip(*cmp) } else { *cmp };
+                    match cmp {
+                        BinOp::Eq => stats.may_contain(v),
+                        BinOp::Lt => stats.may_contain_lt(v),
+                        BinOp::Gt => stats.may_contain_gt(v),
+                        BinOp::LtEq => stats.may_contain_lt(v) || stats.may_contain(v),
+                        BinOp::GtEq => stats.may_contain_gt(v) || stats.may_contain(v),
+                        // NotEq and arithmetic: can't prune usefully.
+                        _ => true,
+                    }
+                }
+                _ => true,
+            },
+            // Bare literals, NOT, IS NULL, LIKE: no pruning.
+            _ => true,
+        }
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+fn eval_binary(l: &Value, op: BinOp, r: &Value) -> ExecResult<Value> {
+    // Three-valued logic for AND/OR first: they are not strict in NULL.
+    match op {
+        BinOp::And => {
+            return Ok(match (l.as_bool(), r.as_bool()) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        BinOp::Or => {
+            return Ok(match (l.as_bool(), r.as_bool()) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        _ => {}
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => eval_arith(l, op, r)?,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            match l.sql_cmp(r) {
+                None => return Err(ExecError::plan(format!("cannot compare {l} with {r}"))),
+                Some(ord) => Value::Bool(match op {
+                    BinOp::Eq => ord == Ordering::Equal,
+                    BinOp::NotEq => ord != Ordering::Equal,
+                    BinOp::Lt => ord == Ordering::Less,
+                    BinOp::LtEq => ord != Ordering::Greater,
+                    BinOp::Gt => ord == Ordering::Greater,
+                    BinOp::GtEq => ord != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    })
+}
+
+fn eval_arith(l: &Value, op: BinOp, r: &Value) -> ExecResult<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*a as f64 / *b as f64)
+                }
+            }
+            _ => unreachable!(),
+        }),
+        _ => {
+            let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+                return Err(ExecError::plan(format!(
+                    "arithmetic on non-numeric values {l} and {r}"
+                )));
+            };
+            Ok(match op {
+                BinOp::Add => Value::Float(a + b),
+                BinOp::Sub => Value::Float(a - b),
+                BinOp::Mul => Value::Float(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` — non-null count; use a literal for `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `AVG(expr)`
+    Avg,
+}
+
+/// One aggregate in a GROUP BY projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Function.
+    pub func: AggFunc,
+    /// Input expression.
+    pub input: Expr,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggExpr {
+    /// Build an aggregate.
+    pub fn new(func: AggFunc, input: Expr, output: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            input,
+            output: output.into(),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_columnar::{Field, Schema};
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("price", DataType::Float64),
+            Field::nullable("tag", DataType::Utf8),
+        ]);
+        RecordBatch::from_rows(
+            schema,
+            &[
+                vec![
+                    Value::Int(1),
+                    Value::Float(10.0),
+                    Value::Str("alpha".into()),
+                ],
+                vec![Value::Int(2), Value::Float(20.0), Value::Null],
+                vec![Value::Int(3), Value::Float(30.0), Value::Str("beta".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let b = batch();
+        let e = Expr::col("id").binary(BinOp::Add, Expr::lit(10i64));
+        assert_eq!(e.eval_row(&b, 0).unwrap(), Value::Int(11));
+        let e = Expr::col("price").binary(BinOp::Mul, Expr::lit(2.0));
+        assert_eq!(e.eval_row(&b, 1).unwrap(), Value::Float(40.0));
+        let e = Expr::col("id").gt(Expr::lit(1i64));
+        assert_eq!(e.eval_row(&b, 0).unwrap(), Value::Bool(false));
+        assert_eq!(e.eval_row(&b, 2).unwrap(), Value::Bool(true));
+        // int/int division is exact float
+        let e = Expr::lit(7i64).binary(BinOp::Div, Expr::lit(2i64));
+        assert_eq!(e.eval_row(&b, 0).unwrap(), Value::Float(3.5));
+        // division by zero is NULL
+        let e = Expr::lit(7i64).binary(BinOp::Div, Expr::lit(0i64));
+        assert_eq!(e.eval_row(&b, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_propagation_and_three_valued_logic() {
+        let b = batch();
+        // tag = 'alpha' is NULL for row 1
+        let cmp = Expr::col("tag").eq(Expr::lit("alpha"));
+        assert_eq!(cmp.eval_row(&b, 1).unwrap(), Value::Null);
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE
+        let null = Expr::Literal(Value::Null);
+        let f = Expr::lit(false);
+        let t = Expr::lit(true);
+        assert_eq!(
+            null.clone().and(f.clone()).eval_row(&b, 0).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            null.clone().or(t).eval_row(&b, 0).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            null.clone().and(Expr::lit(true)).eval_row(&b, 0).unwrap(),
+            Value::Null
+        );
+        // NOT NULL = NULL
+        assert_eq!(
+            Expr::Not(Box::new(null)).eval_row(&b, 0).unwrap(),
+            Value::Null
+        );
+        // IS NULL
+        let isnull = Expr::IsNull(Box::new(Expr::col("tag")));
+        assert_eq!(isnull.eval_row(&b, 1).unwrap(), Value::Bool(true));
+        assert_eq!(isnull.eval_row(&b, 0).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn predicate_filters_null_as_false() {
+        let b = batch();
+        // tag = 'alpha': row0 TRUE, row1 NULL, row2 FALSE -> only row0
+        let mask = Expr::col("tag")
+            .eq(Expr::lit("alpha"))
+            .eval_predicate(&b)
+            .unwrap();
+        assert_eq!(mask.iter_set().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn contains_like() {
+        let b = batch();
+        let e = Expr::Contains {
+            expr: Box::new(Expr::col("tag")),
+            needle: "lph".into(),
+        };
+        assert_eq!(e.eval_row(&b, 0).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval_row(&b, 1).unwrap(), Value::Null);
+        assert_eq!(e.eval_row(&b, 2).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let b = batch();
+        let e = Expr::col("tag").binary(BinOp::Add, Expr::lit(1i64));
+        assert!(e.eval_row(&b, 0).is_err());
+        let e = Expr::Not(Box::new(Expr::col("id")));
+        assert!(e.eval_row(&b, 0).is_err());
+        let e = Expr::col("ghost");
+        assert!(e.eval_row(&b, 0).is_err());
+        let e = Expr::col("id").eq(Expr::lit("one"));
+        assert!(e.eval_row(&b, 0).is_err());
+    }
+
+    #[test]
+    fn result_type_inference() {
+        let b = batch();
+        let schema = b.schema();
+        assert_eq!(
+            Expr::col("id").result_type(schema).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            Expr::col("id")
+                .binary(BinOp::Add, Expr::col("price"))
+                .result_type(schema)
+                .unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            Expr::col("id")
+                .eq(Expr::lit(1i64))
+                .result_type(schema)
+                .unwrap(),
+            DataType::Bool
+        );
+    }
+
+    fn stats(min: i64, max: i64) -> ColumnStats {
+        let mut s = ColumnStats::default();
+        s.observe(&Value::Int(min));
+        s.observe(&Value::Int(max));
+        s
+    }
+
+    #[test]
+    fn pruning_uses_min_max() {
+        let lookup = |name: &str| -> Option<ColumnStats> { (name == "id").then(|| stats(10, 20)) };
+        assert!(Expr::col("id").eq(Expr::lit(15i64)).may_match(&lookup));
+        assert!(!Expr::col("id").eq(Expr::lit(25i64)).may_match(&lookup));
+        assert!(!Expr::col("id").gt(Expr::lit(20i64)).may_match(&lookup));
+        assert!(Expr::col("id").gt_eq(Expr::lit(20i64)).may_match(&lookup));
+        assert!(!Expr::col("id").lt(Expr::lit(10i64)).may_match(&lookup));
+        // literal-on-left orientation: 25 < id means id > 25 -> prune
+        assert!(!Expr::lit(25i64).lt(Expr::col("id")).may_match(&lookup));
+        // unknown column: conservative
+        assert!(Expr::col("other").eq(Expr::lit(1i64)).may_match(&lookup));
+        // AND prunes if either side prunes; OR needs both
+        let dead = Expr::col("id").eq(Expr::lit(99i64));
+        let live = Expr::col("id").eq(Expr::lit(15i64));
+        assert!(!dead.clone().and(live.clone()).may_match(&lookup));
+        assert!(dead.clone().or(live).may_match(&lookup));
+        assert!(!dead.clone().or(dead).may_match(&lookup));
+    }
+}

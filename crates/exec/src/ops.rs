@@ -1,0 +1,578 @@
+//! Batch operators: filter, project, hash aggregate, hash join, sort,
+//! limit.
+//!
+//! Operators are pure functions `RecordBatch -> RecordBatch`; the DCP
+//! composes them into per-task pipelines. Materializing whole batches is
+//! fine at cell granularity — a cell is bounded by the writer's row-group
+//! size.
+
+use crate::{AggExpr, AggFunc, ExecError, ExecResult, Expr};
+use polaris_columnar::{ColumnVector, DataType, Field, RecordBatch, Schema, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Keep rows satisfying `predicate` (SQL semantics: NULL filters out).
+pub fn filter(batch: &RecordBatch, predicate: &Expr) -> ExecResult<RecordBatch> {
+    let mask = predicate.eval_predicate(batch)?;
+    Ok(batch.filter(&mask))
+}
+
+/// Compute named expressions into a new batch.
+pub fn project(batch: &RecordBatch, exprs: &[(Expr, String)]) -> ExecResult<RecordBatch> {
+    let mut fields = Vec::with_capacity(exprs.len());
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (expr, name) in exprs {
+        let dt = expr.result_type(batch.schema())?;
+        let values = expr.eval(batch)?;
+        let col = ColumnVector::from_values(dt, &values)?;
+        fields.push(Field::nullable(name.clone(), dt));
+        columns.push(col);
+    }
+    Ok(RecordBatch::new(Schema::new(fields), columns)?)
+}
+
+/// Hashable/equatable wrapper over [`Value`] for group keys and join keys.
+/// Floats hash by bit pattern; NULL is a distinct key (SQL GROUP BY treats
+/// all NULLs as one group).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct KeyValue(pub Value);
+
+impl Eq for KeyValue {}
+
+impl std::hash::Hash for KeyValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(&self.0).hash(state);
+        match &self.0 {
+            Value::Null => {}
+            Value::Int(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Str(v) => v.hash(state),
+            Value::Bool(v) => v.hash(state),
+            Value::Date(v) => v.hash(state),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    /// Sums of integer inputs stay exact.
+    int_sum: i64,
+    all_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    seen_any: bool,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            all_int: true,
+            ..Default::default()
+        }
+    }
+
+    fn observe(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.seen_any = true;
+        self.count += 1;
+        match v {
+            Value::Int(i) => {
+                self.int_sum = self.int_sum.wrapping_add(*i);
+                self.sum += *i as f64;
+            }
+            Value::Float(f) => {
+                self.all_int = false;
+                self.sum += f;
+            }
+            _ => self.all_int = false,
+        }
+        let replace_min = self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Less));
+        if replace_min {
+            self.min = Some(v.clone());
+        }
+        let replace_max = self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Greater));
+        if replace_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if !self.seen_any {
+                    Value::Null
+                } else if self.all_int {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+
+    fn result_type(func: AggFunc, input_type: DataType) -> DataType {
+        match func {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => {
+                if input_type == DataType::Float64 {
+                    DataType::Float64
+                } else {
+                    DataType::Int64
+                }
+            }
+            AggFunc::Min | AggFunc::Max => input_type,
+        }
+    }
+}
+
+/// Hash aggregation: `GROUP BY group_by` computing `aggs`.
+///
+/// With empty `group_by` this is a scalar aggregate producing exactly one
+/// row (even over an empty input, as SQL requires).
+pub fn hash_aggregate(
+    batch: &RecordBatch,
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+) -> ExecResult<RecordBatch> {
+    // Output schema.
+    let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+    for (expr, name) in group_by {
+        fields.push(Field::nullable(
+            name.clone(),
+            expr.result_type(batch.schema())?,
+        ));
+    }
+    for agg in aggs {
+        let input_type = agg.input.result_type(batch.schema())?;
+        fields.push(Field::nullable(
+            agg.output.clone(),
+            AggState::result_type(agg.func, input_type),
+        ));
+    }
+    let schema = Schema::new(fields);
+
+    // Group and accumulate. HashMap for lookup + insertion-ordered keys for
+    // deterministic-enough output (final ORDER BY is the caller's job).
+    let mut groups: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+    let mut key_rows: Vec<Vec<KeyValue>> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    for row in 0..batch.num_rows() {
+        let key: Vec<KeyValue> = group_by
+            .iter()
+            .map(|(e, _)| e.eval_row(batch, row).map(KeyValue))
+            .collect::<ExecResult<_>>()?;
+        let idx = *groups.entry(key.clone()).or_insert_with(|| {
+            key_rows.push(key);
+            states.push(vec![AggState::new(); aggs.len()]);
+            states.len() - 1
+        });
+        for (slot, agg) in states[idx].iter_mut().zip(aggs) {
+            slot.observe(&agg.input.eval_row(batch, row)?);
+        }
+    }
+    // Scalar aggregate over empty input still yields one row.
+    if group_by.is_empty() && key_rows.is_empty() {
+        key_rows.push(Vec::new());
+        states.push(vec![AggState::new(); aggs.len()]);
+    }
+
+    let rows: Vec<Vec<Value>> = key_rows
+        .iter()
+        .zip(&states)
+        .map(|(key, st)| {
+            key.iter()
+                .map(|k| k.0.clone())
+                .chain(st.iter().zip(aggs).map(|(s, a)| s.finish(a.func)))
+                .collect()
+        })
+        .collect();
+    Ok(RecordBatch::from_rows(schema, &rows)?)
+}
+
+/// Merge partial aggregates produced by [`hash_aggregate`] on disjoint
+/// cells into the final result — the DCP's aggregation stage.
+///
+/// Correct for Count/Sum/Min/Max (re-aggregating with Sum for counts).
+/// `Avg` must be decomposed by the planner into Sum + Count before the
+/// partial stage; passing it here is an error.
+pub fn merge_aggregates(
+    partials: &[RecordBatch],
+    group_count: usize,
+    aggs: &[AggExpr],
+) -> ExecResult<RecordBatch> {
+    if aggs.iter().any(|a| a.func == AggFunc::Avg) {
+        return Err(ExecError::plan(
+            "AVG must be decomposed into SUM and COUNT before partial aggregation",
+        ));
+    }
+    let Some(first) = partials.first() else {
+        return Err(ExecError::plan(
+            "merge_aggregates needs at least one partial",
+        ));
+    };
+    let merged = RecordBatch::concat(partials)?;
+    let schema = first.schema();
+    let group_by: Vec<(Expr, String)> = schema.fields()[..group_count]
+        .iter()
+        .map(|f| (Expr::col(f.name.clone()), f.name.clone()))
+        .collect();
+    let re_aggs: Vec<AggExpr> = aggs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let col = schema.fields()[group_count + i].name.clone();
+            let func = match a.func {
+                AggFunc::Count => AggFunc::Sum, // counts add up
+                other => other,
+            };
+            AggExpr::new(func, Expr::col(col), a.output.clone())
+        })
+        .collect();
+    hash_aggregate(&merged, &group_by, &re_aggs)
+}
+
+/// Inner hash equi-join on `left_keys[i] = right_keys[i]`.
+///
+/// Output columns are the left schema followed by the right schema; a
+/// right column whose name collides with a left column is suffixed `_r`.
+/// NULL keys never match (SQL semantics).
+pub fn hash_join(
+    left: &RecordBatch,
+    right: &RecordBatch,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+) -> ExecResult<RecordBatch> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(ExecError::plan("join requires equal non-empty key lists"));
+    }
+    // Build on the right side.
+    let mut table: HashMap<Vec<KeyValue>, Vec<usize>> = HashMap::new();
+    'rows: for row in 0..right.num_rows() {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for e in right_keys {
+            let v = e.eval_row(right, row)?;
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(KeyValue(v));
+        }
+        table.entry(key).or_default().push(row);
+    }
+    // Probe from the left.
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    'probe: for row in 0..left.num_rows() {
+        let mut key = Vec::with_capacity(left_keys.len());
+        for e in left_keys {
+            let v = e.eval_row(left, row)?;
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(KeyValue(v));
+        }
+        if let Some(matches) = table.get(&key) {
+            for &r in matches {
+                left_idx.push(row);
+                right_idx.push(r);
+            }
+        }
+    }
+    // Assemble output.
+    let left_taken = left.take(&left_idx);
+    let right_taken = right.take(&right_idx);
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    for f in right.schema().fields() {
+        let name = if left.schema().index_of(&f.name).is_ok() {
+            format!("{}_r", f.name)
+        } else {
+            f.name.clone()
+        };
+        fields.push(Field { name, ..f.clone() });
+    }
+    let columns: Vec<ColumnVector> = left_taken
+        .columns()
+        .iter()
+        .chain(right_taken.columns().iter())
+        .cloned()
+        .collect();
+    Ok(RecordBatch::new(Schema::new(fields), columns)?)
+}
+
+/// Sort by `(column, descending)` pairs; NULLs sort first ascending (SQL
+/// Server semantics).
+pub fn sort(batch: &RecordBatch, keys: &[(String, bool)]) -> ExecResult<RecordBatch> {
+    let mut cols = Vec::with_capacity(keys.len());
+    for (name, desc) in keys {
+        cols.push((batch.column_by_name(name)?, *desc));
+    }
+    let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for (col, desc) in &cols {
+            let va = col.value(a);
+            let vb = col.value(b);
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => va.sql_cmp(&vb).unwrap_or(Ordering::Equal),
+            };
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(batch.take(&indices))
+}
+
+/// Keep the first `n` rows.
+pub fn limit(batch: &RecordBatch, n: usize) -> RecordBatch {
+    let indices: Vec<usize> = (0..batch.num_rows().min(n)).collect();
+    batch.take(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("region", DataType::Utf8),
+            Field::new("amount", DataType::Int64),
+            Field::nullable("discount", DataType::Float64),
+        ]);
+        RecordBatch::from_rows(
+            schema,
+            &[
+                vec![Value::Str("east".into()), Value::Int(10), Value::Float(0.1)],
+                vec![Value::Str("west".into()), Value::Int(20), Value::Null],
+                vec![Value::Str("east".into()), Value::Int(30), Value::Float(0.2)],
+                vec![Value::Str("west".into()), Value::Int(40), Value::Float(0.3)],
+                vec![Value::Str("east".into()), Value::Int(50), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let b = sales();
+        let f = filter(&b, &Expr::col("amount").gt(Expr::lit(20i64))).unwrap();
+        assert_eq!(f.num_rows(), 3);
+        let p = project(
+            &f,
+            &[
+                (Expr::col("region"), "r".into()),
+                (
+                    Expr::col("amount").binary(crate::BinOp::Mul, Expr::lit(2i64)),
+                    "double".into(),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.schema().fields()[1].name, "double");
+        assert_eq!(p.column(1).value(0), Value::Int(60));
+    }
+
+    #[test]
+    fn aggregate_grouped() {
+        let b = sales();
+        let out = hash_aggregate(
+            &b,
+            &[(Expr::col("region"), "region".into())],
+            &[
+                AggExpr::new(AggFunc::Sum, Expr::col("amount"), "total"),
+                AggExpr::new(AggFunc::Count, Expr::col("discount"), "discounted"),
+                AggExpr::new(AggFunc::Avg, Expr::col("amount"), "avg_amount"),
+                AggExpr::new(AggFunc::Min, Expr::col("amount"), "lo"),
+                AggExpr::new(AggFunc::Max, Expr::col("amount"), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let sorted = sort(&out, &[("region".into(), false)]).unwrap();
+        // east: 10+30+50=90, 2 non-null discounts, avg 30, min 10, max 50
+        assert_eq!(
+            sorted.row(0)[..4].to_vec(),
+            vec![
+                Value::Str("east".into()),
+                Value::Int(90),
+                Value::Int(2),
+                Value::Float(30.0),
+            ]
+        );
+        assert_eq!(sorted.row(0)[4], Value::Int(10));
+        assert_eq!(sorted.row(0)[5], Value::Int(50));
+        // west: 20+40=60
+        assert_eq!(sorted.row(1)[1], Value::Int(60));
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let b = filter(&sales(), &Expr::lit(false)).unwrap();
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, Expr::col("amount"), "n"),
+                AggExpr::new(AggFunc::Sum, Expr::col("amount"), "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0), vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn count_ignores_nulls_sum_stays_integer() {
+        let b = sales();
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, Expr::col("discount"), "n"),
+                AggExpr::new(AggFunc::Sum, Expr::col("amount"), "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.row(0), vec![Value::Int(3), Value::Int(150)]);
+    }
+
+    #[test]
+    fn merge_partial_aggregates() {
+        let b = sales();
+        // Split into two "cells" and aggregate each, then merge.
+        let mask_lo: polaris_columnar::Bitmap =
+            [true, true, false, false, false].into_iter().collect();
+        let mask_hi: polaris_columnar::Bitmap =
+            [false, false, true, true, true].into_iter().collect();
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, Expr::col("amount"), "total"),
+            AggExpr::new(AggFunc::Count, Expr::col("amount"), "n"),
+            AggExpr::new(AggFunc::Max, Expr::col("amount"), "hi"),
+        ];
+        let group = vec![(Expr::col("region"), "region".to_owned())];
+        let p1 = hash_aggregate(&b.filter(&mask_lo), &group, &aggs).unwrap();
+        let p2 = hash_aggregate(&b.filter(&mask_hi), &group, &aggs).unwrap();
+        let merged = merge_aggregates(&[p1, p2], 1, &aggs).unwrap();
+        let sorted = sort(&merged, &[("region".into(), false)]).unwrap();
+        assert_eq!(
+            sorted.row(0),
+            vec![
+                Value::Str("east".into()),
+                Value::Int(90),
+                Value::Int(3),
+                Value::Int(50)
+            ]
+        );
+        assert_eq!(
+            sorted.row(1),
+            vec![
+                Value::Str("west".into()),
+                Value::Int(60),
+                Value::Int(2),
+                Value::Int(40)
+            ]
+        );
+        // AVG must be rejected
+        let bad = vec![AggExpr::new(AggFunc::Avg, Expr::col("amount"), "a")];
+        assert!(merge_aggregates(&[sorted], 1, &bad).is_err());
+    }
+
+    fn regions() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("name", DataType::Utf8),
+            Field::new("manager", DataType::Utf8),
+        ]);
+        RecordBatch::from_rows(
+            schema,
+            &[
+                vec![Value::Str("east".into()), Value::Str("ann".into())],
+                vec![Value::Str("west".into()), Value::Str("bob".into())],
+                vec![Value::Str("north".into()), Value::Str("cat".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_matches_and_renames_collisions() {
+        let left = sales();
+        let right = regions();
+        let out = hash_join(&left, &right, &[Expr::col("region")], &[Expr::col("name")]).unwrap();
+        assert_eq!(out.num_rows(), 5); // every sale matches a region
+        assert!(out.schema().index_of("manager").is_ok());
+        // join with a collision: rename kicks in
+        let out2 = hash_join(&left, &left, &[Expr::col("region")], &[Expr::col("region")]).unwrap();
+        assert!(out2.schema().index_of("region_r").is_ok());
+        // east x east = 3*3, west x west = 2*2
+        assert_eq!(out2.num_rows(), 13);
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let schema = Schema::new(vec![Field::nullable("k", DataType::Int64)]);
+        let l = RecordBatch::from_rows(schema.clone(), &[vec![Value::Int(1)], vec![Value::Null]])
+            .unwrap();
+        let r = RecordBatch::from_rows(schema, &[vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+        let out = hash_join(&l, &r, &[Expr::col("k")], &[Expr::col("k")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn join_key_arity_checked() {
+        let b = sales();
+        assert!(hash_join(&b, &b, &[], &[]).is_err());
+        assert!(hash_join(&b, &b, &[Expr::col("region")], &[]).is_err());
+    }
+
+    #[test]
+    fn sort_multi_key_with_nulls_first() {
+        let b = sales();
+        let out = sort(&b, &[("discount".into(), false), ("amount".into(), true)]).unwrap();
+        // NULL discounts first (rows amount 50, 20 desc), then 0.1, 0.2, 0.3
+        let amounts: Vec<Value> = (0..out.num_rows())
+            .map(|i| out.column(1).value(i))
+            .collect();
+        assert_eq!(
+            amounts,
+            vec![
+                Value::Int(50),
+                Value::Int(20),
+                Value::Int(10),
+                Value::Int(30),
+                Value::Int(40)
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let b = sales();
+        assert_eq!(limit(&b, 2).num_rows(), 2);
+        assert_eq!(limit(&b, 99).num_rows(), 5);
+        assert_eq!(limit(&b, 0).num_rows(), 0);
+    }
+}

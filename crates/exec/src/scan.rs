@@ -1,0 +1,419 @@
+//! Snapshot scans: fetch, prune, mask, filter, project.
+
+use crate::{Cell, ExecResult, Expr};
+use polaris_columnar::{Bitmap, ColumnarFile, DeleteVector, RecordBatch, Schema};
+use polaris_lst::TableSnapshot;
+use polaris_store::{BlobPath, ObjectStore};
+
+/// Scan one cell.
+///
+/// Order of operations mirrors the BE (§3.2.1):
+/// 1. file-level statistics pruning against `predicate` (skips the fetch
+///    of column data entirely when the footer rules the file out — here
+///    the footer is parsed from the fetched bytes, so pruning saves decode
+///    work and, with range reads, would save transfer too);
+/// 2. delete-vector masking (merge-on-read);
+/// 3. residual predicate filtering;
+/// 4. projection.
+///
+/// Returns `None` when the file was pruned or every row was masked out.
+pub fn scan_cell(
+    store: &dyn ObjectStore,
+    cell: &Cell,
+    projection: Option<&[&str]>,
+    predicate: Option<&Expr>,
+) -> ExecResult<Option<RecordBatch>> {
+    // Metadata-only pruning (the Delta-style manifest statistics): if the
+    // ranges recorded at write time preclude the predicate, skip the file
+    // without a single storage request.
+    if let Some(pred) = predicate {
+        let lookup = |name: &str| cell.range_stats(name);
+        if !pred.may_match(&lookup) {
+            return Ok(None);
+        }
+    }
+    let data = store.get(&BlobPath::new(cell.file.clone())?)?;
+    let file = ColumnarFile::parse(data)?;
+    if let Some(pred) = predicate {
+        let lookup = |name: &str| file.column_stats(name).ok();
+        if !pred.may_match(&lookup) {
+            return Ok(None);
+        }
+    }
+    // Load the delete vector once per file.
+    let dv = match &cell.dv_path {
+        Some(path) => Some(DeleteVector::from_bytes(
+            store.get(&BlobPath::new(path.clone())?)?,
+        )?),
+        None => None,
+    };
+    let mut batches = Vec::new();
+    let mut row_offset = 0usize;
+    for (gi, group) in file.row_groups().iter().enumerate() {
+        let group_rows = group.rows as usize;
+        // Row-group-level pruning on chunk stats.
+        if let Some(pred) = predicate {
+            let lookup = |name: &str| {
+                file.schema()
+                    .index_of(name)
+                    .ok()
+                    .map(|idx| group.chunks[idx].stats.clone())
+            };
+            if !pred.may_match(&lookup) {
+                row_offset += group_rows;
+                continue;
+            }
+        }
+        let batch = file.read_row_group(gi)?;
+        // Merge-on-read: mask deleted rows. DV indexes are file-relative.
+        let mut keep = Bitmap::all_set(group_rows);
+        if let Some(dv) = &dv {
+            for i in 0..group_rows {
+                if dv.is_deleted(row_offset + i) {
+                    keep.clear(i);
+                }
+            }
+        }
+        let mut batch = if keep.count_set() == group_rows {
+            batch
+        } else {
+            batch.filter(&keep)
+        };
+        if let Some(pred) = predicate {
+            let mask = pred.eval_predicate(&batch)?;
+            if mask.count_set() < batch.num_rows() {
+                batch = batch.filter(&mask);
+            }
+        }
+        if batch.num_rows() > 0 {
+            batches.push(batch);
+        }
+        row_offset += group_rows;
+    }
+    if batches.is_empty() {
+        return Ok(None);
+    }
+    let mut out = RecordBatch::concat(&batches)?;
+    if let Some(cols) = projection {
+        out = out.project(cols)?;
+    }
+    Ok(Some(out))
+}
+
+/// Scan every live file of a snapshot into one batch (single-node path,
+/// used by tests and small queries; the DCP fans cells out instead).
+///
+/// `schema` is the table schema used to shape an empty result.
+pub fn scan_snapshot(
+    store: &dyn ObjectStore,
+    snapshot: &TableSnapshot,
+    schema: &Schema,
+    projection: Option<&[&str]>,
+    predicate: Option<&Expr>,
+) -> ExecResult<RecordBatch> {
+    let mut batches = Vec::new();
+    for state in snapshot.files() {
+        let cell = Cell::from_state(state);
+        if let Some(batch) = scan_cell(store, &cell, projection, predicate)? {
+            batches.push(batch);
+        }
+    }
+    if batches.is_empty() {
+        let shape = match projection {
+            Some(cols) => schema.project(cols)?,
+            None => schema.clone(),
+        };
+        return Ok(RecordBatch::empty(shape));
+    }
+    Ok(RecordBatch::concat(&batches)?)
+}
+
+/// Scan one cell *lazily*: footer-first range reads, row-group pruning,
+/// and chunk fetches for only the `needed` columns — the object-store
+/// access pattern of a real Parquet reader.
+///
+/// `needed = None` fetches every column. Returns the batch restricted to
+/// the needed columns (in file-schema order), DV-masked and filtered; the
+/// caller applies expression projections on top.
+pub fn scan_cell_lazy(
+    store: &dyn ObjectStore,
+    cell: &Cell,
+    needed: Option<&std::collections::BTreeSet<String>>,
+    predicate: Option<&Expr>,
+) -> ExecResult<Option<RecordBatch>> {
+    use polaris_columnar::ColumnarFooter;
+
+    // Metadata-only pruning first: zero storage requests.
+    if let Some(pred) = predicate {
+        let lookup = |name: &str| cell.range_stats(name);
+        if !pred.may_match(&lookup) {
+            return Ok(None);
+        }
+    }
+    let path = BlobPath::new(cell.file.clone())?;
+    let file_len = store.head(&path)?.size;
+    if file_len < 12 {
+        return Err(polaris_columnar::ColumnarError::corrupt("file too short").into());
+    }
+    // Tail probe -> footer length -> footer fetch (two range reads).
+    let tail8 = store.get_range(&path, file_len - ColumnarFooter::TAIL_PROBE..file_len)?;
+    let footer_len = ColumnarFooter::footer_len_from_tail(&tail8)?;
+    let tail_start = file_len
+        .checked_sub(footer_len + 8)
+        .ok_or_else(|| polaris_columnar::ColumnarError::corrupt("footer length out of range"))?;
+    let tail = store.get_range(&path, tail_start..file_len)?;
+    let footer = ColumnarFooter::parse_tail(tail, file_len)?;
+
+    // File-level stats pruning from the footer.
+    if let Some(pred) = predicate {
+        let merged = |name: &str| {
+            footer.schema().index_of(name).ok().map(|idx| {
+                let mut acc = polaris_columnar::ColumnStats::default();
+                for g in footer.row_groups() {
+                    acc.merge(&g.chunks[idx].stats);
+                }
+                acc
+            })
+        };
+        if !pred.may_match(&merged) {
+            return Ok(None);
+        }
+    }
+
+    // Resolve the column subset to fetch.
+    let schema = footer.schema().clone();
+    let fetch_cols: Vec<usize> = match needed {
+        None => (0..schema.len()).collect(),
+        Some(set) => {
+            let mut cols: Vec<usize> = schema
+                .fields()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| set.contains(&f.name))
+                .map(|(i, _)| i)
+                .collect();
+            if cols.is_empty() {
+                // COUNT(*)-style scans still need row counts: fetch the
+                // cheapest (first) column.
+                cols.push(0);
+            }
+            cols
+        }
+    };
+    let sub_fields: Vec<polaris_columnar::Field> = fetch_cols
+        .iter()
+        .map(|&i| schema.fields()[i].clone())
+        .collect();
+    let sub_schema = Schema::new(sub_fields);
+
+    let dv = match &cell.dv_path {
+        Some(p) => Some(DeleteVector::from_bytes(
+            store.get(&BlobPath::new(p.clone())?)?,
+        )?),
+        None => None,
+    };
+
+    let mut batches = Vec::new();
+    let mut row_offset = 0usize;
+    for group in footer.row_groups() {
+        let group_rows = group.rows as usize;
+        if let Some(pred) = predicate {
+            let lookup = |name: &str| {
+                schema
+                    .index_of(name)
+                    .ok()
+                    .map(|idx| group.chunks[idx].stats.clone())
+            };
+            if !pred.may_match(&lookup) {
+                row_offset += group_rows;
+                continue;
+            }
+        }
+        // Fetch and decode only the needed chunks of this group.
+        let mut columns = Vec::with_capacity(fetch_cols.len());
+        for &ci in &fetch_cols {
+            let chunk = &group.chunks[ci];
+            let payload = store.get_range(&path, chunk.offset..chunk.offset + chunk.length)?;
+            columns.push(footer.decode_chunk_payload(
+                &schema.fields()[ci],
+                chunk,
+                payload,
+                group_rows,
+            )?);
+        }
+        let batch = RecordBatch::new(sub_schema.clone(), columns)?;
+        let mut keep = Bitmap::all_set(group_rows);
+        if let Some(dv) = &dv {
+            for i in 0..group_rows {
+                if dv.is_deleted(row_offset + i) {
+                    keep.clear(i);
+                }
+            }
+        }
+        let mut batch = if keep.count_set() == group_rows {
+            batch
+        } else {
+            batch.filter(&keep)
+        };
+        if let Some(pred) = predicate {
+            let mask = pred.eval_predicate(&batch)?;
+            if mask.count_set() < batch.num_rows() {
+                batch = batch.filter(&mask);
+            }
+        }
+        if batch.num_rows() > 0 {
+            batches.push(batch);
+        }
+        row_offset += group_rows;
+    }
+    if batches.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(RecordBatch::concat(&batches)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::write_data_file;
+    use polaris_columnar::{DataType, Field, Value, WriterOptions};
+    use polaris_lst::{Manifest, ManifestAction, SequenceId};
+    use polaris_store::{MemoryStore, Stamp};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ])
+    }
+
+    fn batch(range: std::ops::Range<i64>) -> RecordBatch {
+        let rows: Vec<Vec<Value>> = range
+            .map(|i| vec![Value::Int(i), Value::Str(format!("row{i}"))])
+            .collect();
+        RecordBatch::from_rows(schema(), &rows).unwrap()
+    }
+
+    /// Store with two files (ids 0..10 and 10..20), the first carrying a DV
+    /// deleting rows 0 and 1 (ids 0, 1).
+    fn setup() -> (MemoryStore, TableSnapshot) {
+        let store = MemoryStore::new();
+        let opts = WriterOptions {
+            row_group_rows: 4,
+            ..Default::default()
+        };
+        write_data_file(&store, "t/f1", &batch(0..10), opts, Stamp(1)).unwrap();
+        write_data_file(&store, "t/f2", &batch(10..20), opts, Stamp(1)).unwrap();
+        let dv = DeleteVector::from_rows([0, 1]);
+        store
+            .put(&BlobPath::new("t/f1.dv").unwrap(), dv.to_bytes(), Stamp(2))
+            .unwrap();
+        let m = Manifest::from_actions(vec![
+            ManifestAction::add_file("t/f1", 10, 0, 0),
+            ManifestAction::add_file("t/f2", 10, 0, 1),
+            ManifestAction::add_dv("t/f1", "t/f1.dv", 2),
+        ]);
+        let snap = TableSnapshot::from_manifests([(SequenceId(1), &m)]).unwrap();
+        (store, snap)
+    }
+
+    #[test]
+    fn full_scan_masks_deleted_rows() {
+        let (store, snap) = setup();
+        let out = scan_snapshot(&store, &snap, &schema(), None, None).unwrap();
+        assert_eq!(out.num_rows(), 18); // 20 physical - 2 deleted
+        let ids: Vec<i64> = (0..out.num_rows())
+            .map(|i| out.column(0).value(i).as_int().unwrap())
+            .collect();
+        assert!(!ids.contains(&0) && !ids.contains(&1));
+        assert!(ids.contains(&2) && ids.contains(&19));
+    }
+
+    #[test]
+    fn predicate_pushdown_prunes_files() {
+        let (store, snap) = setup();
+        // id >= 15 only lives in f2; f1 (ids 0..10) must be pruned before
+        // decode — verified indirectly through correct results, and
+        // directly through scan_cell returning None.
+        let pred = Expr::col("id").gt_eq(Expr::lit(15i64));
+        let out = scan_snapshot(&store, &snap, &schema(), None, Some(&pred)).unwrap();
+        assert_eq!(out.num_rows(), 5);
+        let f1_cell = Cell {
+            file: "t/f1".into(),
+            rows: 10,
+            bytes: 0,
+            distribution: 0,
+            dv_path: Some("t/f1.dv".into()),
+            col_ranges: Vec::new(),
+        };
+        assert!(scan_cell(&store, &f1_cell, None, Some(&pred))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn row_group_pruning_within_file() {
+        let (store, snap) = setup();
+        // Row groups of 4 rows: id = 9 touches only the last group of f1.
+        let pred = Expr::col("id").eq(Expr::lit(9i64));
+        let out = scan_snapshot(&store, &snap, &schema(), None, Some(&pred)).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column(1).value(0), Value::Str("row9".into()));
+    }
+
+    #[test]
+    fn dv_masking_respects_row_group_offsets() {
+        // Delete a row in a *later* row group (row 7 of f1, groups of 4):
+        // the file-relative index must survive the group split.
+        let store = MemoryStore::new();
+        let opts = WriterOptions {
+            row_group_rows: 4,
+            ..Default::default()
+        };
+        write_data_file(&store, "t/f", &batch(0..10), opts, Stamp(1)).unwrap();
+        let dv = DeleteVector::from_rows([7]);
+        store
+            .put(&BlobPath::new("t/f.dv").unwrap(), dv.to_bytes(), Stamp(1))
+            .unwrap();
+        let cell = Cell {
+            file: "t/f".into(),
+            rows: 10,
+            bytes: 0,
+            distribution: 0,
+            dv_path: Some("t/f.dv".into()),
+            col_ranges: Vec::new(),
+        };
+        let out = scan_cell(&store, &cell, None, None).unwrap().unwrap();
+        let ids: Vec<i64> = (0..out.num_rows())
+            .map(|i| out.column(0).value(i).as_int().unwrap())
+            .collect();
+        assert_eq!(ids.len(), 9);
+        assert!(!ids.contains(&7));
+    }
+
+    #[test]
+    fn projection_narrows_columns() {
+        let (store, snap) = setup();
+        let out = scan_snapshot(&store, &snap, &schema(), Some(&["name"]), None).unwrap();
+        assert_eq!(out.num_columns(), 1);
+        assert_eq!(out.schema().fields()[0].name, "name");
+    }
+
+    #[test]
+    fn empty_result_keeps_projected_shape() {
+        let (store, snap) = setup();
+        let pred = Expr::col("id").gt(Expr::lit(1000i64));
+        let out = scan_snapshot(&store, &snap, &schema(), Some(&["id"]), Some(&pred)).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 1);
+    }
+
+    #[test]
+    fn scan_empty_snapshot() {
+        let store = MemoryStore::new();
+        let snap = TableSnapshot::empty();
+        let out = scan_snapshot(&store, &snap, &schema(), None, None).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 2);
+    }
+}

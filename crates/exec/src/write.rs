@@ -1,0 +1,335 @@
+//! The BE write path: immutable data files and delete vectors.
+//!
+//! Inserts create new data files; deletes create (merged) delete vectors;
+//! updates are a delete followed by an insert (§4.1.1). Nothing here
+//! mutates an existing file — the LST invariant that makes aborted work
+//! free to discard.
+
+use crate::{Cell, ExecResult, Expr};
+use polaris_columnar::{ColumnarWriter, DeleteVector, RecordBatch, WriterOptions};
+use polaris_store::{BlobPath, ObjectStore, Stamp};
+
+/// Result of writing one data file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrittenFile {
+    /// Blob path.
+    pub path: String,
+    /// Rows written.
+    pub rows: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+/// Encode `batch` and store it as an immutable data file at `path`.
+pub fn write_data_file(
+    store: &dyn ObjectStore,
+    path: &str,
+    batch: &RecordBatch,
+    options: WriterOptions,
+    stamp: Stamp,
+) -> ExecResult<WrittenFile> {
+    let data = ColumnarWriter::encode_file(batch, options)?;
+    let bytes = data.len() as u64;
+    store.put(&BlobPath::new(path)?, data, stamp)?;
+    Ok(WrittenFile {
+        path: path.to_owned(),
+        rows: batch.num_rows() as u64,
+        bytes,
+    })
+}
+
+/// Outcome of evaluating a delete predicate against one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeleteOutcome {
+    /// Merged delete vector (previous deletes ∪ new matches).
+    pub merged: DeleteVector,
+    /// Rows newly deleted by this operation.
+    pub newly_deleted: u64,
+}
+
+/// Compute the rows of `cell` matching `predicate` and merge them into the
+/// cell's existing delete vector.
+///
+/// Returns `None` when no *new* row matches — the caller then leaves the
+/// file untouched (and records no conflict against it, which matters for
+/// file-granularity conflict detection, §4.4.1).
+pub fn delete_matching(
+    store: &dyn ObjectStore,
+    cell: &Cell,
+    predicate: &Expr,
+) -> ExecResult<Option<DeleteOutcome>> {
+    use polaris_columnar::{ColumnarFooter, Field, Schema};
+
+    // Metadata-only pruning: ranges recorded in the manifest rule the file
+    // out before any storage request.
+    {
+        let lookup = |name: &str| cell.range_stats(name);
+        if !predicate.may_match(&lookup) {
+            return Ok(None);
+        }
+    }
+    // Footer-first lazy access: a delete only needs the predicate's
+    // columns to compute the matching row indices.
+    let path = BlobPath::new(cell.file.clone())?;
+    let file_len = store.head(&path)?.size;
+    if file_len < 12 {
+        return Err(polaris_columnar::ColumnarError::corrupt("file too short").into());
+    }
+    let tail8 = store.get_range(&path, file_len - ColumnarFooter::TAIL_PROBE..file_len)?;
+    let footer_len = ColumnarFooter::footer_len_from_tail(&tail8)?;
+    let tail_start = file_len
+        .checked_sub(footer_len + 8)
+        .ok_or_else(|| polaris_columnar::ColumnarError::corrupt("footer length out of range"))?;
+    let footer =
+        ColumnarFooter::parse_tail(store.get_range(&path, tail_start..file_len)?, file_len)?;
+    let schema = footer.schema().clone();
+    // File-level pruning on merged footer stats.
+    {
+        let merged_stats = |name: &str| {
+            schema.index_of(name).ok().map(|idx| {
+                let mut acc = polaris_columnar::ColumnStats::default();
+                for g in footer.row_groups() {
+                    acc.merge(&g.chunks[idx].stats);
+                }
+                acc
+            })
+        };
+        if !predicate.may_match(&merged_stats) {
+            return Ok(None);
+        }
+    }
+    let mut needed = std::collections::BTreeSet::new();
+    predicate.referenced_columns(&mut needed);
+    let mut fetch_cols: Vec<usize> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| needed.contains(&f.name))
+        .map(|(i, _)| i)
+        .collect();
+    if fetch_cols.is_empty() {
+        fetch_cols.push(0);
+    }
+    let sub_fields: Vec<Field> = fetch_cols
+        .iter()
+        .map(|&i| schema.fields()[i].clone())
+        .collect();
+    let sub_schema = Schema::new(sub_fields);
+
+    let existing = match &cell.dv_path {
+        Some(p) => DeleteVector::from_bytes(store.get(&BlobPath::new(p.clone())?)?)?,
+        None => DeleteVector::new(),
+    };
+    let mut merged = existing.clone();
+    let mut newly_deleted = 0u64;
+    let mut row_offset = 0usize;
+    for group in footer.row_groups() {
+        let group_rows = group.rows as usize;
+        // Row-group pruning on chunk stats.
+        let lookup = |name: &str| {
+            schema
+                .index_of(name)
+                .ok()
+                .map(|idx| group.chunks[idx].stats.clone())
+        };
+        if !predicate.may_match(&lookup) {
+            row_offset += group_rows;
+            continue;
+        }
+        let mut columns = Vec::with_capacity(fetch_cols.len());
+        for &ci in &fetch_cols {
+            let chunk = &group.chunks[ci];
+            let payload = store.get_range(&path, chunk.offset..chunk.offset + chunk.length)?;
+            columns.push(footer.decode_chunk_payload(
+                &schema.fields()[ci],
+                chunk,
+                payload,
+                group_rows,
+            )?);
+        }
+        let batch = RecordBatch::new(sub_schema.clone(), columns)?;
+        let mask = predicate.eval_predicate(&batch)?;
+        for i in mask.iter_set() {
+            let file_row = row_offset + i;
+            if !existing.is_deleted(file_row) {
+                merged.delete_row(file_row);
+                newly_deleted += 1;
+            }
+        }
+        row_offset += group_rows;
+    }
+    if newly_deleted == 0 {
+        return Ok(None);
+    }
+    Ok(Some(DeleteOutcome {
+        merged,
+        newly_deleted,
+    }))
+}
+
+/// Read the still-live rows of `cell` that match `predicate` — the input
+/// to the "insert" half of an UPDATE, and to compaction rewrites.
+pub fn live_matching_rows(
+    store: &dyn ObjectStore,
+    cell: &Cell,
+    predicate: Option<&Expr>,
+) -> ExecResult<Option<RecordBatch>> {
+    crate::scan::scan_cell(store, cell, None, predicate)
+}
+
+/// Store a delete-vector file.
+pub fn write_delete_vector(
+    store: &dyn ObjectStore,
+    path: &str,
+    dv: &DeleteVector,
+    stamp: Stamp,
+) -> ExecResult<()> {
+    store.put(&BlobPath::new(path)?, dv.to_bytes(), stamp)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_columnar::{DataType, Field, Schema, Value};
+    use polaris_store::MemoryStore;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("qty", DataType::Int64),
+        ])
+    }
+
+    fn batch(n: i64) -> RecordBatch {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect();
+        RecordBatch::from_rows(schema(), &rows).unwrap()
+    }
+
+    fn cell(path: &str, rows: u64, dv: Option<&str>) -> Cell {
+        Cell {
+            file: path.into(),
+            rows,
+            bytes: 0,
+            distribution: 0,
+            dv_path: dv.map(str::to_owned),
+            col_ranges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let store = MemoryStore::new();
+        let written = write_data_file(
+            &store,
+            "t/f",
+            &batch(100),
+            WriterOptions::default(),
+            Stamp(1),
+        )
+        .unwrap();
+        assert_eq!(written.rows, 100);
+        assert!(written.bytes > 0);
+        let out = crate::scan::scan_cell(&store, &cell("t/f", 100, None), None, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.num_rows(), 100);
+    }
+
+    #[test]
+    fn delete_matching_builds_dv() {
+        let store = MemoryStore::new();
+        write_data_file(
+            &store,
+            "t/f",
+            &batch(10),
+            WriterOptions::default(),
+            Stamp(1),
+        )
+        .unwrap();
+        let pred = Expr::col("id").lt(Expr::lit(3i64));
+        let outcome = delete_matching(&store, &cell("t/f", 10, None), &pred)
+            .unwrap()
+            .unwrap();
+        assert_eq!(outcome.newly_deleted, 3);
+        assert_eq!(outcome.merged.cardinality(), 3);
+        assert!(outcome.merged.is_deleted(0) && outcome.merged.is_deleted(2));
+        assert!(!outcome.merged.is_deleted(3));
+    }
+
+    #[test]
+    fn delete_merges_with_existing_dv() {
+        let store = MemoryStore::new();
+        write_data_file(
+            &store,
+            "t/f",
+            &batch(10),
+            WriterOptions::default(),
+            Stamp(1),
+        )
+        .unwrap();
+        let old = DeleteVector::from_rows([0, 1]);
+        write_delete_vector(&store, "t/f.dv", &old, Stamp(1)).unwrap();
+        // delete id < 4: ids 0,1 already gone -> only 2,3 newly deleted
+        let pred = Expr::col("id").lt(Expr::lit(4i64));
+        let outcome = delete_matching(&store, &cell("t/f", 10, Some("t/f.dv")), &pred)
+            .unwrap()
+            .unwrap();
+        assert_eq!(outcome.newly_deleted, 2);
+        assert_eq!(outcome.merged.cardinality(), 4);
+    }
+
+    #[test]
+    fn delete_with_no_matches_returns_none() {
+        let store = MemoryStore::new();
+        write_data_file(
+            &store,
+            "t/f",
+            &batch(10),
+            WriterOptions::default(),
+            Stamp(1),
+        )
+        .unwrap();
+        // pruned by stats
+        let pred = Expr::col("id").gt(Expr::lit(1000i64));
+        assert!(delete_matching(&store, &cell("t/f", 10, None), &pred)
+            .unwrap()
+            .is_none());
+        // everything already deleted
+        let all = DeleteVector::from_rows(0..10);
+        write_delete_vector(&store, "t/f.dv", &all, Stamp(1)).unwrap();
+        let pred = Expr::col("id").lt(Expr::lit(5i64));
+        assert!(
+            delete_matching(&store, &cell("t/f", 10, Some("t/f.dv")), &pred)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn update_reads_live_rows_only() {
+        let store = MemoryStore::new();
+        write_data_file(
+            &store,
+            "t/f",
+            &batch(10),
+            WriterOptions::default(),
+            Stamp(1),
+        )
+        .unwrap();
+        let dv = DeleteVector::from_rows([5]);
+        write_delete_vector(&store, "t/f.dv", &dv, Stamp(1)).unwrap();
+        let pred = Expr::col("id").gt_eq(Expr::lit(4i64));
+        let live = live_matching_rows(&store, &cell("t/f", 10, Some("t/f.dv")), Some(&pred))
+            .unwrap()
+            .unwrap();
+        // ids 4..10 minus deleted 5 = 5 rows
+        assert_eq!(live.num_rows(), 5);
+        let ids: Vec<i64> = (0..live.num_rows())
+            .map(|i| live.column(0).value(i).as_int().unwrap())
+            .collect();
+        assert!(!ids.contains(&5));
+    }
+}

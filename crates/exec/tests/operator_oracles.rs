@@ -1,0 +1,297 @@
+//! Operator property tests against naive oracles: hash join vs
+//! nested-loop, hash aggregate vs per-group fold, sort vs a reference
+//! comparator, and the partial-aggregation split/merge identity.
+
+use polaris_columnar::{Bitmap, DataType, Field, RecordBatch, Schema, Value};
+use polaris_exec::{ops, AggExpr, AggFunc, Expr};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn two_col_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::nullable("v", DataType::Int64),
+    ])
+}
+
+fn batch_of(rows: &[(i64, Option<i64>)]) -> RecordBatch {
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(k, v)| vec![Value::Int(*k), v.map_or(Value::Null, Value::Int)])
+        .collect();
+    RecordBatch::from_rows(two_col_schema(), &data).unwrap()
+}
+
+fn rows_of(batch: &RecordBatch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inner hash join == nested-loop join (as multisets).
+    #[test]
+    fn join_matches_nested_loop(
+        left in proptest::collection::vec((0i64..8, proptest::option::of(-20i64..20)), 0..30),
+        right in proptest::collection::vec((0i64..8, proptest::option::of(-20i64..20)), 0..30),
+    ) {
+        let lb = batch_of(&left);
+        let rb = batch_of(&right);
+        let joined = ops::hash_join(&lb, &rb, &[Expr::col("k")], &[Expr::col("k")]).unwrap();
+        // Oracle: nested loop over the raw tuples; NULL keys never match
+        // (keys here are non-null ints, but values can be NULL).
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for (lk, lv) in &left {
+            for (rk, rv) in &right {
+                if lk == rk {
+                    expected.push(vec![
+                        Value::Int(*lk),
+                        lv.map_or(Value::Null, Value::Int),
+                        Value::Int(*rk),
+                        rv.map_or(Value::Null, Value::Int),
+                    ]);
+                }
+            }
+        }
+        let mut got = rows_of(&joined);
+        let key = |r: &Vec<Value>| format!("{r:?}");
+        got.sort_by_key(key);
+        expected.sort_by_key(key);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Grouped SUM/COUNT/MIN/MAX match a BTreeMap fold.
+    #[test]
+    fn aggregate_matches_fold(
+        rows in proptest::collection::vec((0i64..6, proptest::option::of(-100i64..100)), 0..60),
+    ) {
+        let b = batch_of(&rows);
+        let out = ops::hash_aggregate(
+            &b,
+            &[(Expr::col("k"), "k".to_owned())],
+            &[
+                AggExpr::new(AggFunc::Sum, Expr::col("v"), "s"),
+                AggExpr::new(AggFunc::Count, Expr::col("v"), "n"),
+                AggExpr::new(AggFunc::Min, Expr::col("v"), "lo"),
+                AggExpr::new(AggFunc::Max, Expr::col("v"), "hi"),
+            ],
+        )
+        .unwrap();
+        type GroupAcc = (Option<i64>, i64, Option<i64>, Option<i64>);
+        let mut oracle: BTreeMap<i64, GroupAcc> = BTreeMap::new();
+        for (k, v) in &rows {
+            let e = oracle.entry(*k).or_insert((None, 0, None, None));
+            if let Some(v) = v {
+                e.0 = Some(e.0.unwrap_or(0) + v);
+                e.1 += 1;
+                e.2 = Some(e.2.map_or(*v, |m: i64| m.min(*v)));
+                e.3 = Some(e.3.map_or(*v, |m: i64| m.max(*v)));
+            }
+        }
+        prop_assert_eq!(out.num_rows(), oracle.len());
+        let sorted = ops::sort(&out, &[("k".to_owned(), false)]).unwrap();
+        for (i, (k, (s, n, lo, hi))) in oracle.iter().enumerate() {
+            let row = sorted.row(i);
+            prop_assert_eq!(&row[0], &Value::Int(*k));
+            prop_assert_eq!(&row[1], &s.map_or(Value::Null, Value::Int));
+            prop_assert_eq!(&row[2], &Value::Int(*n));
+            prop_assert_eq!(&row[3], &lo.map_or(Value::Null, Value::Int));
+            prop_assert_eq!(&row[4], &hi.map_or(Value::Null, Value::Int));
+        }
+    }
+
+    /// Splitting a batch arbitrarily, partially aggregating each piece and
+    /// merging equals aggregating the whole (the DCP identity).
+    #[test]
+    fn partial_merge_identity(
+        rows in proptest::collection::vec((0i64..5, proptest::option::of(-50i64..50)), 1..50),
+        split in 1usize..49,
+    ) {
+        let b = batch_of(&rows);
+        let split = split.min(b.num_rows());
+        let group = vec![(Expr::col("k"), "k".to_owned())];
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, Expr::col("v"), "s"),
+            AggExpr::new(AggFunc::Count, Expr::col("v"), "n"),
+            AggExpr::new(AggFunc::Max, Expr::col("v"), "hi"),
+        ];
+        let whole = ops::hash_aggregate(&b, &group, &aggs).unwrap();
+        let mut lo_mask = Bitmap::with_len(b.num_rows());
+        for i in 0..split {
+            lo_mask.set(i);
+        }
+        let mut hi_mask = Bitmap::with_len(b.num_rows());
+        for i in split..b.num_rows() {
+            hi_mask.set(i);
+        }
+        let p1 = ops::hash_aggregate(&b.filter(&lo_mask), &group, &aggs).unwrap();
+        let p2 = ops::hash_aggregate(&b.filter(&hi_mask), &group, &aggs).unwrap();
+        let merged = ops::merge_aggregates(&[p1, p2], 1, &aggs).unwrap();
+        let sort_keys = [("k".to_owned(), false)];
+        prop_assert_eq!(
+            rows_of(&ops::sort(&whole, &sort_keys).unwrap()),
+            rows_of(&ops::sort(&merged, &sort_keys).unwrap())
+        );
+    }
+
+    /// Sort is a permutation, ordered per SQL semantics (NULLs first asc).
+    #[test]
+    fn sort_is_an_ordered_permutation(
+        rows in proptest::collection::vec((0i64..100, proptest::option::of(-50i64..50)), 0..60),
+        desc in any::<bool>(),
+    ) {
+        let b = batch_of(&rows);
+        let sorted = ops::sort(&b, &[("v".to_owned(), desc)]).unwrap();
+        prop_assert_eq!(sorted.num_rows(), b.num_rows());
+        // permutation: same multiset of rows
+        let mut a = rows_of(&b);
+        let mut s = rows_of(&sorted);
+        let key = |r: &Vec<Value>| format!("{r:?}");
+        a.sort_by_key(key);
+        s.sort_by_key(key);
+        prop_assert_eq!(a, s);
+        // ordered
+        let vs: Vec<Option<i64>> = (0..sorted.num_rows())
+            .map(|i| sorted.column(1).value(i).as_int())
+            .collect();
+        for w in vs.windows(2) {
+            let ok = match (&w[0], &w[1]) {
+                (None, None) => true,
+                (None, Some(_)) => !desc, // NULLs first ascending
+                (Some(_), None) => desc,  // NULLs last descending
+                (Some(x), Some(y)) => if desc { x >= y } else { x <= y },
+            };
+            prop_assert!(ok, "order violated: {:?}", w);
+        }
+    }
+
+    /// filter(p) ∪ filter(NOT p) partitions the non-NULL rows.
+    #[test]
+    fn filter_partitions(
+        rows in proptest::collection::vec((0i64..50, proptest::option::of(-50i64..50)), 0..60),
+        threshold in -50i64..50,
+    ) {
+        let b = batch_of(&rows);
+        let p = Expr::col("v").gt(Expr::lit(threshold));
+        let yes = ops::filter(&b, &p).unwrap();
+        let no = ops::filter(&b, &Expr::Not(Box::new(p))).unwrap();
+        let nulls = rows.iter().filter(|(_, v)| v.is_none()).count();
+        prop_assert_eq!(yes.num_rows() + no.num_rows() + nulls, rows.len());
+    }
+}
+
+mod lazy_scan {
+    use polaris_columnar::{DataType, Field, RecordBatch, Schema, Value, WriterOptions};
+    use polaris_exec::{scan, write as bewrite, Cell, Expr};
+    use polaris_store::{MemoryStore, Stamp, StatsStore};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ])
+    }
+
+    fn setup(rows: i64, group_rows: usize) -> (StatsStore<MemoryStore>, Cell) {
+        let store = StatsStore::new(MemoryStore::new());
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("name-{i}")),
+                    Value::Float(i as f64 / 2.0),
+                ]
+            })
+            .collect();
+        let batch = RecordBatch::from_rows(schema(), &data).unwrap();
+        let opts = WriterOptions {
+            row_group_rows: group_rows,
+            ..Default::default()
+        };
+        let written = bewrite::write_data_file(&store, "t/f", &batch, opts, Stamp(1)).unwrap();
+        let cell = Cell {
+            file: "t/f".into(),
+            rows: written.rows,
+            bytes: written.bytes,
+            distribution: 0,
+            dv_path: None,
+            col_ranges: Vec::new(),
+        };
+        (store, cell)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Lazy scan returns exactly the full scan projected onto the
+        /// needed columns, for arbitrary predicates and column subsets.
+        #[test]
+        fn lazy_equals_full(
+            rows in 1i64..200,
+            group_rows in 1usize..64,
+            lo in 0i64..200,
+            width in 1i64..100,
+            pick_name in any::<bool>(),
+            pick_price in any::<bool>(),
+        ) {
+            let (store, cell) = setup(rows, group_rows);
+            let pred = Expr::col("k").gt_eq(Expr::lit(lo)).and(Expr::col("k").lt(Expr::lit(lo + width)));
+            let mut needed: BTreeSet<String> = ["k".to_owned()].into();
+            if pick_name { needed.insert("name".to_owned()); }
+            if pick_price { needed.insert("price".to_owned()); }
+
+            let lazy = scan::scan_cell_lazy(&store, &cell, Some(&needed), Some(&pred)).unwrap();
+            let full = scan::scan_cell(&store, &cell, None, Some(&pred)).unwrap();
+            match (lazy, full) {
+                (None, None) => {}
+                (Some(l), Some(f)) => {
+                    let cols: Vec<&str> = needed.iter().map(String::as_str).collect();
+                    // order needed columns by file schema order
+                    let ordered: Vec<&str> = ["k", "name", "price"]
+                        .into_iter()
+                        .filter(|c| cols.contains(c))
+                        .collect();
+                    prop_assert_eq!(l, f.project(&ordered).unwrap());
+                }
+                (l, f) => prop_assert!(false, "lazy={:?} full={:?}", l.is_some(), f.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_scan_reads_fewer_bytes() {
+        let (store, cell) = setup(4_000, 256);
+        store.reset();
+        let needed: BTreeSet<String> = ["k".to_owned()].into();
+        let pred = Expr::col("k").gt_eq(Expr::lit(3_900i64));
+        scan::scan_cell_lazy(&store, &cell, Some(&needed), Some(&pred))
+            .unwrap()
+            .unwrap();
+        let lazy = store.counts();
+        store.reset();
+        scan::scan_cell(&store, &cell, None, Some(&pred))
+            .unwrap()
+            .unwrap();
+        let full = store.counts();
+        assert!(
+            lazy.bytes_read * 4 < full.bytes_read,
+            "lazy {} bytes vs full {} bytes",
+            lazy.bytes_read,
+            full.bytes_read
+        );
+    }
+
+    #[test]
+    fn count_star_with_empty_needed_set() {
+        let (store, cell) = setup(100, 32);
+        let needed: BTreeSet<String> = BTreeSet::new();
+        let out = scan::scan_cell_lazy(&store, &cell, Some(&needed), None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.num_rows(), 100);
+        assert_eq!(out.num_columns(), 1, "falls back to the cheapest column");
+    }
+}

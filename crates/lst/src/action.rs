@@ -1,0 +1,188 @@
+//! Manifest actions: the log-entry vocabulary of log-structured tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar bound carried in manifest statistics — a serializable mirror
+/// of the engine's `Value` restricted to orderable types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RangeVal {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Days since epoch.
+    Date(i32),
+}
+
+impl RangeVal {
+    /// Convert from an engine scalar; `None` for NULL (no bound).
+    pub fn from_value(v: &polaris_columnar::Value) -> Option<RangeVal> {
+        use polaris_columnar::Value;
+        Some(match v {
+            Value::Null => return None,
+            Value::Int(x) => RangeVal::Int(*x),
+            Value::Float(x) => RangeVal::Float(*x),
+            Value::Str(x) => RangeVal::Str(x.clone()),
+            Value::Bool(x) => RangeVal::Bool(*x),
+            Value::Date(x) => RangeVal::Date(*x),
+        })
+    }
+
+    /// Convert back to an engine scalar.
+    pub fn to_value(&self) -> polaris_columnar::Value {
+        use polaris_columnar::Value;
+        match self {
+            RangeVal::Int(x) => Value::Int(*x),
+            RangeVal::Float(x) => Value::Float(*x),
+            RangeVal::Str(x) => Value::Str(x.clone()),
+            RangeVal::Bool(x) => Value::Bool(*x),
+            RangeVal::Date(x) => Value::Date(*x),
+        }
+    }
+}
+
+/// Per-column min/max carried in the manifest (the Delta-Lake-style
+/// file statistics): lets the FE/BE prune files against predicates
+/// *without fetching them* — metadata-only pruning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColRange {
+    /// Column name.
+    pub column: String,
+    /// Minimum non-null value in the file.
+    pub min: RangeVal,
+    /// Maximum non-null value in the file.
+    pub max: RangeVal,
+}
+
+/// Metadata for a data file referenced by a manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataFileEntry {
+    /// Blob path of the columnar data file.
+    pub path: String,
+    /// Row count (before delete-vector masking).
+    pub rows: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Distribution bucket the file's cells belong to (§2.3's `d(r)`).
+    pub distribution: u32,
+    /// Optional per-column ranges for metadata-only pruning. Columns with
+    /// only NULLs (or non-orderable stats) are simply absent.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub col_ranges: Vec<ColRange>,
+}
+
+/// Metadata for a delete-vector file attached to a data file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvEntry {
+    /// Blob path of the delete-vector file.
+    pub path: String,
+    /// Number of rows the vector marks deleted.
+    pub cardinality: u64,
+}
+
+/// One log entry in a manifest file.
+///
+/// The four-action vocabulary matches the paper's §4.2 example: inserts
+/// `Add` data files; deletes `Add` a delete vector (and, when one already
+/// existed for the target file, `RemoveDv` the old one and `Add` the merged
+/// version); compaction `Remove`s rewritten data files and `Add`s their
+/// replacements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum ManifestAction {
+    /// A new immutable data file joined the table.
+    AddFile(DataFileEntry),
+    /// A data file was logically removed (rewritten or fully deleted). The
+    /// physical blob remains until garbage collection (§5.3).
+    RemoveFile {
+        /// Path of the removed data file.
+        path: String,
+    },
+    /// A delete vector now masks rows of `data_file`.
+    AddDv {
+        /// Path of the data file the vector applies to.
+        data_file: String,
+        /// The delete-vector file.
+        dv: DvEntry,
+    },
+    /// A previous delete vector of `data_file` was superseded.
+    RemoveDv {
+        /// Path of the data file the vector applied to.
+        data_file: String,
+        /// Path of the superseded delete-vector file.
+        dv_path: String,
+    },
+}
+
+impl ManifestAction {
+    /// Convenience constructor for [`ManifestAction::AddFile`].
+    pub fn add_file(path: impl Into<String>, rows: u64, bytes: u64, distribution: u32) -> Self {
+        ManifestAction::AddFile(DataFileEntry {
+            path: path.into(),
+            rows,
+            bytes,
+            distribution,
+            col_ranges: Vec::new(),
+        })
+    }
+
+    /// Convenience constructor for [`ManifestAction::RemoveFile`].
+    pub fn remove_file(path: impl Into<String>) -> Self {
+        ManifestAction::RemoveFile { path: path.into() }
+    }
+
+    /// Convenience constructor for [`ManifestAction::AddDv`].
+    pub fn add_dv(
+        data_file: impl Into<String>,
+        dv_path: impl Into<String>,
+        cardinality: u64,
+    ) -> Self {
+        ManifestAction::AddDv {
+            data_file: data_file.into(),
+            dv: DvEntry {
+                path: dv_path.into(),
+                cardinality,
+            },
+        }
+    }
+
+    /// Convenience constructor for [`ManifestAction::RemoveDv`].
+    pub fn remove_dv(data_file: impl Into<String>, dv_path: impl Into<String>) -> Self {
+        ManifestAction::RemoveDv {
+            data_file: data_file.into(),
+            dv_path: dv_path.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_all_variants() {
+        let actions = vec![
+            ManifestAction::add_file("t/data/f1.pcf", 100, 2048, 3),
+            ManifestAction::remove_file("t/data/f0.pcf"),
+            ManifestAction::add_dv("t/data/f1.pcf", "t/dv/f1.dv", 7),
+            ManifestAction::remove_dv("t/data/f1.pcf", "t/dv/old.dv"),
+        ];
+        for a in actions {
+            let json = serde_json::to_string(&a).unwrap();
+            let back: ManifestAction = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, a);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_tagged() {
+        let a = ManifestAction::add_file("f", 1, 2, 0);
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"action\":\"add_file\""), "{json}");
+    }
+}

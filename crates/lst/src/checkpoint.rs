@@ -1,0 +1,107 @@
+//! Checkpoint files: compacted full-state snapshots of the manifest chain
+//! (§5.2).
+
+use crate::{DataFileState, LstError, LstResult, SequenceId, TableSnapshot};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A checkpoint: the complete table state as of `upto`, written by the STO
+/// once a table accumulates enough manifests.
+///
+/// Readers start from the most recent checkpoint visible to their snapshot
+/// and replay only the manifests after it — turning O(total commits)
+/// reconstruction into O(commits since checkpoint). Checkpoints never
+/// modify data files and therefore never conflict with user transactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Sequence number this checkpoint covers through (inclusive).
+    pub upto: SequenceId,
+    /// Full file state at `upto`.
+    files: Vec<DataFileState>,
+}
+
+impl Checkpoint {
+    /// Capture a snapshot into a checkpoint.
+    pub fn from_snapshot(snapshot: &TableSnapshot) -> Self {
+        Checkpoint {
+            upto: snapshot.upto(),
+            files: snapshot.files().cloned().collect(),
+        }
+    }
+
+    /// Restore the snapshot this checkpoint captured.
+    pub fn to_snapshot(&self) -> TableSnapshot {
+        let mut snap = TableSnapshot::empty();
+        for state in &self.files {
+            snap.insert_state(state.clone());
+        }
+        snap.set_upto(self.upto);
+        snap
+    }
+
+    /// Number of live files captured.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Serialize to the checkpoint file format (JSON).
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("checkpoints always serialize"))
+    }
+
+    /// Parse a checkpoint file.
+    pub fn decode(data: &[u8]) -> LstResult<Self> {
+        serde_json::from_slice(data).map_err(|e| LstError::malformed(format!("checkpoint: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Manifest, ManifestAction};
+
+    fn snapshot() -> TableSnapshot {
+        let m1 = Manifest::from_actions(vec![
+            ManifestAction::add_file("t/a", 10, 100, 0),
+            ManifestAction::add_file("t/b", 20, 200, 1),
+        ]);
+        let m2 = Manifest::from_actions(vec![
+            ManifestAction::add_dv("t/b", "t/b.dv", 4),
+            ManifestAction::remove_file("t/a"),
+            ManifestAction::add_file("t/c", 30, 300, 0),
+        ]);
+        TableSnapshot::from_manifests([(SequenceId(1), &m1), (SequenceId(2), &m2)]).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let snap = snapshot();
+        let ckpt = Checkpoint::from_snapshot(&snap);
+        assert_eq!(ckpt.upto, SequenceId(2));
+        assert_eq!(ckpt.file_count(), 2);
+        let decoded = Checkpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+        let restored = decoded.to_snapshot();
+        assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn replay_continues_after_checkpoint_restore() {
+        let snap = snapshot();
+        let mut restored = Checkpoint::from_snapshot(&snap).to_snapshot();
+        let m3 = Manifest::from_actions(vec![ManifestAction::add_file("t/d", 5, 50, 1)]);
+        restored.apply_manifest(SequenceId(3), &m3).unwrap();
+        assert_eq!(restored.file_count(), 3);
+        assert_eq!(restored.upto(), SequenceId(3));
+        // a manifest at or before the checkpoint must be rejected
+        let mut restored2 = Checkpoint::from_snapshot(&snap).to_snapshot();
+        let stale = Manifest::from_actions(vec![ManifestAction::add_file("t/e", 1, 10, 0)]);
+        assert!(restored2.apply_manifest(SequenceId(2), &stale).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Checkpoint::decode(b"not json").is_err());
+        assert!(Checkpoint::decode(b"{}").is_err());
+    }
+}

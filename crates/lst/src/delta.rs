@@ -1,0 +1,473 @@
+//! Transaction deltas: a transaction's private, reconciled view of its own
+//! uncommitted changes (§3.2.3).
+
+use crate::{
+    DataFileEntry, DataFileState, DvEntry, LstError, LstResult, ManifestAction, TableSnapshot,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The uncommitted changes of one transaction against one table, expressed
+/// relative to the committed snapshot the transaction started from.
+///
+/// This is the in-memory form of the *transaction manifest*: statements
+/// append actions via [`apply`](TxnDelta::apply); the reconciled action
+/// list emitted by [`to_actions`](TxnDelta::to_actions) is what the SQL FE
+/// flushes to the manifest blob. Reconciliation guarantees the paper's
+/// requirement that "the final transaction manifest should not contain any
+/// information about the parts from the first update that were made
+/// obsolete by the second update": adding and later removing a file inside
+/// the same transaction leaves no trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TxnDelta {
+    /// Files added by this transaction, with their current DV (a txn can
+    /// delete rows from a file it just wrote).
+    added: BTreeMap<String, (DataFileEntry, Option<DvEntry>)>,
+    /// Base-snapshot files this transaction removed.
+    removed_base: BTreeSet<String>,
+    /// Base-snapshot files whose DV this transaction replaced:
+    /// `data_file -> (old dv path if the base had one, new dv)`.
+    dv_on_base: BTreeMap<String, (Option<String>, DvEntry)>,
+    /// Base-snapshot files whose committed DV this transaction removed
+    /// without (yet) replacing: `data_file -> old dv path`. Usually a
+    /// transient state between the RemoveDv and AddDv of a delete
+    /// statement.
+    dv_removed_base: BTreeMap<String, String>,
+}
+
+impl TxnDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Has the transaction made any changes to this table?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed_base.is_empty()
+            && self.dv_on_base.is_empty()
+            && self.dv_removed_base.is_empty()
+    }
+
+    /// Apply one action produced by a statement of this transaction.
+    ///
+    /// `base` is the committed snapshot the transaction reads from; it is
+    /// needed to distinguish "remove a file I added" (erase it from the
+    /// delta) from "remove a committed file" (record a removal).
+    pub fn apply(&mut self, base: &TableSnapshot, action: &ManifestAction) -> LstResult<()> {
+        match action {
+            ManifestAction::AddFile(entry) => {
+                if self.added.contains_key(&entry.path) {
+                    return Err(LstError::invalid_replay(format!(
+                        "txn added {} twice",
+                        entry.path
+                    )));
+                }
+                self.added.insert(entry.path.clone(), (entry.clone(), None));
+            }
+            ManifestAction::RemoveFile { path } => {
+                if self.added.remove(path).is_some() {
+                    // A file created and removed within the txn vanishes.
+                } else if base.file(path).is_some() && !self.removed_base.contains(path) {
+                    self.removed_base.insert(path.clone());
+                    self.dv_on_base.remove(path);
+                    self.dv_removed_base.remove(path);
+                } else {
+                    return Err(LstError::invalid_replay(format!(
+                        "txn removed unknown or already-removed file {path}"
+                    )));
+                }
+            }
+            ManifestAction::AddDv { data_file, dv } => {
+                if let Some((_, slot)) = self.added.get_mut(data_file) {
+                    *slot = Some(dv.clone());
+                } else if let Some(base_state) = base.file(data_file) {
+                    if self.removed_base.contains(data_file) {
+                        return Err(LstError::invalid_replay(format!(
+                            "dv added to file {data_file} the txn already removed"
+                        )));
+                    }
+                    let old = match self.dv_on_base.get(data_file) {
+                        // Keep the ORIGINAL base dv path: intermediate
+                        // txn-local DVs are reconciled away.
+                        Some((old, _)) => old.clone(),
+                        None => match self.dv_removed_base.remove(data_file) {
+                            // An earlier RemoveDv of the committed DV in
+                            // this txn already recorded the original path.
+                            Some(old) => Some(old),
+                            None => base_state.delete_vector.as_ref().map(|d| d.path.clone()),
+                        },
+                    };
+                    self.dv_on_base.insert(data_file.clone(), (old, dv.clone()));
+                } else {
+                    return Err(LstError::invalid_replay(format!(
+                        "dv for file {data_file} unknown to txn"
+                    )));
+                }
+            }
+            ManifestAction::RemoveDv { data_file, dv_path } => {
+                if let Some((_, slot)) = self.added.get_mut(data_file) {
+                    match slot {
+                        Some(dv) if &dv.path == dv_path => *slot = None,
+                        _ => {
+                            return Err(LstError::invalid_replay(format!(
+                                "dv removal of {dv_path} not current for txn file {data_file}"
+                            )))
+                        }
+                    }
+                } else if let Some((old, current)) = self.dv_on_base.get(data_file) {
+                    if &current.path == dv_path {
+                        let old = old.clone();
+                        self.dv_on_base.remove(data_file);
+                        if let Some(old) = old {
+                            // The committed DV is still logically removed;
+                            // keep that fact so to_actions emits it.
+                            self.dv_removed_base.insert(data_file.clone(), old);
+                        }
+                    } else {
+                        return Err(LstError::invalid_replay(format!(
+                            "dv removal of {dv_path} not current for base file {data_file}"
+                        )));
+                    }
+                } else if base
+                    .file(data_file)
+                    .and_then(|f| f.delete_vector.as_ref())
+                    .is_some_and(|dv| &dv.path == dv_path)
+                    && !self.removed_base.contains(data_file)
+                    && !self.dv_removed_base.contains_key(data_file)
+                {
+                    // Removing the base's committed DV (the prelude to the
+                    // Remove+Add pair a delete statement emits, §4.2).
+                    self.dv_removed_base
+                        .insert(data_file.clone(), dv_path.clone());
+                } else {
+                    return Err(LstError::invalid_replay(format!(
+                        "dv removal for file {data_file} unknown to txn"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The reconciled action list — the content of the transaction
+    /// manifest as committed.
+    pub fn to_actions(&self) -> Vec<ManifestAction> {
+        let mut actions = Vec::new();
+        for path in &self.removed_base {
+            actions.push(ManifestAction::remove_file(path.clone()));
+        }
+        for (data_file, old_path) in &self.dv_removed_base {
+            actions.push(ManifestAction::remove_dv(
+                data_file.clone(),
+                old_path.clone(),
+            ));
+        }
+        for (data_file, (old, dv)) in &self.dv_on_base {
+            if let Some(old_path) = old {
+                actions.push(ManifestAction::remove_dv(
+                    data_file.clone(),
+                    old_path.clone(),
+                ));
+            }
+            actions.push(ManifestAction::AddDv {
+                data_file: data_file.clone(),
+                dv: dv.clone(),
+            });
+        }
+        for (entry, dv) in self.added.values() {
+            actions.push(ManifestAction::AddFile(entry.clone()));
+            if let Some(dv) = dv {
+                actions.push(ManifestAction::AddDv {
+                    data_file: entry.path.clone(),
+                    dv: dv.clone(),
+                });
+            }
+        }
+        actions
+    }
+
+    /// The committed snapshot overlaid with this delta — what statements of
+    /// the transaction see (§3.2.3: "overlays these changes on the
+    /// committed manifests").
+    pub fn overlay(&self, base: &TableSnapshot) -> TableSnapshot {
+        let mut out = TableSnapshot::empty();
+        out.set_upto(base.upto());
+        for state in base.files() {
+            let path = &state.entry.path;
+            if self.removed_base.contains(path) {
+                continue;
+            }
+            let mut state = state.clone();
+            if let Some((_, dv)) = self.dv_on_base.get(path) {
+                state.delete_vector = Some(dv.clone());
+            } else if self.dv_removed_base.contains_key(path) {
+                state.delete_vector = None;
+            }
+            out.insert_state(state);
+        }
+        for (entry, dv) in self.added.values() {
+            out.insert_state(DataFileState {
+                entry: entry.clone(),
+                delete_vector: dv.clone(),
+                added_at: base.upto().next(),
+            });
+        }
+        out
+    }
+
+    /// Paths of base data files this transaction modified (removed or
+    /// re-DV'd) — the write set used for conflict detection at data-file
+    /// granularity (§4.4.1). Files *added* by the transaction are not
+    /// conflicts: inserts never conflict.
+    pub fn modified_base_files(&self) -> impl Iterator<Item = &str> {
+        self.removed_base
+            .iter()
+            .map(String::as_str)
+            .chain(self.dv_on_base.keys().map(String::as_str))
+            .chain(self.dv_removed_base.keys().map(String::as_str))
+    }
+
+    /// Paths of files added by this transaction (for GC bookkeeping on
+    /// abort).
+    pub fn added_files(&self) -> impl Iterator<Item = &str> {
+        self.added.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Manifest, SequenceId};
+
+    fn base() -> TableSnapshot {
+        let m = Manifest::from_actions(vec![
+            ManifestAction::add_file("t/base1", 10, 100, 0),
+            ManifestAction::add_file("t/base2", 20, 200, 1),
+            ManifestAction::add_dv("t/base2", "t/base2.dv0", 3),
+        ]);
+        TableSnapshot::from_manifests([(SequenceId(1), &m)]).unwrap()
+    }
+
+    #[test]
+    fn insert_then_read_own_writes() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::add_file("t/new1", 5, 50, 0))
+            .unwrap();
+        let view = delta.overlay(&base);
+        assert_eq!(view.file_count(), 3);
+        assert_eq!(view.live_rows(), 10 + 17 + 5);
+        // Base is untouched (private changes).
+        assert_eq!(base.file_count(), 2);
+    }
+
+    #[test]
+    fn add_then_remove_in_same_txn_reconciles_to_nothing() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::add_file("t/tmp", 5, 50, 0))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::remove_file("t/tmp"))
+            .unwrap();
+        assert!(delta.is_empty());
+        assert!(delta.to_actions().is_empty());
+    }
+
+    #[test]
+    fn double_update_reconciles_dv_chain() {
+        // Statement 1 deletes rows of base1 (dv A); statement 2 deletes
+        // more rows (dv B replacing A). Final manifest must reference only
+        // dv B and never mention A.
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/base1", "t/base1.dvA", 2))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::remove_dv("t/base1", "t/base1.dvA"))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/base1", "t/base1.dvB", 4))
+            .unwrap();
+        let actions = delta.to_actions();
+        assert_eq!(
+            actions,
+            vec![ManifestAction::add_dv("t/base1", "t/base1.dvB", 4)]
+        );
+        assert!(!format!("{actions:?}").contains("dvA"));
+    }
+
+    #[test]
+    fn dv_on_file_with_existing_base_dv_removes_original() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        // base2 already has dv0 with 3 deletes; txn merges in more deletes.
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/base2", "t/base2.dv1", 7))
+            .unwrap();
+        let actions = delta.to_actions();
+        assert_eq!(
+            actions,
+            vec![
+                ManifestAction::remove_dv("t/base2", "t/base2.dv0"),
+                ManifestAction::add_dv("t/base2", "t/base2.dv1", 7),
+            ]
+        );
+        let view = delta.overlay(&base);
+        assert_eq!(view.file("t/base2").unwrap().live_rows(), 13);
+    }
+
+    #[test]
+    fn remove_base_file() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::remove_file("t/base1"))
+            .unwrap();
+        let view = delta.overlay(&base);
+        assert_eq!(view.file_count(), 1);
+        assert!(view.file("t/base1").is_none());
+        assert_eq!(
+            delta.to_actions(),
+            vec![ManifestAction::remove_file("t/base1")]
+        );
+        assert_eq!(
+            delta.modified_base_files().collect::<Vec<_>>(),
+            vec!["t/base1"]
+        );
+    }
+
+    #[test]
+    fn dv_then_remove_same_base_file_keeps_only_removal() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/base1", "t/base1.dvA", 2))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::remove_file("t/base1"))
+            .unwrap();
+        assert_eq!(
+            delta.to_actions(),
+            vec![ManifestAction::remove_file("t/base1")]
+        );
+    }
+
+    #[test]
+    fn dv_on_own_added_file() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::add_file("t/new", 8, 80, 0))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/new", "t/new.dv", 3))
+            .unwrap();
+        let actions = delta.to_actions();
+        assert_eq!(actions.len(), 2);
+        let view = delta.overlay(&base);
+        assert_eq!(view.file("t/new").unwrap().live_rows(), 5);
+    }
+
+    #[test]
+    fn invalid_operations_rejected() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        assert!(delta
+            .apply(&base, &ManifestAction::remove_file("t/ghost"))
+            .is_err());
+        assert!(delta
+            .apply(&base, &ManifestAction::add_dv("t/ghost", "x.dv", 1))
+            .is_err());
+        delta
+            .apply(&base, &ManifestAction::remove_file("t/base1"))
+            .unwrap();
+        // double removal
+        assert!(delta
+            .apply(&base, &ManifestAction::remove_file("t/base1"))
+            .is_err());
+        // dv on removed file
+        assert!(delta
+            .apply(&base, &ManifestAction::add_dv("t/base1", "x.dv", 1))
+            .is_err());
+    }
+
+    #[test]
+    fn remove_then_add_of_committed_base_dv() {
+        // The action pair a delete statement emits against a file whose DV
+        // was committed by an EARLIER transaction: RemoveDv(old)+AddDv(new).
+        let base = base(); // base2 has committed dv0 (3 deletes)
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::remove_dv("t/base2", "t/base2.dv0"))
+            .unwrap();
+        // Mid-statement view: the base DV is gone.
+        let view = delta.overlay(&base);
+        assert_eq!(view.file("t/base2").unwrap().live_rows(), 20);
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/base2", "t/base2.dv1", 5))
+            .unwrap();
+        assert_eq!(
+            delta.to_actions(),
+            vec![
+                ManifestAction::remove_dv("t/base2", "t/base2.dv0"),
+                ManifestAction::add_dv("t/base2", "t/base2.dv1", 5),
+            ]
+        );
+        assert_eq!(
+            delta.modified_base_files().collect::<Vec<_>>(),
+            vec!["t/base2"]
+        );
+        // Wrong path or double removal is rejected.
+        let mut bad = TxnDelta::new();
+        assert!(bad
+            .apply(&base, &ManifestAction::remove_dv("t/base2", "t/wrong.dv"))
+            .is_err());
+        let mut dup = TxnDelta::new();
+        dup.apply(&base, &ManifestAction::remove_dv("t/base2", "t/base2.dv0"))
+            .unwrap();
+        assert!(dup
+            .apply(&base, &ManifestAction::remove_dv("t/base2", "t/base2.dv0"))
+            .is_err());
+    }
+
+    #[test]
+    fn standalone_base_dv_removal_survives_to_actions() {
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::remove_dv("t/base2", "t/base2.dv0"))
+            .unwrap();
+        assert!(!delta.is_empty());
+        let manifest = Manifest::from_actions(delta.to_actions());
+        let mut committed = base.clone();
+        committed.apply_manifest(SequenceId(2), &manifest).unwrap();
+        assert_eq!(committed.file("t/base2").unwrap().live_rows(), 20);
+    }
+
+    #[test]
+    fn committed_manifest_replays_onto_base() {
+        // End-to-end: the reconciled actions must apply cleanly to the base
+        // snapshot and produce the overlay view.
+        let base = base();
+        let mut delta = TxnDelta::new();
+        delta
+            .apply(&base, &ManifestAction::add_file("t/new", 5, 50, 0))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::add_dv("t/base2", "t/base2.dv1", 5))
+            .unwrap();
+        delta
+            .apply(&base, &ManifestAction::remove_file("t/base1"))
+            .unwrap();
+        let manifest = Manifest::from_actions(delta.to_actions());
+        let mut committed = base.clone();
+        committed.apply_manifest(SequenceId(2), &manifest).unwrap();
+        let overlay = delta.overlay(&base);
+        assert_eq!(committed.live_rows(), overlay.live_rows());
+        assert_eq!(committed.file_count(), overlay.file_count());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the LST layer.
+
+use std::fmt;
+
+/// Result alias for LST operations.
+pub type LstResult<T> = Result<T, LstError>;
+
+/// Errors raised while reading or replaying physical metadata.
+#[derive(Debug)]
+pub enum LstError {
+    /// A manifest or checkpoint file failed to parse.
+    Malformed {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// Replay encountered an action inconsistent with the current state
+    /// (e.g. removing a file that is not live). Indicates metadata
+    /// corruption or a bug in the commit path.
+    InvalidReplay {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// Underlying object-store failure.
+    Store(polaris_store::StoreError),
+}
+
+impl fmt::Display for LstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LstError::Malformed { detail } => write!(f, "malformed metadata file: {detail}"),
+            LstError::InvalidReplay { detail } => write!(f, "invalid manifest replay: {detail}"),
+            LstError::Store(e) => write!(f, "object store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LstError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LstError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<polaris_store::StoreError> for LstError {
+    fn from(e: polaris_store::StoreError) -> Self {
+        LstError::Store(e)
+    }
+}
+
+impl LstError {
+    /// Shorthand for [`LstError::Malformed`].
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        LstError::Malformed {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`LstError::InvalidReplay`].
+    pub fn invalid_replay(detail: impl Into<String>) -> Self {
+        LstError::InvalidReplay {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LstError::malformed("bad json");
+        assert!(e.to_string().contains("bad json"));
+        let store_err = polaris_store::StoreError::Transient { detail: "x".into() };
+        let e = LstError::from(store_err);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! Manifest files: JSON-lines serialization of action sequences.
+
+use crate::{LstError, LstResult, ManifestAction};
+use bytes::Bytes;
+
+/// A transaction's manifest: the ordered list of actions it performed.
+///
+/// **Serialization is JSON lines (one action per line).** This is the
+/// property that makes the distributed write path (§3.2.2, §4.3) work:
+/// every BE task serializes its own actions as complete lines into a staged
+/// block, and the Block Blob commit concatenates blocks in any order into a
+/// valid manifest — no merging or coordination between BEs required.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// Actions in replay order.
+    pub actions: Vec<ManifestAction>,
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an action list.
+    pub fn from_actions(actions: Vec<ManifestAction>) -> Self {
+        Manifest { actions }
+    }
+
+    /// Serialize to JSON lines.
+    pub fn encode(&self) -> Bytes {
+        Self::encode_actions(&self.actions)
+    }
+
+    /// Serialize a slice of actions to JSON lines — the payload of one
+    /// manifest *block* as written by a single BE task.
+    pub fn encode_actions(actions: &[ManifestAction]) -> Bytes {
+        let mut out = String::new();
+        for a in actions {
+            out.push_str(&serde_json::to_string(a).expect("actions always serialize"));
+            out.push('\n');
+        }
+        Bytes::from(out)
+    }
+
+    /// Parse JSON lines (tolerates a missing trailing newline and blank
+    /// lines, which appear when concatenating blocks).
+    pub fn decode(data: &[u8]) -> LstResult<Self> {
+        let text =
+            std::str::from_utf8(data).map_err(|_| LstError::malformed("manifest is not UTF-8"))?;
+        let mut actions = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let action = serde_json::from_str(line)
+                .map_err(|e| LstError::malformed(format!("manifest line {}: {e}", i + 1)))?;
+            actions.push(action);
+        }
+        Ok(Manifest { actions })
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Is the manifest empty?
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest::from_actions(vec![
+            ManifestAction::add_file("t/f1", 10, 100, 0),
+            ManifestAction::add_dv("t/f1", "t/f1.dv", 2),
+            ManifestAction::remove_file("t/f0"),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn concatenated_blocks_decode_as_one_manifest() {
+        // Two BEs write independent blocks; commit concatenates them.
+        let block_a = Manifest::encode_actions(&[ManifestAction::add_file("t/a", 1, 10, 0)]);
+        let block_b = Manifest::encode_actions(&[
+            ManifestAction::add_file("t/b", 2, 20, 1),
+            ManifestAction::add_dv("t/b", "t/b.dv", 1),
+        ]);
+        let mut joined = block_a.to_vec();
+        joined.extend_from_slice(&block_b);
+        let m = Manifest::decode(&joined).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.actions[0], ManifestAction::add_file("t/a", 1, 10, 0));
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_missing_trailing_newline() {
+        let raw = format!(
+            "\n{}\n\n{}",
+            serde_json::to_string(&ManifestAction::remove_file("x")).unwrap(),
+            serde_json::to_string(&ManifestAction::remove_file("y")).unwrap(),
+        );
+        let m = Manifest::decode(raw.as_bytes()).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Manifest::decode(b"{not json}\n").is_err());
+        assert!(Manifest::decode(&[0xff, 0xfe]).is_err());
+        let err = Manifest::decode(b"{\"action\":\"warp_drive\"}\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_manifest() {
+        let m = Manifest::new();
+        assert!(m.is_empty());
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        assert_eq!(Manifest::decode(b"").unwrap(), m);
+    }
+}

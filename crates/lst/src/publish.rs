@@ -1,0 +1,157 @@
+//! Async "lake" snapshot publishing in the Delta Lake format (§5.4).
+//!
+//! Polaris keeps its internal manifests in a private location and, after
+//! each commit, the STO transforms and copies the committed metadata into a
+//! user-accessible `_delta_log` so other engines (Spark, etc.) can read the
+//! same data files with zero copies. The internal format "closely aligns"
+//! with Delta, so publishing is a near-1:1 transformation.
+
+use crate::{LstResult, Manifest, ManifestAction, SequenceId, TableSnapshot};
+use polaris_store::{BlobPath, ObjectStore, Stamp};
+use serde_json::json;
+
+/// Publish one committed manifest as a Delta-log commit file.
+///
+/// Writes `<table_root>/_delta_log/<%020d>.json` containing Delta-style
+/// `add` / `remove` actions plus a `commitInfo` line. Returns the blob path
+/// written.
+pub fn publish_manifest_as_delta(
+    store: &dyn ObjectStore,
+    table_root: &str,
+    seq: SequenceId,
+    manifest: &Manifest,
+) -> LstResult<BlobPath> {
+    let mut lines = Vec::with_capacity(manifest.len() + 1);
+    lines.push(
+        json!({
+            "commitInfo": {
+                "operation": "POLARIS_COMMIT",
+                "polarisSequence": seq.0,
+                "engineInfo": "polaris-tx",
+            }
+        })
+        .to_string(),
+    );
+    for action in &manifest.actions {
+        lines.push(delta_action_json(action).to_string());
+    }
+    let path = BlobPath::new(format!("{table_root}/_delta_log/{:020}.json", seq.0))?;
+    store.put(&path, lines.join("\n").into_bytes().into(), Stamp::SYSTEM)?;
+    Ok(path)
+}
+
+/// Publish a full snapshot as a Delta checkpoint-style file
+/// (`_delta_log/<%020d>.checkpoint.json`) listing every live file.
+pub fn publish_snapshot_as_delta(
+    store: &dyn ObjectStore,
+    table_root: &str,
+    snapshot: &TableSnapshot,
+) -> LstResult<BlobPath> {
+    let mut lines = Vec::with_capacity(snapshot.file_count());
+    for action in snapshot.to_actions() {
+        lines.push(delta_action_json(&action).to_string());
+    }
+    let path = BlobPath::new(format!(
+        "{table_root}/_delta_log/{:020}.checkpoint.json",
+        snapshot.upto().0
+    ))?;
+    store.put(&path, lines.join("\n").into_bytes().into(), Stamp::SYSTEM)?;
+    Ok(path)
+}
+
+fn delta_action_json(action: &ManifestAction) -> serde_json::Value {
+    match action {
+        ManifestAction::AddFile(e) => json!({
+            "add": {
+                "path": e.path,
+                "size": e.bytes,
+                "stats": { "numRecords": e.rows },
+                "partitionValues": { "distribution": e.distribution.to_string() },
+                "dataChange": true,
+            }
+        }),
+        ManifestAction::RemoveFile { path } => json!({
+            "remove": { "path": path, "dataChange": true }
+        }),
+        ManifestAction::AddDv { data_file, dv } => json!({
+            "add": {
+                "path": data_file,
+                "deletionVector": {
+                    "storageType": "p",
+                    "pathOrInlineDv": dv.path,
+                    "cardinality": dv.cardinality,
+                },
+                "dataChange": true,
+            }
+        }),
+        ManifestAction::RemoveDv { data_file, dv_path } => json!({
+            "remove": {
+                "path": data_file,
+                "deletionVector": { "storageType": "p", "pathOrInlineDv": dv_path },
+                "dataChange": true,
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_store::MemoryStore;
+
+    fn manifest() -> Manifest {
+        Manifest::from_actions(vec![
+            ManifestAction::add_file("lake/t/data/f1.pcf", 100, 4096, 0),
+            ManifestAction::add_dv("lake/t/data/f0.pcf", "lake/t/dv/f0.dv", 5),
+        ])
+    }
+
+    #[test]
+    fn publishes_delta_commit_file() {
+        let store = MemoryStore::new();
+        let path = publish_manifest_as_delta(&store, "lake/t", SequenceId(7), &manifest()).unwrap();
+        assert_eq!(path.as_str(), "lake/t/_delta_log/00000000000000000007.json");
+        let content = String::from_utf8(store.get(&path).unwrap().to_vec()).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let commit: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(commit["commitInfo"]["polarisSequence"], 7);
+        let add: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(add["add"]["stats"]["numRecords"], 100);
+        let dv: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(dv["add"]["deletionVector"]["cardinality"], 5);
+    }
+
+    #[test]
+    fn publishes_snapshot_checkpoint() {
+        let store = MemoryStore::new();
+        let snap =
+            TableSnapshot::from_manifests([(SequenceId(3), &manifest_with_files())]).unwrap();
+        let path = publish_snapshot_as_delta(&store, "lake/t", &snap).unwrap();
+        assert!(path
+            .as_str()
+            .ends_with("00000000000000000003.checkpoint.json"));
+        let content = String::from_utf8(store.get(&path).unwrap().to_vec()).unwrap();
+        assert_eq!(content.lines().count(), 2);
+    }
+
+    fn manifest_with_files() -> Manifest {
+        Manifest::from_actions(vec![
+            ManifestAction::add_file("lake/t/data/a.pcf", 10, 100, 0),
+            ManifestAction::add_file("lake/t/data/b.pcf", 20, 200, 1),
+        ])
+    }
+
+    #[test]
+    fn sequential_publishes_sort_lexicographically() {
+        let store = MemoryStore::new();
+        for seq in [1u64, 2, 10, 100] {
+            publish_manifest_as_delta(&store, "lake/t", SequenceId(seq), &manifest()).unwrap();
+        }
+        let listed = store.list("lake/t/_delta_log/").unwrap();
+        let names: Vec<&str> = listed.iter().map(|m| m.path.file_name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "zero-padded names must sort in commit order");
+    }
+}

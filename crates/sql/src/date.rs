@@ -1,0 +1,94 @@
+//! Civil-date conversion for `DATE 'yyyy-mm-dd'` literals.
+//!
+//! Uses Howard Hinnant's days-from-civil algorithm; exact for the entire
+//! proleptic Gregorian calendar.
+
+/// Days since 1970-01-01 for a civil date.
+pub fn date_to_days(year: i32, month: u32, day: u32) -> i32 {
+    debug_assert!((1..=12).contains(&month));
+    debug_assert!((1..=31).contains(&day));
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = ((month as i64) + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + (day as i64) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Inverse of [`date_to_days`].
+pub fn days_to_date(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y } as i32;
+    (y, m, d)
+}
+
+/// Parse `yyyy-mm-dd` into days since epoch.
+pub(crate) fn parse_date_literal(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(date_to_days(year, month, day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_anchors() {
+        assert_eq!(date_to_days(1970, 1, 1), 0);
+        assert_eq!(date_to_days(1970, 1, 2), 1);
+        assert_eq!(date_to_days(1969, 12, 31), -1);
+        assert_eq!(date_to_days(2000, 3, 1), 11017);
+        assert_eq!(date_to_days(2024, 1, 31), 19753);
+    }
+
+    #[test]
+    fn leap_years() {
+        // 2000 was a leap year (div 400), 1900 was not (div 100).
+        assert_eq!(date_to_days(2000, 3, 1) - date_to_days(2000, 2, 28), 2);
+        assert_eq!(date_to_days(1900, 3, 1) - date_to_days(1900, 2, 28), 1);
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(parse_date_literal("1970-01-01"), Some(0));
+        assert_eq!(
+            parse_date_literal("2024-12-25"),
+            Some(date_to_days(2024, 12, 25))
+        );
+        assert_eq!(parse_date_literal("not-a-date"), None);
+        assert_eq!(parse_date_literal("2024-13-01"), None);
+        assert_eq!(parse_date_literal("2024-01"), None);
+        assert_eq!(parse_date_literal("2024-01-01-01"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(days in -1_000_000i32..1_000_000) {
+            let (y, m, d) = days_to_date(days);
+            prop_assert_eq!(date_to_days(y, m, d), days);
+        }
+
+        #[test]
+        fn ordering_preserved(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+            let da = days_to_date(a);
+            let db = days_to_date(b);
+            prop_assert_eq!(a.cmp(&b), da.cmp(&db));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! SQL tokenizer.
+
+use crate::parser::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original text is preserved).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Operators and punctuation.
+    Symbol(Sym),
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+}
+
+/// Tokenize SQL text. Supports `-- line comments`.
+pub(crate) fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::LtEq));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::GtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Symbol(Sym::NotEq));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new("unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '0'..='9' => i += 1,
+                        '.' if !is_float
+                            && bytes
+                                .get(i + 1)
+                                .is_some_and(|b| (*b as char).is_ascii_digit()) =>
+                        {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v = text
+                        .parse()
+                        .map_err(|_| ParseError::new(format!("bad float literal {text}")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse()
+                        .map_err(|_| ParseError::new(format!("bad int literal {text}")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Word(sql[start..i].to_owned()));
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize("SELECT a, SUM(b) FROM t WHERE c >= 1.5 AND d <> 'x''y'").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::GtEq)));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("x'y".into())));
+        assert!(toks.contains(&Token::Symbol(Sym::NotEq)));
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n , 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Symbol(Sym::Comma),
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_dots() {
+        // "1.5" is a float; "a.b" is ident dot ident.
+        let toks = tokenize("1.5 a.b 42").unwrap();
+        assert_eq!(toks[0], Token::Float(1.5));
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::Symbol(Sym::Dot));
+        assert_eq!(toks[3], Token::Word("b".into()));
+        assert_eq!(toks[4], Token::Int(42));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("SELECT ?").is_err());
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn bang_eq_is_not_eq() {
+        let toks = tokenize("a != b").unwrap();
+        assert_eq!(toks[1], Token::Symbol(Sym::NotEq));
+    }
+}

@@ -1,0 +1,71 @@
+//! Parser robustness: arbitrary input must never panic — only return
+//! structured errors — and valid statements must round-trip through
+//! parse → plan without panicking either.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Total garbage never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(input in ".{0,200}") {
+        let _ = polaris_sql::parse(&input);
+        let _ = polaris_sql::parse_many(&input);
+    }
+
+    /// SQL-shaped garbage never panics (higher hit rate on parser paths).
+    #[test]
+    fn sqlish_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_owned()), Just("FROM".to_owned()),
+                Just("WHERE".to_owned()), Just("GROUP".to_owned()),
+                Just("BY".to_owned()), Just("ORDER".to_owned()),
+                Just("INSERT".to_owned()), Just("INTO".to_owned()),
+                Just("VALUES".to_owned()), Just("UPDATE".to_owned()),
+                Just("SET".to_owned()), Just("DELETE".to_owned()),
+                Just("JOIN".to_owned()), Just("ON".to_owned()),
+                Just("AND".to_owned()), Just("OR".to_owned()),
+                Just("NOT".to_owned()), Just("NULL".to_owned()),
+                Just("AS".to_owned()), Just("OF".to_owned()),
+                Just("(".to_owned()), Just(")".to_owned()),
+                Just(",".to_owned()), Just(";".to_owned()),
+                Just("=".to_owned()), Just("<".to_owned()),
+                Just("*".to_owned()), Just("'str'".to_owned()),
+                Just("42".to_owned()), Just("3.14".to_owned()),
+                Just("tbl".to_owned()), Just("col".to_owned()),
+                Just("SUM".to_owned()), Just("COUNT".to_owned()),
+                Just("BETWEEN".to_owned()), Just("LIKE".to_owned()),
+                Just("IS".to_owned()), Just("DATE".to_owned()),
+            ],
+            0..30,
+        )
+    ) {
+        let sql = words.join(" ");
+        if let Ok(polaris_sql::Statement::Select(sel)) = polaris_sql::parse(&sql) {
+            // Planning a parsed statement must not panic either.
+            let _ = polaris_sql::plan_select(&sel);
+        }
+    }
+
+    /// Generated well-formed selects always parse and plan.
+    #[test]
+    fn well_formed_selects_always_plan(
+        cols in proptest::collection::vec("c_[a-z0-9_]{0,8}", 1..4),
+        table in "t_[a-z0-9_]{0,8}",
+        lit in any::<i32>(),
+        desc in any::<bool>(),
+        limit in proptest::option::of(0usize..1000),
+    ) {
+        let mut sql = format!("SELECT {} FROM {}", cols.join(", "), table);
+        sql.push_str(&format!(" WHERE {} > {}", cols[0], lit));
+        sql.push_str(&format!(" ORDER BY {}{}", cols[0], if desc { " DESC" } else { "" }));
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        let stmt = polaris_sql::parse(&sql).unwrap();
+        let polaris_sql::Statement::Select(sel) = stmt else { panic!() };
+        polaris_sql::plan_select(&sel).unwrap();
+    }
+}

@@ -1,0 +1,283 @@
+//! BE-side data-file cache: read-through caching over immutable blobs.
+
+use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreResult};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Read-through blob cache, standing in for the BE nodes' SSD/memory data
+/// cache (§3.3).
+///
+/// Because committed data files are immutable, the cache never needs
+/// invalidation for correctness — "caches stay warm since data files are
+/// immutable once committed" (§7.2). Writes to a path (puts, commits,
+/// deletes) still evict it defensively, covering transaction-manifest
+/// blobs, which *are* rewritten in place during a transaction's life.
+///
+/// Eviction is FIFO by insertion order, bounded by total cached bytes.
+/// Hit/miss counters let experiments report cache behaviour (the Figure 12
+/// SU-with-DM slowdown is precisely a miss-rate story).
+pub struct CachingStore<S> {
+    inner: S,
+    capacity_bytes: u64,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<BlobPath, Bytes>,
+    order: VecDeque<BlobPath>,
+    bytes: u64,
+}
+
+impl<S: ObjectStore> CachingStore<S> {
+    /// Wrap `inner` with a cache of at most `capacity_bytes` cached bytes.
+    pub fn new(inner: S, capacity_bytes: u64) -> Self {
+        CachingStore {
+            inner,
+            capacity_bytes,
+            state: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop every cached blob (a node leaving the topology).
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        state.entries.clear();
+        state.order.clear();
+        state.bytes = 0;
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> u64 {
+        self.state.lock().bytes
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn evict_path(&self, path: &BlobPath) {
+        let mut state = self.state.lock();
+        if let Some(data) = state.entries.remove(path) {
+            state.bytes -= data.len() as u64;
+            state.order.retain(|p| p != path);
+        }
+    }
+
+    fn admit(&self, path: &BlobPath, data: &Bytes) {
+        if data.len() as u64 > self.capacity_bytes {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.entries.contains_key(path) {
+            return;
+        }
+        while state.bytes + data.len() as u64 > self.capacity_bytes {
+            let Some(victim) = state.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = state.entries.remove(&victim) {
+                state.bytes -= old.len() as u64;
+            }
+        }
+        state.bytes += data.len() as u64;
+        state.entries.insert(path.clone(), data.clone());
+        state.order.push_back(path.clone());
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for CachingStore<S> {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        self.evict_path(path);
+        self.inner.put(path, data, stamp)
+    }
+
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        if let Some(data) = self.state.lock().entries.get(path).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(data);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.get(path)?;
+        self.admit(path, &data);
+        Ok(data)
+    }
+
+    fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
+        // The cache works at whole-object granularity, like a BE's SSD
+        // block cache: a range miss pulls the full blob through the cache
+        // once, and every later range (or full) read of the immutable file
+        // is served locally.
+        let cached = self.state.lock().entries.get(path).cloned();
+        let (data, hit) = match cached {
+            Some(data) => (data, true),
+            None => {
+                let data = self.inner.get(path)?;
+                self.admit(path, &data);
+                (data, false)
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let len = data.len() as u64;
+        if range.start > range.end || range.end > len {
+            return Err(crate::StoreError::InvalidRange {
+                path: path.clone(),
+                start: range.start,
+                end: range.end,
+                len,
+            });
+        }
+        Ok(data.slice(range.start as usize..range.end as usize))
+    }
+
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        self.inner.head(path)
+    }
+
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        self.evict_path(path);
+        self.inner.delete(path)
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        self.inner.list(prefix)
+    }
+
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.inner.stage_block(path, block, data, stamp)
+    }
+
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        // Transaction manifests are re-committed as statements flush:
+        // evict so readers observe the fresh content.
+        self.evict_path(path);
+        self.inner.commit_block_list(path, blocks, stamp)
+    }
+
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        self.inner.committed_blocks(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trait_tests::conformance;
+    use crate::MemoryStore;
+
+    #[test]
+    fn conforms_to_object_store_semantics() {
+        conformance(&CachingStore::new(MemoryStore::new(), 1 << 20));
+    }
+
+    #[test]
+    fn second_read_hits() {
+        let s = CachingStore::new(MemoryStore::new(), 1 << 20);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"data"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        s.get(&p).unwrap();
+        assert_eq!(s.stats(), (1, 1));
+        assert_eq!(s.cached_bytes(), 4);
+    }
+
+    #[test]
+    fn writes_evict() {
+        let s = CachingStore::new(MemoryStore::new(), 1 << 20);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"v1"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        s.put(&p, Bytes::from_static(b"v2"), Stamp(2)).unwrap();
+        assert_eq!(s.get(&p).unwrap(), Bytes::from_static(b"v2"));
+        // two misses: initial read + read after overwrite
+        assert_eq!(s.stats().1, 2);
+    }
+
+    #[test]
+    fn manifest_recommit_evicts() {
+        let s = CachingStore::new(MemoryStore::new(), 1 << 20);
+        let m = BlobPath::new("a/m").unwrap();
+        let b1 = BlockId::new("b1");
+        let b2 = BlockId::new("b2");
+        s.stage_block(&m, b1.clone(), Bytes::from_static(b"AA"), Stamp(1))
+            .unwrap();
+        s.commit_block_list(&m, std::slice::from_ref(&b1), Stamp(1))
+            .unwrap();
+        assert_eq!(s.get(&m).unwrap(), Bytes::from_static(b"AA"));
+        s.stage_block(&m, b2.clone(), Bytes::from_static(b"BB"), Stamp(1))
+            .unwrap();
+        s.commit_block_list(&m, &[b1, b2], Stamp(1)).unwrap();
+        assert_eq!(s.get(&m).unwrap(), Bytes::from_static(b"AABB"));
+    }
+
+    #[test]
+    fn capacity_bound_respected() {
+        let s = CachingStore::new(MemoryStore::new(), 10);
+        for i in 0..5 {
+            let p = BlobPath::new(format!("f/{i}")).unwrap();
+            s.put(&p, Bytes::from(vec![0u8; 4]), Stamp(1)).unwrap();
+            s.get(&p).unwrap();
+        }
+        assert!(s.cached_bytes() <= 10);
+        // an oversized blob is not admitted
+        let big = BlobPath::new("f/big").unwrap();
+        s.put(&big, Bytes::from(vec![0u8; 100]), Stamp(1)).unwrap();
+        s.get(&big).unwrap();
+        assert!(s.cached_bytes() <= 10);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = CachingStore::new(MemoryStore::new(), 1 << 20);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"data"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        s.clear();
+        assert_eq!(s.cached_bytes(), 0);
+        s.get(&p).unwrap();
+        assert_eq!(s.stats().1, 2);
+    }
+
+    #[test]
+    fn range_reads_use_cache() {
+        let s = CachingStore::new(MemoryStore::new(), 1 << 20);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"hello world"), Stamp(1))
+            .unwrap();
+        s.get(&p).unwrap(); // populate (one miss)
+        assert_eq!(s.get_range(&p, 0..5).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.stats(), (1, 1));
+        assert!(s.get_range(&p, 5..100).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic fault injection for retry-path testing.
+
+use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreError, StoreResult};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// [`ObjectStore`] wrapper that fails a configurable fraction of *write*
+/// operations with [`StoreError::Transient`].
+///
+/// The paper's resilience claim (§4.3) is that a failed write task can be
+/// re-scheduled without failing the transaction, because stale blocks are
+/// never committed. Tests wrap a [`MemoryStore`](crate::MemoryStore) in a
+/// `FaultyStore` and assert that transactions still commit with correct
+/// content under injected faults.
+///
+/// Faults are driven by a seeded RNG so failures are reproducible. Reads are
+/// never failed by default (immutable committed data is assumed reliable);
+/// set `fail_reads` to exercise read retries too.
+pub struct FaultyStore<S> {
+    inner: S,
+    rng: Mutex<StdRng>,
+    /// Probability in `[0, 1]` that a write op fails.
+    write_failure_rate: f64,
+    /// Probability in `[0, 1]` that a read op fails.
+    read_failure_rate: f64,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    /// Wrap `inner`, failing `write_failure_rate` of writes, seeded RNG.
+    pub fn new(inner: S, write_failure_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&write_failure_rate),
+            "failure rate must be a probability"
+        );
+        FaultyStore {
+            inner,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            write_failure_rate,
+            read_failure_rate: 0.0,
+        }
+    }
+
+    /// Also fail `rate` of read operations.
+    pub fn with_read_failures(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "failure rate must be a probability"
+        );
+        self.read_failure_rate = rate;
+        self
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn maybe_fail(&self, rate: f64, op: &str) -> StoreResult<()> {
+        if rate > 0.0 && self.rng.lock().gen_bool(rate) {
+            return Err(StoreError::Transient {
+                detail: format!("injected fault during {op}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        self.maybe_fail(self.write_failure_rate, "put")?;
+        self.inner.put(path, data, stamp)
+    }
+
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        self.maybe_fail(self.read_failure_rate, "get")?;
+        self.inner.get(path)
+    }
+
+    fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
+        self.maybe_fail(self.read_failure_rate, "get_range")?;
+        self.inner.get_range(path, range)
+    }
+
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        self.inner.head(path)
+    }
+
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        self.maybe_fail(self.write_failure_rate, "delete")?;
+        self.inner.delete(path)
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        self.maybe_fail(self.read_failure_rate, "list")?;
+        self.inner.list(prefix)
+    }
+
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.maybe_fail(self.write_failure_rate, "stage_block")?;
+        self.inner.stage_block(path, block, data, stamp)
+    }
+
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.maybe_fail(self.write_failure_rate, "commit_block_list")?;
+        self.inner.commit_block_list(path, blocks, stamp)
+    }
+
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        self.inner.committed_blocks(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let s = FaultyStore::new(MemoryStore::new(), 0.0, 1);
+        let p = BlobPath::new("a/b").unwrap();
+        for _ in 0..100 {
+            s.put(&p, Bytes::from_static(b"x"), Stamp(1)).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fails_writes_but_not_reads() {
+        let s = FaultyStore::new(MemoryStore::new(), 1.0, 1);
+        let p = BlobPath::new("a/b").unwrap();
+        assert!(matches!(
+            s.put(&p, Bytes::from_static(b"x"), Stamp(1)),
+            Err(StoreError::Transient { .. })
+        ));
+        // Seed the inner store directly, then read through the wrapper.
+        s.inner()
+            .put(&p, Bytes::from_static(b"x"), Stamp(1))
+            .unwrap();
+        assert!(s.get(&p).is_ok());
+    }
+
+    #[test]
+    fn same_seed_gives_same_fault_sequence() {
+        let run = |seed| {
+            let s = FaultyStore::new(MemoryStore::new(), 0.5, seed);
+            let p = BlobPath::new("a/b").unwrap();
+            (0..64)
+                .map(|_| s.put(&p, Bytes::from_static(b"x"), Stamp(1)).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn read_failures_opt_in() {
+        let s = FaultyStore::new(MemoryStore::new(), 0.0, 1).with_read_failures(1.0);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"x"), Stamp(1)).unwrap();
+        assert!(matches!(s.get(&p), Err(StoreError::Transient { .. })));
+    }
+}

@@ -1,0 +1,179 @@
+//! Cloud-latency cost model for benchmark realism.
+
+use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreResult};
+use bytes::Bytes;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Simple affine cost model for remote storage: each operation pays a fixed
+/// per-request latency plus a per-byte transfer cost.
+///
+/// Defaults are loosely calibrated to cloud object storage (sub-ms in-region
+/// request latency scaled down so benches finish quickly, ~100 MB/s
+/// effective single-stream throughput). The *relative* costs are what matter
+/// for figure shapes: many-small-files pays per-request overhead, which is
+/// precisely the §5.1 "small data files" pathology compaction fixes.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Fixed cost per request.
+    pub per_request: Duration,
+    /// Transfer cost per byte.
+    pub per_byte: Duration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            per_request: Duration::from_micros(200),
+            per_byte: Duration::from_nanos(10),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model with zero cost (useful to disable latency in one code path).
+    pub const ZERO: LatencyModel = LatencyModel {
+        per_request: Duration::ZERO,
+        per_byte: Duration::ZERO,
+    };
+
+    fn cost(&self, bytes: usize) -> Duration {
+        self.per_request + self.per_byte * (bytes as u32)
+    }
+}
+
+/// [`ObjectStore`] wrapper that sleeps according to a [`LatencyModel`] and
+/// accumulates the total simulated stall time.
+pub struct LatencyStore<S> {
+    inner: S,
+    model: LatencyModel,
+    stalled_nanos: AtomicU64,
+}
+
+impl<S: ObjectStore> LatencyStore<S> {
+    /// Wrap `inner` with the given cost model.
+    pub fn new(inner: S, model: LatencyModel) -> Self {
+        LatencyStore {
+            inner,
+            model,
+            stalled_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Total time spent sleeping to simulate storage latency.
+    pub fn total_stall(&self) -> Duration {
+        Duration::from_nanos(self.stalled_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn pay(&self, bytes: usize) {
+        let d = self.model.cost(bytes);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+            self.stalled_nanos
+                .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for LatencyStore<S> {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        self.pay(data.len());
+        self.inner.put(path, data, stamp)
+    }
+
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        let data = self.inner.get(path)?;
+        self.pay(data.len());
+        Ok(data)
+    }
+
+    fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
+        let data = self.inner.get_range(path, range)?;
+        self.pay(data.len());
+        Ok(data)
+    }
+
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        self.pay(0);
+        self.inner.head(path)
+    }
+
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        self.pay(0);
+        self.inner.delete(path)
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        self.pay(0);
+        self.inner.list(prefix)
+    }
+
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.pay(data.len());
+        self.inner.stage_block(path, block, data, stamp)
+    }
+
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.pay(0);
+        self.inner.commit_block_list(path, blocks, stamp)
+    }
+
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        self.inner.committed_blocks(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+
+    #[test]
+    fn zero_model_adds_no_stall() {
+        let s = LatencyStore::new(MemoryStore::new(), LatencyModel::ZERO);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"x"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        assert_eq!(s.total_stall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stall_accumulates_per_operation() {
+        let model = LatencyModel {
+            per_request: Duration::from_micros(50),
+            per_byte: Duration::ZERO,
+        };
+        let s = LatencyStore::new(MemoryStore::new(), model);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"x"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        assert!(s.total_stall() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn cost_is_affine_in_bytes() {
+        let m = LatencyModel {
+            per_request: Duration::from_micros(10),
+            per_byte: Duration::from_nanos(100),
+        };
+        assert_eq!(m.cost(0), Duration::from_micros(10));
+        assert_eq!(m.cost(1000), Duration::from_micros(110));
+    }
+}

@@ -1,0 +1,319 @@
+//! On-disk object store backend.
+
+use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreError, StoreResult};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Filesystem-backed [`ObjectStore`] with the same visibility semantics as
+/// [`MemoryStore`](crate::MemoryStore).
+///
+/// Layout under the root directory:
+///
+/// ```text
+/// <root>/objects/<blob path>          committed content
+/// <root>/objects/<blob path>.stamp    8-byte little-endian creation stamp
+/// <root>/staging/<blob path>/<id>     staged block payloads
+/// <root>/staging/<blob path>/.list    committed block list (one ID per line)
+/// ```
+///
+/// Commits write the concatenated content to a temp file and rename it into
+/// place so readers never observe partial content — mirroring the atomicity
+/// of ADLS `commit_block_list`. A coarse mutex serializes mutations; reads
+/// of committed blobs go straight to the filesystem.
+pub struct LocalFsStore {
+    root: PathBuf,
+    write_lock: Mutex<()>,
+}
+
+impl LocalFsStore {
+    /// Open (and create if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> StoreResult<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("staging"))?;
+        Ok(LocalFsStore {
+            root,
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    fn object_path(&self, path: &BlobPath) -> PathBuf {
+        self.root.join("objects").join(path.as_str())
+    }
+
+    fn stamp_path(&self, path: &BlobPath) -> PathBuf {
+        let mut p = self.object_path(path).into_os_string();
+        p.push(".stamp");
+        PathBuf::from(p)
+    }
+
+    fn staging_dir(&self, path: &BlobPath) -> PathBuf {
+        self.root.join("staging").join(path.as_str())
+    }
+
+    fn write_atomic(&self, target: &Path, data: &[u8]) -> StoreResult<()> {
+        let parent = target.parent().expect("object paths always have a parent");
+        fs::create_dir_all(parent)?;
+        let tmp = parent.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            target
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("blob")
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, target)?;
+        Ok(())
+    }
+
+    fn read_stamp(&self, path: &BlobPath) -> Stamp {
+        fs::read(self.stamp_path(path))
+            .ok()
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+            .map(Stamp)
+            .unwrap_or(Stamp::SYSTEM)
+    }
+
+    fn write_stamp(&self, path: &BlobPath, stamp: Stamp) -> StoreResult<()> {
+        self.write_atomic(&self.stamp_path(path), &stamp.0.to_le_bytes())
+    }
+
+    fn read_committed_list(&self, path: &BlobPath) -> Vec<BlockId> {
+        fs::read_to_string(self.staging_dir(path).join(".list"))
+            .map(|s| s.lines().map(BlockId::new).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl ObjectStore for LocalFsStore {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        let _g = self.write_lock.lock();
+        self.write_atomic(&self.object_path(path), &data)?;
+        self.write_stamp(path, stamp)?;
+        // Direct puts discard any block state.
+        let staging = self.staging_dir(path);
+        if staging.exists() {
+            fs::remove_dir_all(&staging)?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        match fs::read(self.object_path(path)) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound { path: path.clone() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        match fs::metadata(self.object_path(path)) {
+            Ok(meta) if meta.is_file() => Ok(BlobMeta {
+                path: path.clone(),
+                size: meta.len(),
+                stamp: self.read_stamp(path),
+            }),
+            Ok(_) => Err(StoreError::NotFound { path: path.clone() }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound { path: path.clone() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        let _g = self.write_lock.lock();
+        let obj = self.object_path(path);
+        let existed_committed = obj.is_file();
+        if existed_committed {
+            fs::remove_file(&obj)?;
+            let _ = fs::remove_file(self.stamp_path(path));
+        }
+        let staging = self.staging_dir(path);
+        let existed_staged = staging.exists();
+        if existed_staged {
+            fs::remove_dir_all(&staging)?;
+        }
+        if !existed_committed && !existed_staged {
+            return Err(StoreError::NotFound { path: path.clone() });
+        }
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        let root = self.root.join("objects");
+        let mut out = Vec::new();
+        let mut stack = vec![root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                    continue;
+                }
+                let rel = p
+                    .strip_prefix(&root)
+                    .expect("listed entries live under the objects root");
+                let Some(rel) = rel.to_str() else { continue };
+                if rel.ends_with(".stamp") || rel.contains("/.tmp-") || rel.starts_with(".tmp-") {
+                    continue;
+                }
+                if !rel.starts_with(prefix) {
+                    continue;
+                }
+                let path = BlobPath::new(rel)?;
+                let size = entry.metadata()?.len();
+                let stamp = self.read_stamp(&path);
+                out.push(BlobMeta { path, size, stamp });
+            }
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        let _g = self.write_lock.lock();
+        let dir = self.staging_dir(path);
+        fs::create_dir_all(&dir)?;
+        self.write_atomic(&dir.join(block.as_str()), &data)?;
+        if !self.object_path(path).is_file() {
+            self.write_stamp(path, stamp)?;
+        }
+        Ok(())
+    }
+
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        let _g = self.write_lock.lock();
+        let dir = self.staging_dir(path);
+        // Validate and gather payloads before touching the committed object.
+        let mut content = Vec::new();
+        for id in blocks {
+            let payload = fs::read(dir.join(id.as_str())).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    StoreError::UnknownBlock {
+                        path: path.clone(),
+                        block: id.clone(),
+                    }
+                } else {
+                    e.into()
+                }
+            })?;
+            content.extend_from_slice(&payload);
+        }
+        self.write_atomic(&self.object_path(path), &content)?;
+        if !self.stamp_path(path).is_file() {
+            self.write_stamp(path, stamp)?;
+        }
+        // Record the committed list and discard unreferenced staged blocks.
+        fs::create_dir_all(&dir)?;
+        let list = blocks
+            .iter()
+            .map(|b| b.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        self.write_atomic(&dir.join(".list"), list.as_bytes())?;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name == ".list" || name.starts_with(".tmp-") {
+                continue;
+            }
+            if !blocks.iter().any(|b| b.as_str() == name) {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        if !self.object_path(path).is_file() {
+            return Err(StoreError::NotFound { path: path.clone() });
+        }
+        Ok(self.read_committed_list(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trait_tests::conformance;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("polaris-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn conforms_to_object_store_semantics() {
+        let root = temp_root("conformance");
+        let store = LocalFsStore::open(&root).unwrap();
+        conformance(&store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn content_survives_reopen() {
+        let root = temp_root("reopen");
+        {
+            let store = LocalFsStore::open(&root).unwrap();
+            let p = BlobPath::new("db/t/f1").unwrap();
+            store
+                .put(&p, Bytes::from_static(b"durable"), Stamp(42))
+                .unwrap();
+        }
+        let store = LocalFsStore::open(&root).unwrap();
+        let p = BlobPath::new("db/t/f1").unwrap();
+        assert_eq!(store.get(&p).unwrap(), Bytes::from_static(b"durable"));
+        assert_eq!(store.head(&p).unwrap().stamp, Stamp(42));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn staged_blocks_survive_reopen_until_committed() {
+        let root = temp_root("staged");
+        let b = BlockId::new("b0");
+        let p = BlobPath::new("db/t/_log/m0.json").unwrap();
+        {
+            let store = LocalFsStore::open(&root).unwrap();
+            store
+                .stage_block(&p, b.clone(), Bytes::from_static(b"zz"), Stamp(5))
+                .unwrap();
+        }
+        let store = LocalFsStore::open(&root).unwrap();
+        assert!(!store.exists(&p).unwrap());
+        store.commit_block_list(&p, &[b], Stamp(5)).unwrap();
+        assert_eq!(store.get(&p).unwrap(), Bytes::from_static(b"zz"));
+        assert_eq!(store.head(&p).unwrap().stamp, Stamp(5));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,237 @@
+//! Operation-counting wrapper used by the benchmark harness.
+
+use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreResult};
+use bytes::Bytes;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Snapshot of operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `get`/`get_range` calls.
+    pub reads: u64,
+    /// `put` calls.
+    pub puts: u64,
+    /// `stage_block` calls.
+    pub staged_blocks: u64,
+    /// `commit_block_list` calls.
+    pub commits: u64,
+    /// `delete` calls.
+    pub deletes: u64,
+    /// `list` calls.
+    pub lists: u64,
+    /// Bytes returned by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted by puts and staged blocks.
+    pub bytes_written: u64,
+}
+
+/// Transparent [`ObjectStore`] wrapper that counts operations and bytes.
+///
+/// The figure harnesses use these counters to report IO amplification — e.g.
+/// the §5.2 checkpoint experiment shows how many manifest bytes a snapshot
+/// reconstruction reads with and without checkpoints.
+pub struct StatsStore<S> {
+    inner: S,
+    reads: AtomicU64,
+    puts: AtomicU64,
+    staged: AtomicU64,
+    commits: AtomicU64,
+    deletes: AtomicU64,
+    lists: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl<S: ObjectStore> StatsStore<S> {
+    /// Wrap `inner`.
+    pub fn new(inner: S) -> Self {
+        StatsStore {
+            inner,
+            reads: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            staged: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            lists: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counter values.
+    pub fn counts(&self) -> OpCounts {
+        OpCounts {
+            reads: self.reads.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            staged_blocks: self.staged.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            lists: self.lists.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.reads,
+            &self.puts,
+            &self.staged,
+            &self.commits,
+            &self.deletes,
+            &self.lists,
+            &self.bytes_read,
+            &self.bytes_written,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for StatsStore<S> {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.inner.put(path, data, stamp)
+    }
+
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.get(path)?;
+        self.bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.get_range(path, range)?;
+        self.bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        self.inner.head(path)
+    }
+
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.inner.delete(path)
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        self.lists.fetch_add(1, Ordering::Relaxed);
+        self.inner.list(prefix)
+    }
+
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.staged.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.inner.stage_block(path, block, data, stamp)
+    }
+
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.inner.commit_block_list(path, blocks, stamp)
+    }
+
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        self.inner.committed_blocks(path)
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for Arc<S> {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        (**self).put(path, data, stamp)
+    }
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        (**self).get(path)
+    }
+    fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
+        (**self).get_range(path, range)
+    }
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        (**self).head(path)
+    }
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        (**self).delete(path)
+    }
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        (**self).list(prefix)
+    }
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        (**self).stage_block(path, block, data, stamp)
+    }
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        (**self).commit_block_list(path, blocks, stamp)
+    }
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        (**self).committed_blocks(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+
+    #[test]
+    fn counts_every_operation_kind() {
+        let s = StatsStore::new(MemoryStore::new());
+        let p = BlobPath::new("a/b").unwrap();
+        let m = BlobPath::new("a/m").unwrap();
+        s.put(&p, Bytes::from_static(b"1234"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        s.get_range(&p, 0..2).unwrap();
+        s.list("a/").unwrap();
+        s.stage_block(&m, BlockId::new("x"), Bytes::from_static(b"56"), Stamp(1))
+            .unwrap();
+        s.commit_block_list(&m, &[BlockId::new("x")], Stamp(1))
+            .unwrap();
+        s.delete(&p).unwrap();
+        let c = s.counts();
+        assert_eq!(c.puts, 1);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.lists, 1);
+        assert_eq!(c.staged_blocks, 1);
+        assert_eq!(c.commits, 1);
+        assert_eq!(c.deletes, 1);
+        assert_eq!(c.bytes_written, 6);
+        assert_eq!(c.bytes_read, 6);
+        s.reset();
+        assert_eq!(s.counts(), OpCounts::default());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property test of the Block Blob protocol against a model: random
+//! stage/commit/put/delete sequences must produce exactly the content the
+//! Azure semantics dictate.
+
+use bytes::Bytes;
+use polaris_store::{BlobPath, BlockId, MemoryStore, ObjectStore, Stamp, StoreError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Stage {
+        block: u8,
+        payload: Vec<u8>,
+    },
+    /// Commit a list of (possibly unknown) block ids.
+    Commit {
+        picks: Vec<u8>,
+    },
+    Put {
+        payload: Vec<u8>,
+    },
+    Delete,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..6, proptest::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(block, payload)| Op::Stage { block, payload }),
+        3 => proptest::collection::vec(0u8..6, 0..6).prop_map(|picks| Op::Commit { picks }),
+        1 => proptest::collection::vec(any::<u8>(), 0..8).prop_map(|payload| Op::Put { payload }),
+        1 => Just(Op::Delete),
+    ]
+}
+
+/// The reference model of one block blob.
+#[derive(Default, Clone)]
+struct Model {
+    /// Known payloads: staged or retained-committed blocks.
+    blocks: HashMap<u8, Vec<u8>>,
+    committed_list: Vec<u8>,
+    committed: Option<Vec<u8>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn protocol_matches_model(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let store = MemoryStore::new();
+        let path = BlobPath::new("t/_log/m.json").unwrap();
+        let mut model = Model::default();
+        let id = |b: u8| BlockId::new(format!("b{b}"));
+        for op in &ops {
+            match op {
+                Op::Stage { block, payload } => {
+                    store
+                        .stage_block(&path, id(*block), Bytes::from(payload.clone()), Stamp(1))
+                        .unwrap();
+                    model.blocks.insert(*block, payload.clone());
+                }
+                Op::Commit { picks } => {
+                    let ids: Vec<BlockId> = picks.iter().map(|p| id(*p)).collect();
+                    let all_known = picks.iter().all(|p| model.blocks.contains_key(p));
+                    let result = store.commit_block_list(&path, &ids, Stamp(1));
+                    if all_known {
+                        result.unwrap();
+                        let mut content = Vec::new();
+                        for p in picks {
+                            content.extend_from_slice(&model.blocks[p]);
+                        }
+                        model.committed = Some(content);
+                        model.committed_list = picks.clone();
+                        // Blocks not in the committed list are discarded.
+                        model.blocks.retain(|b, _| picks.contains(b));
+                    } else {
+                        let unknown = matches!(result, Err(StoreError::UnknownBlock { .. }));
+                        prop_assert!(unknown, "commit with unknown block must fail");
+                        // Failed commit leaves everything untouched.
+                    }
+                }
+                Op::Put { payload } => {
+                    store.put(&path, Bytes::from(payload.clone()), Stamp(1)).unwrap();
+                    model.committed = Some(payload.clone());
+                    model.committed_list.clear();
+                    model.blocks.clear();
+                }
+                Op::Delete => {
+                    let result = store.delete(&path);
+                    if model.committed.is_some() || !model.blocks.is_empty() {
+                        result.unwrap();
+                    } else {
+                        let missing = matches!(result, Err(StoreError::NotFound { .. }));
+                        prop_assert!(missing, "deleting a non-existent blob must fail");
+                    }
+                    model = Model::default();
+                }
+            }
+            // Invariant: visible content always equals the model.
+            match &model.committed {
+                Some(content) => {
+                    prop_assert_eq!(store.get(&path).unwrap(), Bytes::from(content.clone()));
+                    let got: Vec<u8> = store
+                        .committed_blocks(&path)
+                        .unwrap()
+                        .iter()
+                        .map(|b| b.as_str().trim_start_matches('b').parse::<u8>().unwrap())
+                        .collect();
+                    prop_assert_eq!(&got, &model.committed_list);
+                }
+                None => {
+                    let missing = matches!(store.get(&path), Err(StoreError::NotFound { .. }));
+                    prop_assert!(missing, "uncommitted blob must be invisible");
+                }
+            }
+        }
+    }
+}

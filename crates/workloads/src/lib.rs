@@ -1,0 +1,27 @@
+//! # polaris-workloads
+//!
+//! Workload generators and drivers for the evaluation (§7):
+//!
+//! * [`tpch`] — a TPC-H-*like* schema and data generator, scale-factor
+//!   parameterized and deterministic, with the source-file splitting the
+//!   ingestion experiments (Figures 7–8) depend on.
+//! * [`queries`] — 22 TPC-H-shaped analytic queries (Figure 9) adapted to
+//!   the engine's dialect. Absolute semantics differ from the official
+//!   TPC-H text where the dialect lacks a construct (no subqueries or
+//!   HAVING); the *shape* — scan/join/aggregate mix over the same tables —
+//!   is preserved, which is what the latency figures measure.
+//! * [`tpcds`] — a TPC-DS-*like* sales/returns schema across store,
+//!   catalog and web channels, used by the LST-Bench-style workloads
+//!   (Figures 10–12).
+//! * [`lstbench`] — LST-Bench-style phase drivers: SU (single-user power
+//!   run), DM (data maintenance: inserts + deletes), and the WP1/WP3
+//!   compositions.
+
+pub mod lstbench;
+pub mod queries;
+pub mod tpcds;
+pub mod tpch;
+
+/// Default RNG seed for callers who want the canonical deterministic
+/// datasets (the figure harnesses use explicit seeds per experiment).
+pub const SEED: u64 = 0x9e3779b97f4a7c15;

@@ -1,0 +1,370 @@
+//! LST-Bench-style workload drivers (Figures 10–12).
+//!
+//! * **SU** — "Single User" power run: the [`crate::tpcds::su_queries`]
+//!   set executed sequentially.
+//! * **DM** — "Data Maintenance": 2 INSERT statements and 6 DELETE
+//!   statements per phase (the paper's Figure 11 notes each DM phase plus
+//!   two compactions yields exactly 10 new manifests).
+//! * **WP1** — alternate SU and DM phases with the autonomous STO running
+//!   between them (longevity / storage-health experiment).
+//! * **WP3** — SU concurrent with DM, SU alone, SU concurrent with an
+//!   explicit optimize loop (concurrency experiment).
+
+use crate::tpcds;
+use polaris_core::{sto, PolarisEngine, PolarisResult};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Create and load the six TPC-DS-like tables at scale factor `sf`.
+pub fn setup_tpcds(engine: &Arc<PolarisEngine>, sf: f64, seed: u64) -> PolarisResult<()> {
+    let mut session = engine.session();
+    for table in tpcds::tables() {
+        session.execute(&tpcds::ddl_of(&table))?;
+        let data = tpcds::generate(&table, sf, seed);
+        session.insert_batch(&table, &data)?;
+    }
+    Ok(())
+}
+
+/// Timing of one SU power run.
+#[derive(Debug, Clone)]
+pub struct SuReport {
+    /// `(query name, latency)` in execution order.
+    pub queries: Vec<(String, Duration)>,
+    /// Wall-clock total.
+    pub total: Duration,
+}
+
+/// Run the SU query set once.
+pub fn run_su(engine: &Arc<PolarisEngine>) -> PolarisResult<SuReport> {
+    let mut session = engine.session();
+    let started = Instant::now();
+    let mut queries = Vec::new();
+    for (name, sql) in tpcds::su_queries() {
+        let t = Instant::now();
+        session.query(&sql)?;
+        queries.push((name, t.elapsed()));
+    }
+    Ok(SuReport {
+        queries,
+        total: started.elapsed(),
+    })
+}
+
+/// Outcome of one DM phase.
+#[derive(Debug, Clone, Copy)]
+pub struct DmReport {
+    /// Rows inserted across the 2 INSERT statements.
+    pub inserted: u64,
+    /// Rows deleted across the 6 DELETE statements.
+    pub deleted: u64,
+    /// Wall-clock total.
+    pub duration: Duration,
+}
+
+/// Run one DM phase: 2 INSERTs (catalog_sales, store_sales) then 6 DELETEs
+/// (every table, catalog first, web last — the Figure 11 touch order).
+///
+/// `phase` indexes the key ranges so successive phases insert fresh keys
+/// and delete earlier ones.
+pub fn run_dm(
+    engine: &Arc<PolarisEngine>,
+    phase: usize,
+    sf: f64,
+    seed: u64,
+) -> PolarisResult<DmReport> {
+    let started = Instant::now();
+    let mut session = engine.session();
+    let batch_rows = (tpcds::SALES_ROWS_PER_SF as f64 * sf * 0.1).max(8.0) as usize;
+    let mut inserted = 0u64;
+    // 2 INSERT statements.
+    for table in ["catalog_sales", "store_sales"] {
+        let base = tpcds::rows_at(table, sf);
+        let start = base + phase * batch_rows;
+        let data = tpcds::generate_range(table, sf, seed ^ 0xD4, start, start + batch_rows);
+        inserted += session.insert_batch(table, &data)?;
+    }
+    // 6 DELETE statements: a sliding key range per phase.
+    let mut deleted = 0u64;
+    for table in tpcds::tables() {
+        let total = tpcds::rows_at(&table, sf);
+        let window = (total / 20).max(2);
+        let lo = (phase * window) % total.max(1);
+        let hi = lo + window;
+        let out = session.execute(&format!(
+            "DELETE FROM {table} WHERE sk > {lo} AND sk <= {hi}"
+        ))?;
+        if let polaris_core::StatementOutcome::Affected(n) = out {
+            deleted += n;
+        }
+    }
+    Ok(DmReport {
+        inserted,
+        deleted,
+        duration: started.elapsed(),
+    })
+}
+
+/// One event on the WP1 timeline.
+#[derive(Debug, Clone)]
+pub enum Wp1Event {
+    /// An SU phase completed.
+    Su {
+        /// Phase index.
+        phase: usize,
+        /// Power-run timing.
+        report: SuReport,
+    },
+    /// A DM phase completed.
+    Dm {
+        /// Phase index.
+        phase: usize,
+        /// Maintenance counts.
+        report: DmReport,
+    },
+    /// Health sampled for a table (Figure 10's green/red bars).
+    Health {
+        /// Phase index the sample was taken after.
+        phase: usize,
+        /// Offset from the start of the run.
+        at: Duration,
+        /// Whether this sample is before or after the STO pass.
+        after_sto: bool,
+        /// The health snapshot.
+        health: sto::TableHealth,
+    },
+    /// The STO ran (compactions / checkpoints / publishing).
+    Sto {
+        /// Phase index.
+        phase: usize,
+        /// Tick summary.
+        report: sto::StoTickReport,
+    },
+    /// A checkpoint was created for a table (Figure 11's lifetimes).
+    Checkpoint {
+        /// Phase index.
+        phase: usize,
+        /// Offset from the start of the run.
+        at: Duration,
+        /// Table name.
+        table: String,
+        /// Sequence covered through.
+        covers: polaris_core::SequenceId,
+    },
+}
+
+/// Run WP1: `phases` rounds of (SU; DM; STO pass), sampling storage health
+/// before and after each STO pass.
+pub fn run_wp1(
+    engine: &Arc<PolarisEngine>,
+    phases: usize,
+    sf: f64,
+    seed: u64,
+) -> PolarisResult<Vec<Wp1Event>> {
+    let started = Instant::now();
+    let mut events = Vec::new();
+    for phase in 0..phases {
+        events.push(Wp1Event::Su {
+            phase,
+            report: run_su(engine)?,
+        });
+        events.push(Wp1Event::Dm {
+            phase,
+            report: run_dm(engine, phase, sf, seed)?,
+        });
+        // Health right after DM: fragmentation shows as "red".
+        for table in tpcds::tables() {
+            events.push(Wp1Event::Health {
+                phase,
+                at: started.elapsed(),
+                after_sto: false,
+                health: sto::table_health(engine, &table)?,
+            });
+        }
+        // Autonomous pass: compaction + checkpointing + publish + GC. Run
+        // twice, as the paper's DM phase interleaves two compactions.
+        let mut tick = sto::run_once(engine)?;
+        let second = sto::run_once(engine)?;
+        tick.compactions += second.compactions;
+        tick.checkpoints += second.checkpoints;
+        tick.published += second.published;
+        tick.gc_deleted += second.gc_deleted;
+        events.push(Wp1Event::Sto {
+            phase,
+            report: tick,
+        });
+        for table in tpcds::tables() {
+            let mut ctxn = engine.catalog().begin(Default::default());
+            let meta = engine.catalog().table_by_name(&mut ctxn, &table)?;
+            let ckpts = engine.catalog().checkpoints(&mut ctxn, meta.id)?;
+            engine.catalog().abort(&mut ctxn);
+            if let Some((covers, _)) = ckpts.last() {
+                events.push(Wp1Event::Checkpoint {
+                    phase,
+                    at: started.elapsed(),
+                    table: table.clone(),
+                    covers: *covers,
+                });
+            }
+            events.push(Wp1Event::Health {
+                phase,
+                at: started.elapsed(),
+                after_sto: true,
+                health: sto::table_health(engine, &table)?,
+            });
+        }
+    }
+    Ok(events)
+}
+
+/// Result of the WP3 concurrency experiment.
+#[derive(Debug, Clone)]
+pub struct Wp3Report {
+    /// SU concurrent with DM.
+    pub su_with_dm: SuReport,
+    /// SU alone (between the concurrent phases).
+    pub su_alone: SuReport,
+    /// SU concurrent with an explicit optimize loop.
+    pub su_with_optimize: SuReport,
+    /// DM work done during the concurrent phase.
+    pub dm: DmReport,
+}
+
+/// Run WP3: the three phases of Figure 12.
+pub fn run_wp3(engine: &Arc<PolarisEngine>, sf: f64, seed: u64) -> PolarisResult<Wp3Report> {
+    // Phase 1: SU concurrent with DM (separate WLM pools isolate them, but
+    // SU latencies still rise: each query sees freshly committed data, so
+    // caches miss and snapshots extend). The DM stream — with the
+    // autonomous STO reacting to it — keeps running for the whole SU
+    // phase, as in LST-Bench.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = Arc::new(AtomicBool::new(false));
+    let dm_stop = Arc::clone(&stop);
+    let dm_engine = Arc::clone(engine);
+    let dm_handle = std::thread::spawn(move || -> PolarisResult<DmReport> {
+        let mut total = DmReport {
+            inserted: 0,
+            deleted: 0,
+            duration: Duration::ZERO,
+        };
+        let mut phase = 100;
+        while !dm_stop.load(Ordering::SeqCst) {
+            let r = run_dm(&dm_engine, phase, sf, seed)?;
+            total.inserted += r.inserted;
+            total.deleted += r.deleted;
+            total.duration += r.duration;
+            // Autonomous maintenance reacts to the churn mid-stream.
+            let _ = sto::run_once(&dm_engine);
+            phase += 1;
+        }
+        Ok(total)
+    });
+    let su_with_dm = run_su(engine)?;
+    stop.store(true, Ordering::SeqCst);
+    let dm = dm_handle.join().expect("dm thread must not panic")?;
+
+    // Phase 2: SU alone. One unmeasured pass first re-warms the BE caches
+    // the DM churn invalidated — standing in for the amortization the
+    // paper's 99-query stream gets naturally.
+    run_su(engine)?;
+    let su_alone = run_su(engine)?;
+
+    // Phase 3: SU concurrent with optimize (explicit compaction pass — in
+    // Polaris the autonomous STO makes this phase unnecessary; we run it
+    // for benchmark parity). The optimize loop runs for the whole phase.
+    let opt_stop = Arc::new(AtomicBool::new(false));
+    let opt_stop2 = Arc::clone(&opt_stop);
+    let opt_engine = Arc::clone(engine);
+    let opt_handle = std::thread::spawn(move || -> PolarisResult<()> {
+        while !opt_stop2.load(Ordering::SeqCst) {
+            for table in tpcds::tables() {
+                // Conflicts with concurrent queries cannot happen (reads
+                // never conflict); conflicts between optimizers retry.
+                match sto::compact_table(&opt_engine, &table) {
+                    Ok(_) => {}
+                    Err(e) if e.is_retryable_conflict() => {}
+                    Err(e) => return Err(e),
+                }
+                sto::checkpoint_table(&opt_engine, &table)?;
+            }
+        }
+        Ok(())
+    });
+    let su_with_optimize = run_su(engine)?;
+    opt_stop.store(true, Ordering::SeqCst);
+    opt_handle.join().expect("optimize thread must not panic")?;
+
+    Ok(Wp3Report {
+        su_with_dm,
+        su_alone,
+        su_with_optimize,
+        dm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> Arc<PolarisEngine> {
+        PolarisEngine::in_memory()
+    }
+
+    #[test]
+    fn setup_and_su_run() {
+        let engine = small_engine();
+        setup_tpcds(&engine, 0.05, 1).unwrap();
+        let report = run_su(&engine).unwrap();
+        assert_eq!(report.queries.len(), 12);
+        assert!(report.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn dm_phase_inserts_and_deletes() {
+        let engine = small_engine();
+        setup_tpcds(&engine, 0.05, 1).unwrap();
+        let r = run_dm(&engine, 0, 0.05, 1).unwrap();
+        assert!(r.inserted > 0);
+        assert!(r.deleted > 0, "sliding delete window must hit rows");
+        // phase 1 deletes a different window
+        let r2 = run_dm(&engine, 1, 0.05, 1).unwrap();
+        assert!(r2.deleted > 0);
+    }
+
+    #[test]
+    fn wp1_produces_health_timeline() {
+        let engine = small_engine();
+        setup_tpcds(&engine, 0.03, 2).unwrap();
+        let events = run_wp1(&engine, 2, 0.03, 2).unwrap();
+        let unhealthy_before = events.iter().any(|e| {
+            matches!(e, Wp1Event::Health { after_sto: false, health, .. } if !health.is_healthy())
+        });
+        let healthy_after_last = events
+            .iter()
+            .rev()
+            .filter_map(|e| match e {
+                Wp1Event::Health {
+                    after_sto: true,
+                    health,
+                    ..
+                } => Some(health.is_healthy()),
+                _ => None,
+            })
+            .take(6)
+            .all(|h| h);
+        assert!(unhealthy_before, "DM must fragment storage");
+        assert!(healthy_after_last, "STO must restore health");
+        assert!(events.iter().any(|e| matches!(e, Wp1Event::Sto { .. })));
+    }
+
+    #[test]
+    fn wp3_concurrency_phases_complete() {
+        let engine = small_engine();
+        setup_tpcds(&engine, 0.03, 3).unwrap();
+        let report = run_wp3(&engine, 0.03, 3).unwrap();
+        assert_eq!(report.su_with_dm.queries.len(), 12);
+        assert_eq!(report.su_alone.queries.len(), 12);
+        assert_eq!(report.su_with_optimize.queries.len(), 12);
+        assert!(report.dm.inserted > 0);
+    }
+}

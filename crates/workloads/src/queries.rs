@@ -1,0 +1,213 @@
+//! The 22 TPC-H-shaped queries of the Figure 9 experiment.
+//!
+//! Adapted to the engine dialect: no subqueries, HAVING, CASE or outer
+//! joins, so several queries are simplified variants that keep the same
+//! table set, join pattern and aggregate mix as their TPC-H namesakes.
+//! Query latency shape — which queries are heavy, which are light — is
+//! preserved, which is what Figure 9 reports.
+
+/// `(name, sql)` for all 22 queries.
+pub fn all() -> Vec<(&'static str, String)> {
+    vec![
+        // Q1: pricing summary report — the classic wide aggregate.
+        ("q01", "SELECT l_returnflag, l_linestatus, \
+                 SUM(l_quantity) AS sum_qty, \
+                 SUM(l_extendedprice) AS sum_base_price, \
+                 SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+                 AVG(l_quantity) AS avg_qty, \
+                 AVG(l_extendedprice) AS avg_price, \
+                 AVG(l_discount) AS avg_disc, \
+                 COUNT(*) AS count_order \
+                 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+                 GROUP BY l_returnflag, l_linestatus \
+                 ORDER BY l_returnflag, l_linestatus"
+            .to_owned()),
+        // Q2: minimum-cost supplier (simplified: no partsupp correlation).
+        ("q02", "SELECT n_name, MIN(s_acctbal) AS min_bal, COUNT(*) AS suppliers \
+                 FROM supplier JOIN nation ON s_nationkey = n_nationkey \
+                 JOIN region ON n_regionkey = r_regionkey \
+                 WHERE r_name = 'EUROPE' GROUP BY n_name ORDER BY min_bal"
+            .to_owned()),
+        // Q3: shipping priority.
+        ("q03", "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+                 o_orderdate \
+                 FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+                 JOIN customer ON o_custkey = c_custkey \
+                 WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' \
+                 AND l_shipdate > DATE '1995-03-15' \
+                 GROUP BY l_orderkey, o_orderdate \
+                 ORDER BY revenue DESC LIMIT 10"
+            .to_owned()),
+        // Q4: order priority checking (simplified: join instead of EXISTS).
+        ("q04", "SELECT o_orderpriority, COUNT(*) AS order_count \
+                 FROM orders JOIN lineitem ON o_orderkey = l_orderkey \
+                 WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01' \
+                 GROUP BY o_orderpriority ORDER BY o_orderpriority"
+            .to_owned()),
+        // Q5: local supplier volume — the long join chain.
+        ("q05", "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+                 FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+                 JOIN customer ON o_custkey = c_custkey \
+                 JOIN supplier ON l_suppkey = s_suppkey \
+                 JOIN nation ON s_nationkey = n_nationkey \
+                 JOIN region ON n_regionkey = r_regionkey \
+                 WHERE r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' \
+                 AND o_orderdate < DATE '1995-01-01' \
+                 GROUP BY n_name ORDER BY revenue DESC"
+            .to_owned()),
+        // Q6: forecasting revenue change — pure scan.
+        ("q06", "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+                 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                 AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+            .to_owned()),
+        // Q7: volume shipping between two nations (simplified pairing).
+        ("q07", "SELECT n_name, l_linestatus, SUM(l_extendedprice * (1 - l_discount)) AS volume \
+                 FROM lineitem JOIN supplier ON l_suppkey = s_suppkey \
+                 JOIN nation ON s_nationkey = n_nationkey \
+                 WHERE n_name = 'FRANCE' OR n_name = 'GERMANY' \
+                 GROUP BY n_name, l_linestatus ORDER BY n_name, l_linestatus"
+            .to_owned()),
+        // Q8: national market share (simplified numerator only).
+        ("q08", "SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) AS volume \
+                 FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+                 JOIN part ON l_partkey = p_partkey \
+                 WHERE p_type = 'ECONOMY' AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+                 GROUP BY o_orderdate ORDER BY volume DESC LIMIT 20"
+            .to_owned()),
+        // Q9: product type profit measure.
+        ("q09", "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS profit \
+                 FROM lineitem JOIN supplier ON l_suppkey = s_suppkey \
+                 JOIN part ON l_partkey = p_partkey \
+                 JOIN nation ON s_nationkey = n_nationkey \
+                 WHERE p_name LIKE '%PROMO%' \
+                 GROUP BY n_name ORDER BY profit DESC"
+            .to_owned()),
+        // Q10: returned item reporting.
+        ("q10", "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+                 FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+                 JOIN customer ON o_custkey = c_custkey \
+                 WHERE l_returnflag = 'R' AND o_orderdate >= DATE '1993-10-01' \
+                 GROUP BY c_custkey, c_name ORDER BY revenue DESC LIMIT 20"
+            .to_owned()),
+        // Q11: important stock identification (supplier balances stand in
+        // for partsupp value).
+        ("q11", "SELECT s_nationkey, SUM(s_acctbal) AS value FROM supplier \
+                 GROUP BY s_nationkey ORDER BY value DESC"
+            .to_owned()),
+        // Q12: shipping modes and order priority.
+        ("q12", "SELECT l_shipmode, COUNT(*) AS line_count, SUM(o_totalprice) AS total \
+                 FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+                 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                 AND (l_shipmode = 'MAIL' OR l_shipmode = 'SHIP') \
+                 GROUP BY l_shipmode ORDER BY l_shipmode"
+            .to_owned()),
+        // Q13: customer distribution (simplified: orders per customer).
+        ("q13", "SELECT c_custkey, COUNT(*) AS c_count \
+                 FROM customer JOIN orders ON c_custkey = o_custkey \
+                 GROUP BY c_custkey ORDER BY c_count DESC LIMIT 25"
+            .to_owned()),
+        // Q14: promotion effect (simplified: promo revenue only).
+        ("q14", "SELECT SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue, COUNT(*) AS n \
+                 FROM lineitem JOIN part ON l_partkey = p_partkey \
+                 WHERE p_type = 'PROMO' AND l_shipdate >= DATE '1995-09-01' \
+                 AND l_shipdate < DATE '1995-10-01'"
+            .to_owned()),
+        // Q15: top supplier by revenue.
+        ("q15", "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue \
+                 FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' \
+                 AND l_shipdate < DATE '1996-04-01' \
+                 GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 1"
+            .to_owned()),
+        // Q16: parts/supplier relationship counts.
+        ("q16", "SELECT p_brand, p_type, COUNT(*) AS supplier_cnt \
+                 FROM part JOIN lineitem ON p_partkey = l_partkey \
+                 WHERE p_brand <> 'Brand#45' \
+                 GROUP BY p_brand, p_type ORDER BY supplier_cnt DESC, p_brand LIMIT 20"
+            .to_owned()),
+        // Q17: small-quantity-order revenue.
+        ("q17", "SELECT AVG(l_extendedprice) AS avg_yearly FROM lineitem \
+                 JOIN part ON l_partkey = p_partkey \
+                 WHERE p_brand = 'Brand#23' AND l_quantity < 5"
+            .to_owned()),
+        // Q18: large-volume customers.
+        ("q18", "SELECT c_name, o_orderkey, SUM(l_quantity) AS total_qty \
+                 FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+                 JOIN customer ON o_custkey = c_custkey \
+                 GROUP BY c_name, o_orderkey ORDER BY total_qty DESC LIMIT 100"
+            .to_owned()),
+        // Q19: discounted revenue with disjunctive predicates.
+        ("q19", "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+                 FROM lineitem JOIN part ON l_partkey = p_partkey \
+                 WHERE (p_brand = 'Brand#12' AND l_quantity BETWEEN 1 AND 11) \
+                 OR (p_brand = 'Brand#23' AND l_quantity BETWEEN 10 AND 20) \
+                 OR (p_brand = 'Brand#34' AND l_quantity BETWEEN 20 AND 30)"
+            .to_owned()),
+        // Q20: potential part promotion (simplified).
+        ("q20", "SELECT s_name, COUNT(*) AS shipped FROM supplier \
+                 JOIN lineitem ON s_suppkey = l_suppkey \
+                 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                 GROUP BY s_name ORDER BY shipped DESC LIMIT 10"
+            .to_owned()),
+        // Q21: suppliers who kept orders waiting (simplified to return
+        // flag involvement).
+        ("q21", "SELECT s_name, COUNT(*) AS numwait FROM supplier \
+                 JOIN lineitem ON s_suppkey = l_suppkey \
+                 JOIN orders ON l_orderkey = o_orderkey \
+                 WHERE l_returnflag = 'R' AND l_linestatus = 'F' \
+                 GROUP BY s_name ORDER BY numwait DESC, s_name LIMIT 100"
+            .to_owned()),
+        // Q22: global sales opportunity.
+        ("q22", "SELECT c_nationkey, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal \
+                 FROM customer WHERE c_acctbal > 0.0 \
+                 GROUP BY c_nationkey ORDER BY c_nationkey"
+            .to_owned()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_22_queries() {
+        let qs = all();
+        assert_eq!(qs.len(), 22);
+        let mut names: Vec<&str> = qs.iter().map(|(n, _)| *n).collect();
+        names.dedup();
+        assert_eq!(names.len(), 22, "names must be unique");
+    }
+
+    #[test]
+    fn all_queries_parse_and_plan() {
+        for (name, sql) in all() {
+            let stmt =
+                polaris_sql::parse(&sql).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let polaris_sql::Statement::Select(sel) = stmt else {
+                panic!("{name} is not a SELECT");
+            };
+            polaris_sql::plan_select(&sel).unwrap_or_else(|e| panic!("{name} failed to plan: {e}"));
+        }
+    }
+
+    #[test]
+    fn queries_reference_known_tables_only() {
+        let known = crate::tpch::TABLES;
+        for (name, sql) in all() {
+            let polaris_sql::Statement::Select(sel) = polaris_sql::parse(&sql).unwrap() else {
+                unreachable!()
+            };
+            assert!(
+                known.contains(&sel.from.name.as_str()),
+                "{name}: {}",
+                sel.from.name
+            );
+            for j in &sel.joins {
+                assert!(
+                    known.contains(&j.table.name.as_str()),
+                    "{name}: {}",
+                    j.table.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! TPC-DS-like sales/returns schema for the LST-Bench-style experiments
+//! (Figures 10–12).
+//!
+//! Six tables across three channels — store, catalog, web — each with a
+//! *sales* and a *returns* table, the tables the paper's WP1 data
+//! maintenance inserts into and deletes from. Catalog tables are touched
+//! first and web tables last in a DM phase, matching the Figure 11
+//! narration.
+
+use polaris_columnar::{DataType, Field, RecordBatch, Schema, Value};
+use polaris_sql::date_to_days;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel prefixes in DM-touch order (catalog first, web last — Fig 11).
+pub const CHANNELS: &[&str] = &["catalog", "store", "web"];
+
+/// All table names, in DM-touch order.
+pub fn tables() -> Vec<String> {
+    CHANNELS
+        .iter()
+        .flat_map(|c| [format!("{c}_sales"), format!("{c}_returns")])
+        .collect()
+}
+
+/// Schema of a sales or returns table.
+pub fn schema_of(table: &str) -> Schema {
+    if table.ends_with("_sales") {
+        Schema::new(vec![
+            Field::new("sk", DataType::Int64),
+            Field::new("item", DataType::Int64),
+            Field::new("customer", DataType::Int64),
+            Field::new("qty", DataType::Int64),
+            Field::new("price", DataType::Float64),
+            Field::new("sold_date", DataType::Date32),
+        ])
+    } else if table.ends_with("_returns") {
+        Schema::new(vec![
+            Field::new("sk", DataType::Int64),
+            Field::new("item", DataType::Int64),
+            Field::new("customer", DataType::Int64),
+            Field::new("qty", DataType::Int64),
+            Field::new("refund", DataType::Float64),
+            Field::new("returned_date", DataType::Date32),
+        ])
+    } else {
+        panic!("unknown tpcds table {table}")
+    }
+}
+
+/// `CREATE TABLE` statement in the engine dialect.
+pub fn ddl_of(table: &str) -> String {
+    let schema = schema_of(table);
+    let cols: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| {
+            let ty = match f.data_type {
+                DataType::Int64 => "BIGINT",
+                DataType::Float64 => "FLOAT",
+                DataType::Utf8 => "VARCHAR",
+                DataType::Bool => "BIT",
+                DataType::Date32 => "DATE",
+            };
+            format!("{} {}", f.name, ty)
+        })
+        .collect();
+    format!("CREATE TABLE {table} ({})", cols.join(", "))
+}
+
+/// Sales rows at scale factor 1.0 (returns tables get a third of this).
+pub const SALES_ROWS_PER_SF: usize = 3_000;
+
+/// Row count of a table at a scale factor.
+pub fn rows_at(table: &str, sf: f64) -> usize {
+    let base = SALES_ROWS_PER_SF as f64 * sf;
+    let n = if table.ends_with("_returns") {
+        base / 3.0
+    } else {
+        base
+    };
+    n.round().max(1.0) as usize
+}
+
+/// Generate rows `[start, end)` of a table, keyed consecutively so delete
+/// ranges are predictable.
+pub fn generate_range(table: &str, _sf: f64, seed: u64, start: usize, end: usize) -> RecordBatch {
+    let schema = schema_of(table);
+    let is_returns = table.ends_with("_returns");
+    let lo = date_to_days(2000, 1, 1);
+    let hi = date_to_days(2003, 12, 31);
+    let rows: Vec<Vec<Value>> = (start..end)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e3779b9));
+            let money = (rng.gen_range(1.0..500.0_f64) * 100.0).round() / 100.0;
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(rng.gen_range(1..=1000)),
+                Value::Int(rng.gen_range(1..=400)),
+                Value::Int(rng.gen_range(1..=20)),
+                Value::Float(if is_returns { money / 2.0 } else { money }),
+                Value::Date(rng.gen_range(lo..=hi)),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(schema, &rows).expect("generator produces valid rows")
+}
+
+/// Generate all rows of a table at scale factor `sf`.
+pub fn generate(table: &str, sf: f64, seed: u64) -> RecordBatch {
+    generate_range(table, sf, seed, 0, rows_at(table, sf))
+}
+
+/// The SU (single-user power run) query set: aggregate and join shapes
+/// over the sales/returns tables, standing in for the 99 TPC-DS queries.
+pub fn su_queries() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for channel in CHANNELS {
+        let sales = format!("{channel}_sales");
+        let returns = format!("{channel}_returns");
+        out.push((
+            format!("{channel}_revenue_by_item"),
+            format!(
+                "SELECT item, SUM(price) AS revenue, SUM(qty) AS units FROM {sales} \
+                 GROUP BY item ORDER BY revenue DESC LIMIT 25"
+            ),
+        ));
+        out.push((
+            format!("{channel}_daily_totals"),
+            format!(
+                "SELECT sold_date, COUNT(*) AS n, SUM(price) AS total FROM {sales} \
+                 WHERE qty >= 5 GROUP BY sold_date ORDER BY total DESC LIMIT 30"
+            ),
+        ));
+        out.push((
+            format!("{channel}_top_customers"),
+            format!(
+                "SELECT customer, SUM(price) AS spend FROM {sales} \
+                 GROUP BY customer ORDER BY spend DESC LIMIT 10"
+            ),
+        ));
+        out.push((
+            format!("{channel}_return_rate"),
+            format!(
+                "SELECT s.item, COUNT(*) AS returned, SUM(refund) AS refunded \
+                 FROM {returns} r JOIN {sales} s ON r.item = s.item \
+                 GROUP BY s.item ORDER BY refunded DESC LIMIT 20"
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_tables_catalog_first_web_last() {
+        let ts = tables();
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ts[0], "catalog_sales");
+        assert_eq!(ts[5], "web_returns");
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_keyed() {
+        let a = generate("store_sales", 0.1, 9);
+        let b = generate("store_sales", 0.1, 9);
+        assert_eq!(a, b);
+        // keys are 1..=n
+        let sk = a.column_by_name("sk").unwrap();
+        assert_eq!(sk.value(0), Value::Int(1));
+        assert_eq!(sk.value(a.num_rows() - 1), Value::Int(a.num_rows() as i64));
+    }
+
+    #[test]
+    fn su_queries_parse_and_plan() {
+        for (name, sql) in su_queries() {
+            let stmt =
+                polaris_sql::parse(&sql).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let polaris_sql::Statement::Select(sel) = stmt else {
+                panic!("{name}")
+            };
+            polaris_sql::plan_select(&sel).unwrap_or_else(|e| panic!("{name} failed to plan: {e}"));
+        }
+        assert_eq!(su_queries().len(), 12);
+    }
+
+    #[test]
+    fn ddl_parses() {
+        for t in tables() {
+            assert!(polaris_sql::parse(&ddl_of(&t)).is_ok());
+        }
+    }
+
+    #[test]
+    fn returns_are_a_third_of_sales() {
+        assert_eq!(rows_at("store_sales", 1.0), 3000);
+        assert_eq!(rows_at("store_returns", 1.0), 1000);
+    }
+}

@@ -1,0 +1,343 @@
+//! TPC-H-like schema and deterministic data generator.
+//!
+//! Scale factor 1.0 generates `ROWS_PER_SF` lineitem rows (6 000 by
+//! default — laptop-scale; the official benchmark's 6 M rows per SF would
+//! be a factor 1000 up). Row *ratios* between tables match TPC-H, and the
+//! column value distributions are shaped to exercise the same query
+//! behaviour: clustered keys, low-cardinality flags, date ranges, skewed
+//! prices.
+
+use polaris_columnar::{DataType, Field, RecordBatch, Schema, Value};
+use polaris_sql::date_to_days;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lineitem rows generated per unit of scale factor.
+pub const ROWS_PER_SF: usize = 6_000;
+
+/// Names of all TPC-H-like tables, in creation order.
+pub const TABLES: &[&str] = &[
+    "region", "nation", "supplier", "customer", "part", "orders", "lineitem",
+];
+
+/// Schema of a TPC-H-like table.
+pub fn schema_of(table: &str) -> Schema {
+    match table {
+        "lineitem" => Schema::new(vec![
+            Field::new("l_orderkey", DataType::Int64),
+            Field::new("l_partkey", DataType::Int64),
+            Field::new("l_suppkey", DataType::Int64),
+            Field::new("l_quantity", DataType::Float64),
+            Field::new("l_extendedprice", DataType::Float64),
+            Field::new("l_discount", DataType::Float64),
+            Field::new("l_tax", DataType::Float64),
+            Field::new("l_returnflag", DataType::Utf8),
+            Field::new("l_linestatus", DataType::Utf8),
+            Field::new("l_shipdate", DataType::Date32),
+            Field::new("l_shipmode", DataType::Utf8),
+        ]),
+        "orders" => Schema::new(vec![
+            Field::new("o_orderkey", DataType::Int64),
+            Field::new("o_custkey", DataType::Int64),
+            Field::new("o_totalprice", DataType::Float64),
+            Field::new("o_orderdate", DataType::Date32),
+            Field::new("o_orderpriority", DataType::Utf8),
+        ]),
+        "customer" => Schema::new(vec![
+            Field::new("c_custkey", DataType::Int64),
+            Field::new("c_name", DataType::Utf8),
+            Field::new("c_nationkey", DataType::Int64),
+            Field::new("c_acctbal", DataType::Float64),
+            Field::new("c_mktsegment", DataType::Utf8),
+        ]),
+        "part" => Schema::new(vec![
+            Field::new("p_partkey", DataType::Int64),
+            Field::new("p_name", DataType::Utf8),
+            Field::new("p_brand", DataType::Utf8),
+            Field::new("p_type", DataType::Utf8),
+            Field::new("p_retailprice", DataType::Float64),
+        ]),
+        "supplier" => Schema::new(vec![
+            Field::new("s_suppkey", DataType::Int64),
+            Field::new("s_name", DataType::Utf8),
+            Field::new("s_nationkey", DataType::Int64),
+            Field::new("s_acctbal", DataType::Float64),
+        ]),
+        "nation" => Schema::new(vec![
+            Field::new("n_nationkey", DataType::Int64),
+            Field::new("n_name", DataType::Utf8),
+            Field::new("n_regionkey", DataType::Int64),
+        ]),
+        "region" => Schema::new(vec![
+            Field::new("r_regionkey", DataType::Int64),
+            Field::new("r_name", DataType::Utf8),
+        ]),
+        other => panic!("unknown tpch table {other}"),
+    }
+}
+
+/// `CREATE TABLE` statement for a table, in the engine dialect.
+pub fn ddl_of(table: &str) -> String {
+    let schema = schema_of(table);
+    let cols: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| {
+            let ty = match f.data_type {
+                DataType::Int64 => "BIGINT",
+                DataType::Float64 => "FLOAT",
+                DataType::Utf8 => "VARCHAR",
+                DataType::Bool => "BIT",
+                DataType::Date32 => "DATE",
+            };
+            format!("{} {}", f.name, ty)
+        })
+        .collect();
+    format!("CREATE TABLE {table} ({})", cols.join(", "))
+}
+
+/// Row count of a table at a given scale factor (TPC-H ratios).
+pub fn rows_at(table: &str, sf: f64) -> usize {
+    let base = ROWS_PER_SF as f64 * sf;
+    (match table {
+        "lineitem" => base,
+        "orders" => base / 4.0,
+        "customer" => base / 40.0,
+        "part" => base / 30.0,
+        "supplier" => base / 600.0,
+        "nation" => return 25,
+        "region" => return 5,
+        other => panic!("unknown tpch table {other}"),
+    })
+    .round()
+    .max(1.0) as usize
+}
+
+const RETURN_FLAGS: &[&str] = &["A", "N", "R"];
+const LINE_STATUS: &[&str] = &["F", "O"];
+const SHIP_MODES: &[&str] = &["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const BRANDS: &[&str] = &["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#55"];
+const TYPES: &[&str] = &["ECONOMY", "STANDARD", "PROMO", "SMALL", "LARGE"];
+const NATIONS: &[&str] = &[
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Generate all rows of a table at scale factor `sf`, deterministically
+/// from `seed`.
+pub fn generate(table: &str, sf: f64, seed: u64) -> RecordBatch {
+    let n = rows_at(table, sf);
+    generate_range(table, sf, seed, 0, n)
+}
+
+/// Generate rows `[start, end)` of a table — the source-file split used by
+/// the ingestion experiments: each "source file" of the paper's load is
+/// one contiguous key range.
+pub fn generate_range(table: &str, sf: f64, seed: u64, start: usize, end: usize) -> RecordBatch {
+    let schema = schema_of(table);
+    let orders = rows_at("orders", sf) as i64;
+    let customers = rows_at("customer", sf) as i64;
+    let parts = rows_at("part", sf) as i64;
+    let suppliers = rows_at("supplier", sf) as i64;
+    let epoch_lo = date_to_days(1992, 1, 1);
+    let epoch_hi = date_to_days(1998, 12, 1);
+    let rows: Vec<Vec<Value>> = (start..end)
+        .map(|i| {
+            // Seed per row so ranges are independent of split boundaries.
+            let mut rng = StdRng::seed_from_u64(seed ^ hash2(table_tag(table), i as u64));
+            let key = i as i64 + 1;
+            match table {
+                "lineitem" => vec![
+                    Value::Int(rng.gen_range(1..=orders.max(1))),
+                    Value::Int(rng.gen_range(1..=parts.max(1))),
+                    Value::Int(rng.gen_range(1..=suppliers.max(1))),
+                    Value::Float(rng.gen_range(1.0..50.0_f64).round()),
+                    Value::Float((rng.gen_range(900.0..105_000.0_f64) * 100.0).round() / 100.0),
+                    Value::Float((rng.gen_range(0.0..0.1_f64) * 100.0).round() / 100.0),
+                    Value::Float((rng.gen_range(0.0..0.08_f64) * 100.0).round() / 100.0),
+                    Value::Str(pick(&mut rng, RETURN_FLAGS).to_owned()),
+                    Value::Str(pick(&mut rng, LINE_STATUS).to_owned()),
+                    Value::Date(rng.gen_range(epoch_lo..=epoch_hi)),
+                    Value::Str(pick(&mut rng, SHIP_MODES).to_owned()),
+                ],
+                "orders" => vec![
+                    Value::Int(key),
+                    Value::Int(rng.gen_range(1..=customers.max(1))),
+                    Value::Float((rng.gen_range(1_000.0..500_000.0_f64) * 100.0).round() / 100.0),
+                    Value::Date(rng.gen_range(epoch_lo..=epoch_hi)),
+                    Value::Str(pick(&mut rng, PRIORITIES).to_owned()),
+                ],
+                "customer" => vec![
+                    Value::Int(key),
+                    Value::Str(format!("Customer#{key:09}")),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Float((rng.gen_range(-999.0..10_000.0_f64) * 100.0).round() / 100.0),
+                    Value::Str(pick(&mut rng, SEGMENTS).to_owned()),
+                ],
+                "part" => vec![
+                    Value::Int(key),
+                    Value::Str(format!("part {key} {}", pick(&mut rng, TYPES))),
+                    Value::Str(pick(&mut rng, BRANDS).to_owned()),
+                    Value::Str(pick(&mut rng, TYPES).to_owned()),
+                    Value::Float((rng.gen_range(900.0..2_000.0_f64) * 100.0).round() / 100.0),
+                ],
+                "supplier" => vec![
+                    Value::Int(key),
+                    Value::Str(format!("Supplier#{key:09}")),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Float((rng.gen_range(-999.0..10_000.0_f64) * 100.0).round() / 100.0),
+                ],
+                "nation" => vec![
+                    Value::Int(i as i64),
+                    Value::Str(NATIONS[i % NATIONS.len()].to_owned()),
+                    Value::Int((i % REGIONS.len()) as i64),
+                ],
+                "region" => vec![
+                    Value::Int(i as i64),
+                    Value::Str(REGIONS[i % REGIONS.len()].to_owned()),
+                ],
+                other => panic!("unknown tpch table {other}"),
+            }
+        })
+        .collect();
+    RecordBatch::from_rows(schema, &rows).expect("generator produces valid rows")
+}
+
+/// Split a table's rows into `files` contiguous source-file batches — the
+/// unit the load cannot parallelize *within*, only across (§7.1).
+pub fn source_files(table: &str, sf: f64, seed: u64, files: usize) -> Vec<RecordBatch> {
+    assert!(files > 0);
+    let total = rows_at(table, sf);
+    let per = total.div_ceil(files);
+    (0..files)
+        .map(|f| {
+            let start = f * per;
+            let end = ((f + 1) * per).min(total);
+            generate_range(table, sf, seed, start, end.max(start))
+        })
+        .filter(|b| b.num_rows() > 0)
+        .collect()
+}
+
+fn table_tag(table: &str) -> u64 {
+    table
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+}
+
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e3779b97f4a7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_tpch() {
+        assert_eq!(rows_at("lineitem", 1.0), 6_000);
+        assert_eq!(rows_at("orders", 1.0), 1_500);
+        assert_eq!(rows_at("customer", 1.0), 150);
+        assert_eq!(rows_at("nation", 10.0), 25);
+        assert_eq!(rows_at("region", 0.01), 5);
+        assert!(rows_at("supplier", 0.001) >= 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate("lineitem", 0.1, 7);
+        let b = generate("lineitem", 0.1, 7);
+        assert_eq!(a, b);
+        let c = generate("lineitem", 0.1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_compose_into_full_table() {
+        let full = generate("orders", 0.1, 3);
+        let lo = generate_range("orders", 0.1, 3, 0, 70);
+        let hi = generate_range("orders", 0.1, 3, 70, full.num_rows());
+        let stitched = RecordBatch::concat(&[lo, hi]).unwrap();
+        assert_eq!(stitched, full);
+    }
+
+    #[test]
+    fn source_files_cover_everything_once() {
+        let total = rows_at("lineitem", 0.05);
+        let files = source_files("lineitem", 0.05, 1, 7);
+        let sum: usize = files.iter().map(RecordBatch::num_rows).sum();
+        assert_eq!(sum, total);
+        assert!(files.len() <= 7);
+    }
+
+    #[test]
+    fn schemas_and_ddl_align() {
+        for t in TABLES {
+            let schema = schema_of(t);
+            assert!(!schema.is_empty());
+            let ddl = ddl_of(t);
+            assert!(ddl.starts_with(&format!("CREATE TABLE {t} ")));
+            // DDL round-trips through the parser
+            let stmt = polaris_sql::parse(&ddl).unwrap();
+            let polaris_sql::Statement::CreateTable { columns, .. } = stmt else {
+                panic!("ddl must parse as CREATE TABLE");
+            };
+            assert_eq!(columns.len(), schema.len());
+        }
+    }
+
+    #[test]
+    fn values_are_in_domain() {
+        let li = generate("lineitem", 0.02, 5);
+        let flags = li.column_by_name("l_returnflag").unwrap();
+        for i in 0..li.num_rows() {
+            let v = flags.value(i);
+            assert!(RETURN_FLAGS.contains(&v.as_str().unwrap()));
+        }
+        let disc = li.column_by_name("l_discount").unwrap();
+        for i in 0..li.num_rows() {
+            let d = disc.value(i).as_float().unwrap();
+            assert!((0.0..=0.1).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! ETL + reporting on one engine: bulk loads on write nodes, analytic
+//! queries on read nodes, autonomous storage maintenance in between —
+//! the workload-separation story of §4.3 and §5.
+//!
+//! ```sh
+//! cargo run --example etl_pipeline
+//! ```
+
+use polaris::core::{sto, PolarisEngine};
+use polaris::workloads::{queries, tpch};
+use std::time::Instant;
+
+fn main() {
+    let engine = PolarisEngine::in_memory();
+    let mut session = engine.session();
+
+    // --- Extract/Load: create the TPC-H-like schema and bulk load it.
+    println!("loading TPC-H-like tables at scale factor 0.5 …");
+    let started = Instant::now();
+    for table in tpch::TABLES {
+        session.execute(&tpch::ddl_of(table)).unwrap();
+        let data = tpch::generate(table, 0.5, 42);
+        let n = session.insert_batch(table, &data).unwrap();
+        println!("  {table:<10} {n:>6} rows");
+    }
+    println!(
+        "load finished in {:.1} ms",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+
+    // --- Transform: a maintenance pass (trickle updates fragment storage).
+    session
+        .execute("DELETE FROM lineitem WHERE l_quantity < 3.0")
+        .unwrap();
+    session
+        .execute("UPDATE orders SET o_totalprice = o_totalprice * 0.95 WHERE o_orderpriority = '1-URGENT'")
+        .unwrap();
+    let health = sto::table_health(&engine, "lineitem").unwrap();
+    println!(
+        "after maintenance: lineitem has {} files, {} fragmented -> {}",
+        health.file_count,
+        health.fragmented_files,
+        if health.is_healthy() {
+            "healthy"
+        } else {
+            "needs compaction"
+        }
+    );
+
+    // --- Autonomous optimization: the STO compacts, checkpoints, GCs and
+    // publishes Delta logs without user intervention.
+    let tick = sto::run_once(&engine).unwrap();
+    println!(
+        "STO pass: {} compactions, {} checkpoints, {} manifests published, {} blobs GC'd",
+        tick.compactions, tick.checkpoints, tick.published, tick.gc_deleted
+    );
+
+    // --- Report: run a few of the 22 analytic queries.
+    println!("\nreporting queries:");
+    for (name, sql) in queries::all().into_iter().take(6) {
+        let t = Instant::now();
+        let rows = session.query(&sql).unwrap();
+        println!(
+            "  {name}: {:>4} rows in {:>7.2} ms",
+            rows.num_rows(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    // --- The lake view: data is published in the open Delta format.
+    let log = engine.store().list("lake/lineitem/_delta_log/").unwrap();
+    println!(
+        "\nlineitem Delta log has {} commit files (readable by other engines)",
+        log.len()
+    );
+}

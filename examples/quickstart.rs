@@ -1,0 +1,60 @@
+//! Quickstart: create a table, run transactions, query with SQL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use polaris::core::{PolarisEngine, StatementOutcome};
+
+fn main() {
+    // An in-memory "database": object store + compute pool + catalog.
+    let engine = PolarisEngine::in_memory();
+    let mut session = engine.session();
+
+    session
+        .execute("CREATE TABLE trips (id BIGINT, city VARCHAR, miles FLOAT, day DATE)")
+        .unwrap();
+
+    // Auto-commit DML: each statement is its own Snapshot-Isolation
+    // transaction, validated optimistically and retried on conflict.
+    session
+        .execute(
+            "INSERT INTO trips VALUES \
+             (1, 'seattle', 12.5, DATE '2024-03-01'), \
+             (2, 'redmond', 3.2, DATE '2024-03-01'), \
+             (3, 'seattle', 8.1, DATE '2024-03-02'), \
+             (4, 'bellevue', 5.9, DATE '2024-03-02')",
+        )
+        .unwrap();
+
+    // Explicit multi-statement transaction.
+    session.execute("BEGIN").unwrap();
+    session
+        .execute("UPDATE trips SET miles = miles * 1.1 WHERE city = 'seattle'")
+        .unwrap();
+    session
+        .execute("DELETE FROM trips WHERE miles < 4.0")
+        .unwrap();
+    let outcome = session.execute("COMMIT").unwrap();
+    if let StatementOutcome::Committed(Some(seq)) = outcome {
+        println!("transaction committed at {seq}");
+    }
+
+    // Query: distributed scan + aggregate over the compute pool.
+    let rows = session
+        .query(
+            "SELECT city, COUNT(*) AS trips, SUM(miles) AS total \
+             FROM trips GROUP BY city ORDER BY total DESC",
+        )
+        .unwrap();
+    println!("{:<10} {:>6} {:>8}", "city", "trips", "miles");
+    for i in 0..rows.num_rows() {
+        let row = rows.row(i);
+        println!(
+            "{:<10} {:>6} {:>8.1}",
+            row[0],
+            row[1],
+            row[2].as_float().unwrap()
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! The paper's §4.2 worked example (Figure 6), narrated live:
+//! three concurrent transactions on table T1 demonstrating Snapshot
+//! Isolation — repeatable reads, invisible uncommitted writes, and
+//! first-committer-wins conflict resolution.
+//!
+//! ```sh
+//! cargo run --example snapshot_isolation
+//! ```
+
+use polaris::columnar::{DataType, Field, RecordBatch, Schema, Value};
+use polaris::core::PolarisEngine;
+use polaris::exec::Expr;
+
+fn t1_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("c1", DataType::Utf8),
+        Field::new("c2", DataType::Int64),
+    ])
+}
+
+fn rows(pairs: &[(&str, i64)]) -> RecordBatch {
+    let data: Vec<Vec<Value>> = pairs
+        .iter()
+        .map(|(c1, c2)| vec![Value::Str((*c1).to_owned()), Value::Int(*c2)])
+        .collect();
+    RecordBatch::from_rows(t1_schema(), &data).unwrap()
+}
+
+fn sum_c2(txn: &mut polaris::core::Transaction) -> i64 {
+    txn.query("SELECT SUM(c2) AS s FROM t1").unwrap().row(0)[0]
+        .as_int()
+        .unwrap()
+}
+
+fn main() {
+    let engine = PolarisEngine::in_memory();
+    let mut session = engine.session();
+    session
+        .execute("CREATE TABLE t1 (c1 VARCHAR, c2 BIGINT)")
+        .unwrap();
+
+    println!("t1: X1 loads (A,1),(B,2),(C,3) and commits");
+    let mut x1 = engine.begin();
+    x1.insert("t1", &rows(&[("A", 1), ("B", 2), ("C", 3)]))
+        .unwrap();
+    x1.commit().unwrap();
+
+    println!("t2: X2 and X3 start — both snapshot the state as of t1");
+    let mut x2 = engine.begin();
+    let mut x3 = engine.begin();
+    println!("    X2 inserts (D,4),(E,5) and deletes (A,1)");
+    x2.insert("t1", &rows(&[("D", 4), ("E", 5)])).unwrap();
+    let deleted = x2
+        .delete("t1", Some(&Expr::col("c1").eq(Expr::lit("A"))))
+        .unwrap();
+    assert_eq!(deleted, 1);
+    println!(
+        "    X3 reads SUM(c2) = {} (sees only X1's commit)",
+        sum_c2(&mut x3)
+    );
+    println!(
+        "    X2 reads SUM(c2) = {} (sees its own writes)",
+        sum_c2(&mut x2)
+    );
+
+    println!("t3: X2 commits; X3 deletes (B,2) against its old snapshot");
+    x2.commit().unwrap();
+    println!(
+        "    X3 still reads SUM(c2) = {} — repeatable reads",
+        sum_c2(&mut x3)
+    );
+    x3.delete("t1", Some(&Expr::col("c1").eq(Expr::lit("B"))))
+        .unwrap();
+
+    println!("t4: X3 tries to commit …");
+    match x3.commit() {
+        Err(e) if e.is_retryable_conflict() => {
+            println!("    -> write-write conflict detected in WriteSets; X3 rolled back")
+        }
+        other => panic!("expected a conflict, got {other:?}"),
+    }
+
+    let mut x4 = engine.begin();
+    println!(
+        "t4: a fresh transaction X4 reads SUM(c2) = {} — X1 and X2 only; \
+         X3 left no trace",
+        sum_c2(&mut x4)
+    );
+    let b = x4.query("SELECT c2 FROM t1 WHERE c1 = 'B'").unwrap();
+    assert_eq!(b.num_rows(), 1, "X3's delete must have rolled back");
+    println!("done: every claim of Figure 6 verified");
+}

@@ -1,0 +1,82 @@
+//! A minimal interactive SQL shell over a fresh in-memory engine.
+//!
+//! ```sh
+//! cargo run --example sql_shell
+//! ```
+//!
+//! Then type statements, e.g.:
+//!
+//! ```sql
+//! CREATE TABLE t (id BIGINT, name VARCHAR);
+//! INSERT INTO t VALUES (1, 'ada'), (2, 'lin');
+//! BEGIN;
+//! UPDATE t SET name = 'ada lovelace' WHERE id = 1;
+//! SELECT * FROM t ORDER BY id;
+//! COMMIT;
+//! ```
+
+use polaris::core::{PolarisEngine, StatementOutcome};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let engine = PolarisEngine::in_memory();
+    let mut session = engine.session();
+    println!("polaris sql shell — ';' terminates a statement, ctrl-d exits");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    prompt(&session);
+    for line in stdin.lock().lines() {
+        let line = line.unwrap();
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !line.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match session.execute_script(&sql) {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    print_outcome(outcome);
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        prompt(&session);
+    }
+    println!();
+}
+
+fn prompt(session: &polaris::core::Session) {
+    let marker = if session.in_transaction() {
+        "txn"
+    } else {
+        "sql"
+    };
+    print!("{marker}> ");
+    std::io::stdout().flush().unwrap();
+}
+
+fn print_outcome(outcome: StatementOutcome) {
+    match outcome {
+        StatementOutcome::Rows(batch) => {
+            let names: Vec<&str> = batch
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect();
+            println!("{}", names.join(" | "));
+            for i in 0..batch.num_rows() {
+                let row: Vec<String> = batch.row(i).iter().map(ToString::to_string).collect();
+                println!("{}", row.join(" | "));
+            }
+            println!("({} rows)", batch.num_rows());
+        }
+        StatementOutcome::Affected(n) => println!("({n} rows affected)"),
+        StatementOutcome::Ddl => println!("(ok)"),
+        StatementOutcome::Begun => println!("(transaction started)"),
+        StatementOutcome::Committed(Some(seq)) => println!("(committed at {seq})"),
+        StatementOutcome::Committed(None) => println!("(committed, read-only)"),
+        StatementOutcome::RolledBack => println!("(rolled back)"),
+    }
+}

@@ -1,0 +1,44 @@
+//! # polaris
+//!
+//! Umbrella crate for the Polaris transactions reproduction — a Rust
+//! implementation of *"Extending Polaris to Support Transactions"*
+//! (SIGMOD 2024): Snapshot Isolation over log-structured tables on a
+//! stateless distributed compute platform.
+//!
+//! Start with [`core::PolarisEngine::in_memory`] and
+//! [`core::Session::execute`]:
+//!
+//! ```
+//! use polaris::core::PolarisEngine;
+//!
+//! let engine = PolarisEngine::in_memory();
+//! let mut session = engine.session();
+//! session.execute("CREATE TABLE t (id BIGINT, name VARCHAR)").unwrap();
+//! session.execute("INSERT INTO t VALUES (1, 'ada'), (2, 'lin')").unwrap();
+//! let rows = session.query("SELECT COUNT(*) AS n FROM t").unwrap();
+//! assert_eq!(rows.row(0)[0], polaris::columnar::Value::Int(2));
+//! ```
+//!
+//! The sub-crates are re-exported by subsystem:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `polaris-core` | the transaction engine (the paper's contribution) |
+//! | [`store`] | `polaris-store` | object store with Block Blob semantics (ADLS/OneLake) |
+//! | [`columnar`] | `polaris-columnar` | immutable columnar files + delete vectors (Parquet) |
+//! | [`lst`] | `polaris-lst` | manifests, checkpoints, snapshots (physical metadata) |
+//! | [`catalog`] | `polaris-catalog` | MVCC/SI system catalog (SQL DB) |
+//! | [`dcp`] | `polaris-dcp` | task DAGs, scheduler, topology, WLM |
+//! | [`exec`] | `polaris-exec` | vectorized operators and the BE write path |
+//! | [`sql`] | `polaris-sql` | T-SQL-flavoured parser and planner |
+//! | [`workloads`] | `polaris-workloads` | TPC-H/TPC-DS-like generators, LST-Bench drivers |
+
+pub use polaris_catalog as catalog;
+pub use polaris_columnar as columnar;
+pub use polaris_core as core;
+pub use polaris_dcp as dcp;
+pub use polaris_exec as exec;
+pub use polaris_lst as lst;
+pub use polaris_sql as sql;
+pub use polaris_store as store;
+pub use polaris_workloads as workloads;

@@ -1,0 +1,150 @@
+//! Evaluation-workload smoke tests: the TPC-H-like and LST-Bench-like
+//! suites run end-to-end on the full engine with correct, stable results.
+
+use polaris::core::{sto, PolarisEngine, Value};
+use polaris::workloads::{lstbench, queries, tpch};
+use std::sync::Arc;
+
+fn tpch_engine(sf: f64) -> Arc<PolarisEngine> {
+    let engine = PolarisEngine::in_memory();
+    let mut s = engine.session();
+    for table in tpch::TABLES {
+        s.execute(&tpch::ddl_of(table)).unwrap();
+        s.insert_batch(table, &tpch::generate(table, sf, 42))
+            .unwrap();
+    }
+    engine
+}
+
+#[test]
+fn all_22_queries_run_and_results_are_stable() {
+    let engine = tpch_engine(0.2);
+    let mut s = engine.session();
+    for (name, sql) in queries::all() {
+        let first = s
+            .query(&sql)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let second = s.query(&sql).unwrap();
+        assert_eq!(first, second, "{name} must be deterministic");
+    }
+}
+
+#[test]
+fn q1_aggregates_are_internally_consistent() {
+    let engine = tpch_engine(0.2);
+    let mut s = engine.session();
+    let (_, q1) = &queries::all()[0];
+    let rows = s.query(q1).unwrap();
+    assert!(
+        rows.num_rows() >= 4,
+        "q1 groups by (returnflag, linestatus)"
+    );
+    // sum(count_order) over groups equals a direct filtered count
+    let total_count: i64 = (0..rows.num_rows())
+        .map(|i| {
+            rows.column_by_name("count_order")
+                .unwrap()
+                .value(i)
+                .as_int()
+                .unwrap()
+        })
+        .sum();
+    let direct = s
+        .query("SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'")
+        .unwrap();
+    assert_eq!(Value::Int(total_count), direct.row(0)[0]);
+    // avg * count ~= sum per group
+    for i in 0..rows.num_rows() {
+        let sum_qty = rows
+            .column_by_name("sum_qty")
+            .unwrap()
+            .value(i)
+            .as_float()
+            .unwrap();
+        let avg_qty = rows
+            .column_by_name("avg_qty")
+            .unwrap()
+            .value(i)
+            .as_float()
+            .unwrap();
+        let n = rows
+            .column_by_name("count_order")
+            .unwrap()
+            .value(i)
+            .as_int()
+            .unwrap();
+        assert!((avg_qty * n as f64 - sum_qty).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn queries_are_unaffected_by_uncommitted_concurrent_load() {
+    let engine = tpch_engine(0.1);
+    let mut s = engine.session();
+    let baseline = s.query("SELECT COUNT(*) AS n FROM lineitem").unwrap();
+
+    // Concurrent uncommitted bulk insert into the same table.
+    let loader_engine = Arc::clone(&engine);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let loader = std::thread::spawn(move || {
+        let mut txn = loader_engine.begin();
+        let batch = tpch::generate_range("lineitem", 0.1, 7, 0, 500);
+        while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+            txn.insert("lineitem", &batch).unwrap();
+        }
+        txn.rollback();
+    });
+    for _ in 0..5 {
+        let during = s.query("SELECT COUNT(*) AS n FROM lineitem").unwrap();
+        assert_eq!(
+            during.row(0)[0],
+            baseline.row(0)[0],
+            "SI hides uncommitted load"
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    loader.join().unwrap();
+    // After the loader rolled back, still unchanged.
+    let after = s.query("SELECT COUNT(*) AS n FROM lineitem").unwrap();
+    assert_eq!(after.row(0)[0], baseline.row(0)[0]);
+}
+
+#[test]
+fn wp1_longevity_preserves_query_results_across_maintenance() {
+    let engine = PolarisEngine::in_memory();
+    lstbench::setup_tpcds(&engine, 0.05, 11).unwrap();
+    let mut s = engine.session();
+    // Run two WP1 phases, then verify an invariant: every surviving key
+    // appears exactly once per table (maintenance must not duplicate or
+    // resurrect rows).
+    lstbench::run_wp1(&engine, 2, 0.05, 11).unwrap();
+    for table in polaris::workloads::tpcds::tables() {
+        let dup = s
+            .query(&format!(
+                "SELECT sk, COUNT(*) AS c FROM {table} GROUP BY sk ORDER BY c DESC LIMIT 1"
+            ))
+            .unwrap();
+        if dup.num_rows() > 0 {
+            assert_eq!(dup.row(0)[1], Value::Int(1), "{table} has duplicated keys");
+        }
+        // And the table is healthy after maintenance.
+        assert!(sto::table_health(&engine, &table).unwrap().is_healthy());
+    }
+}
+
+#[test]
+fn tpch_load_matches_generated_rowcounts() {
+    let engine = tpch_engine(0.3);
+    let mut s = engine.session();
+    for table in tpch::TABLES {
+        let rows = s
+            .query(&format!("SELECT COUNT(*) AS n FROM {table}"))
+            .unwrap();
+        assert_eq!(
+            rows.row(0)[0],
+            Value::Int(tpch::rows_at(table, 0.3) as i64),
+            "{table} rowcount"
+        );
+    }
+}
