@@ -30,6 +30,7 @@ fn main() {
         max_nodes: None,
     };
     let mut baseline_nodes = None;
+    let mut last_metrics = None;
     for sf in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
         let files = ((4.0 * sf).round() as usize).max(1);
         let rows = tpch::rows_at("lineitem", sf);
@@ -61,6 +62,7 @@ fn main() {
         txn.insert("lineitem", &all).unwrap();
         txn.commit().unwrap();
         let elapsed = started.elapsed();
+        last_metrics = Some(engine.metrics_snapshot());
 
         println!(
             "{:>6.1} {:>8} {:>7} {:>7} {:>12} {:>16.2}   resource_factor={:.1}x",
@@ -75,4 +77,13 @@ fn main() {
     }
     println!();
     println!("shape check: ms_per_sf_unit should DECREASE with sf (sub-linear load time)");
+    // Dump the engine-wide metrics of the largest run next to the figure
+    // output so regressions in store traffic / task counts are diffable.
+    if let Some(snapshot) = last_metrics {
+        let dir = std::path::Path::new("target/bench");
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("fig7_ingestion_metrics.json");
+        std::fs::write(&path, snapshot.to_json_pretty()).unwrap();
+        println!("metrics snapshot written to {}", path.display());
+    }
 }

@@ -135,6 +135,20 @@ impl Catalog {
         }
     }
 
+    /// An empty catalog recording commit outcomes and commit-lock hold
+    /// times into `meter` (see [`MvccStore::with_meter`]).
+    pub fn with_meter(meter: polaris_obs::CatalogMeter) -> Self {
+        Catalog {
+            store: MvccStore::with_meter(meter),
+            next_table_id: AtomicU64::new(1001),
+        }
+    }
+
+    /// The catalog's meter (shared counter/histogram handles).
+    pub fn meter(&self) -> &polaris_obs::CatalogMeter {
+        self.store.meter()
+    }
+
     /// Begin a transaction.
     pub fn begin(&self, isolation: IsolationLevel) -> CatalogTxn {
         self.store.begin(isolation)

@@ -3,6 +3,7 @@
 
 use crate::{CatalogError, CatalogResult};
 use parking_lot::{Mutex, RwLock};
+use polaris_obs::CatalogMeter;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,6 +117,9 @@ pub struct MvccStore<K, V> {
     commit_lock: Mutex<()>,
     /// Active transactions: id -> snapshot ts (for GC watermarks, §5.3).
     active: Mutex<HashMap<TxnId, Timestamp>>,
+    /// Commit/abort/conflict accounting (lock-free handles, shareable with
+    /// an engine-wide metrics registry).
+    meter: CatalogMeter,
 }
 
 impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> Default for MvccStore<K, V> {
@@ -127,13 +131,26 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> Default for M
 impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, V> {
     /// An empty store at timestamp 0.
     pub fn new() -> Self {
+        Self::with_meter(CatalogMeter::default())
+    }
+
+    /// An empty store recording into `meter` — typically
+    /// [`CatalogMeter::from_registry`], so commit outcomes and commit-lock
+    /// hold times surface under `catalog.*` in the engine's metrics.
+    pub fn with_meter(meter: CatalogMeter) -> Self {
         MvccStore {
             rows: RwLock::new(BTreeMap::new()),
             committed: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
             commit_lock: Mutex::new(()),
             active: Mutex::new(HashMap::new()),
+            meter,
         }
+    }
+
+    /// The store's meter (shared counter/histogram handles).
+    pub fn meter(&self) -> &CatalogMeter {
+        &self.meter
     }
 
     /// Latest committed timestamp.
@@ -294,6 +311,9 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
     ) -> CatalogResult<CommitOutcome> {
         self.ensure_active(txn)?;
         let _guard = self.commit_lock.lock();
+        // Dropped when the function returns (with the lock), on success and
+        // conflict paths alike — so the histogram sees every hold.
+        let _hold = self.meter.commit_lock_hold.span();
         {
             let rows = self.rows.read();
             // First committer wins: any version of a written key newer than
@@ -302,6 +322,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
                 if Self::newest_ts(&rows, key) > txn.snapshot {
                     txn.status = TxnStatus::Aborted;
                     self.active.lock().remove(&txn.id);
+                    self.meter.ww_conflicts.inc();
                     return Err(CatalogError::WriteWriteConflict {
                         key: format_key(key),
                     });
@@ -312,6 +333,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
                     if Self::newest_ts(&rows, key) > txn.snapshot {
                         txn.status = TxnStatus::Aborted;
                         self.active.lock().remove(&txn.id);
+                        self.meter.serialization_failures.inc();
                         return Err(CatalogError::SerializationFailure {
                             key: format_key(key),
                         });
@@ -339,6 +361,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
         self.committed.store(commit_ts.0, Ordering::SeqCst);
         txn.status = TxnStatus::Committed;
         self.active.lock().remove(&txn.id);
+        self.meter.commits.inc();
         Ok(CommitOutcome { commit_ts })
     }
 
@@ -352,6 +375,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
         txn.writes.clear();
         txn.status = TxnStatus::Aborted;
         self.active.lock().remove(&txn.id);
+        self.meter.aborts.inc();
     }
 
     fn newest_ts(rows: &BTreeMap<K, Vec<Version<V>>>, key: &K) -> Timestamp {

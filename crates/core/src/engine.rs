@@ -8,7 +8,8 @@ use polaris_catalog::{Catalog, CatalogTxn, TableId, TableMeta};
 use polaris_columnar::Schema;
 use polaris_dcp::ComputePool;
 use polaris_lst::{Checkpoint, Manifest, SequenceId, SnapshotCache, TableSnapshot};
-use polaris_store::{BlobPath, MemoryStore, ObjectStore};
+use polaris_obs::{CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot};
+use polaris_store::{BlobPath, MemoryStore, ObjectStore, StatsStore};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -38,6 +39,9 @@ pub struct PolarisEngine {
     /// Tables with commits not yet published to the Delta log (§5.4):
     /// `table id -> last published sequence`.
     publish_watermarks: Mutex<HashMap<TableId, SequenceId>>,
+    /// Engine-wide metrics registry: every layer (store, cache, catalog,
+    /// pool, scan) emits into this one instance.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl PolarisEngine {
@@ -47,13 +51,20 @@ impl PolarisEngine {
         pool: Arc<ComputePool>,
         config: EngineConfig,
     ) -> Arc<Self> {
+        let metrics = MetricsRegistry::new();
+        // Wrap the store so every blob operation is counted in the shared
+        // registry; `Arc<dyn ObjectStore>` itself implements `ObjectStore`,
+        // so the wrapper composes with whatever the caller handed us.
+        let store: Arc<dyn ObjectStore> = Arc::new(StatsStore::with_registry(store, &metrics));
+        pool.meter().adopt_into(&metrics);
         Arc::new(PolarisEngine {
             config,
-            catalog: Catalog::new(),
+            catalog: Catalog::with_meter(CatalogMeter::from_registry(&metrics)),
             store,
             pool,
             caches: RwLock::new(HashMap::new()),
             publish_watermarks: Mutex::new(HashMap::new()),
+            metrics,
         })
     }
 
@@ -97,6 +108,16 @@ impl PolarisEngine {
     /// The compute pool (DCP topology).
     pub fn pool(&self) -> &Arc<ComputePool> {
         &self.pool
+    }
+
+    /// The engine-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of every metric the engine has emitted.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Create a table (auto-commit DDL).
@@ -223,7 +244,10 @@ impl PolarisEngine {
         let mut caches = self.caches.write();
         Arc::clone(
             caches.entry(table).or_insert_with(|| {
-                Arc::new(SnapshotCache::new(self.config.snapshot_cache_capacity))
+                Arc::new(SnapshotCache::with_meter(
+                    self.config.snapshot_cache_capacity,
+                    CacheMeter::from_registry(&self.metrics),
+                ))
             }),
         )
     }

@@ -43,3 +43,6 @@ pub use txn::Transaction;
 pub use polaris_catalog::{ConflictGranularity, IsolationLevel, TableId};
 pub use polaris_columnar::{DataType, Field, RecordBatch, Schema, Value};
 pub use polaris_lst::SequenceId;
+pub use polaris_obs::{
+    MetricsRegistry, MetricsSnapshot, QueryProfile, TxnProfile, ValidationOutcome,
+};

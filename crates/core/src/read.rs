@@ -11,9 +11,10 @@ use crate::{PolarisError, PolarisResult};
 use polaris_columnar::{DataType, Field, RecordBatch, Schema};
 use polaris_dcp::{TaskError, WorkflowDag, WorkloadClass};
 use polaris_exec::{
-    cell::partition_cells, cells_of_snapshot, ops, scan::scan_cell_lazy, AggExpr, AggFunc, BinOp,
-    Expr,
+    cell::partition_cells, cells_of_snapshot, ops, scan::scan_cell_lazy_metered, AggExpr, AggFunc,
+    BinOp, Expr,
 };
+use polaris_obs::ScanMeter;
 use polaris_lst::{SequenceId, TableSnapshot};
 use polaris_sql::{AggPlan, SelectPlan};
 use std::sync::Arc;
@@ -50,6 +51,7 @@ pub(crate) fn execute_select(
 ) -> PolarisResult<QueryResult> {
     let (base_schema, base_snap) = source_snapshot(txn, &plan.table, plan.as_of)?;
     let engine = Arc::clone(txn.engine());
+    let meter = Arc::clone(&txn.scan_meter);
 
     let mut batch = if plan.joins.is_empty() {
         match &plan.agg {
@@ -59,6 +61,7 @@ pub(crate) fn execute_select(
                 &base_snap,
                 plan.predicate.as_ref(),
                 agg,
+                &meter,
             )?,
             None => {
                 // SQL permits ORDER BY over columns the projection drops;
@@ -78,6 +81,7 @@ pub(crate) fn execute_select(
                     } else {
                         plan.projections.as_deref()
                     },
+                    &meter,
                 )?;
                 if deferred_projection {
                     scanned = ops::sort(&scanned, &plan.order_by)?;
@@ -99,10 +103,10 @@ pub(crate) fn execute_select(
         // Join path: scan every input fully, join and post-process at the
         // FE. Adequate at cell scale; a production planner would co-locate
         // by distribution instead.
-        let mut left = distributed_scan(&engine, &base_schema, &base_snap, None, None)?;
+        let mut left = distributed_scan(&engine, &base_schema, &base_snap, None, None, &meter)?;
         for join in &plan.joins {
             let (right_schema, right_snap) = source_snapshot(txn, &join.table, join.as_of)?;
-            let right = distributed_scan(&engine, &right_schema, &right_snap, None, None)?;
+            let right = distributed_scan(&engine, &right_schema, &right_snap, None, None, &meter)?;
             left = ops::hash_join(&left, &right, &join.left_keys, &join.right_keys)?;
         }
         if let Some(pred) = &plan.predicate {
@@ -165,6 +169,7 @@ fn distributed_scan(
     snapshot: &TableSnapshot,
     predicate: Option<&Expr>,
     projections: Option<&[(Expr, String)]>,
+    meter: &Arc<ScanMeter>,
 ) -> PolarisResult<RecordBatch> {
     let needed = needed_columns(predicate, projections.map(|p| p.iter().map(|(e, _)| e)));
     let cells = cells_of_snapshot(snapshot);
@@ -180,12 +185,18 @@ fn distributed_scan(
             let projections: Option<Vec<(Expr, String)>> = projections.map(<[_]>::to_vec);
             let group = Arc::new(group);
             let needed = Arc::clone(&needed);
+            let meter = Arc::clone(meter);
             dag.add_task(move |_ctx| {
                 let mut out = Vec::new();
                 for cell in group.iter() {
-                    let Some(batch) =
-                        scan_cell_lazy(&*store, cell, needed.as_ref().as_ref(), predicate.as_ref())
-                            .map_err(exec_to_task)?
+                    let Some(batch) = scan_cell_lazy_metered(
+                        &*store,
+                        cell,
+                        needed.as_ref().as_ref(),
+                        predicate.as_ref(),
+                        Some(&meter),
+                    )
+                    .map_err(exec_to_task)?
                     else {
                         continue;
                     };
@@ -236,6 +247,7 @@ fn distributed_aggregate(
     snapshot: &TableSnapshot,
     predicate: Option<&Expr>,
     agg: &AggPlan,
+    meter: &Arc<ScanMeter>,
 ) -> PolarisResult<RecordBatch> {
     let (partial_aggs, finalizers) = decompose_avg(&agg.aggs);
     let group_by = agg.group_by.clone();
@@ -264,12 +276,18 @@ fn distributed_aggregate(
             let group_by = Arc::clone(&group_by_arc);
             let group = Arc::new(group);
             let needed = Arc::clone(&needed);
+            let meter = Arc::clone(meter);
             dag.add_task(move |_ctx| {
                 let mut scanned = Vec::new();
                 for cell in group.iter() {
-                    if let Some(batch) =
-                        scan_cell_lazy(&*store, cell, needed.as_ref().as_ref(), predicate.as_ref())
-                            .map_err(exec_to_task)?
+                    if let Some(batch) = scan_cell_lazy_metered(
+                        &*store,
+                        cell,
+                        needed.as_ref().as_ref(),
+                        predicate.as_ref(),
+                        Some(&meter),
+                    )
+                    .map_err(exec_to_task)?
                     {
                         scanned.push(batch);
                     }

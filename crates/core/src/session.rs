@@ -4,6 +4,7 @@ use crate::schema_json::schema_to_json;
 use crate::{PolarisEngine, PolarisError, PolarisResult, QueryResult, SequenceId, Transaction};
 use polaris_catalog::IsolationLevel;
 use polaris_columnar::{Field, RecordBatch, Schema};
+use polaris_obs::{QueryProfile, TxnProfile, ValidationOutcome};
 use polaris_sql::Statement;
 use std::sync::Arc;
 
@@ -36,6 +37,8 @@ pub struct Session {
     engine: Arc<PolarisEngine>,
     isolation: IsolationLevel,
     current: Option<Transaction>,
+    last_profile: Option<QueryProfile>,
+    last_txn_profile: Option<TxnProfile>,
 }
 
 impl Session {
@@ -45,7 +48,47 @@ impl Session {
             engine,
             isolation,
             current: None,
+            last_profile: None,
+            last_txn_profile: None,
         }
+    }
+
+    /// Structured accounting for the most recently executed SELECT or DML
+    /// statement. Auto-commit statements resolve their validation outcome;
+    /// statements inside a still-open transaction report
+    /// [`Pending`](ValidationOutcome::Pending).
+    pub fn last_profile(&self) -> Option<&QueryProfile> {
+        self.last_profile.as_ref()
+    }
+
+    /// Accounting for the most recently resolved (committed, conflicted,
+    /// or rolled back) transaction.
+    pub fn last_txn_profile(&self) -> Option<&TxnProfile> {
+        self.last_txn_profile.as_ref()
+    }
+
+    /// Commit `txn`, timing the commit protocol and recording both the
+    /// statement and transaction profiles with the validation outcome.
+    fn commit_recorded(&mut self, txn: Transaction) -> PolarisResult<Option<SequenceId>> {
+        let mut profile = txn.last_profile().cloned();
+        let mut txn_profile = txn.txn_profile_snapshot();
+        let start = std::time::Instant::now();
+        let result = txn.commit();
+        txn_profile.commit_wall_ns = start.elapsed().as_nanos() as u64;
+        let validation = match &result {
+            Ok(info) if info.sequence.is_some() => ValidationOutcome::Committed,
+            Ok(_) => ValidationOutcome::ReadOnly,
+            Err(e) => conflict_outcome(e),
+        };
+        txn_profile.validation = validation;
+        if let Some(p) = profile.as_mut() {
+            p.validation = validation;
+            p.phase("commit", txn_profile.commit_wall_ns);
+            p.wall_ns += txn_profile.commit_wall_ns;
+        }
+        self.last_profile = profile;
+        self.last_txn_profile = Some(txn_profile);
+        result.map(|info| info.sequence)
     }
 
     /// Override the isolation level for subsequently started transactions
@@ -98,15 +141,18 @@ impl Session {
                     .current
                     .take()
                     .ok_or_else(|| PolarisError::invalid("no open transaction"))?;
-                let info = txn.commit()?;
-                Ok(StatementOutcome::Committed(info.sequence))
+                let sequence = self.commit_recorded(txn)?;
+                Ok(StatementOutcome::Committed(sequence))
             }
             Statement::Rollback => {
                 let txn = self
                     .current
                     .take()
                     .ok_or_else(|| PolarisError::invalid("no open transaction"))?;
+                let mut txn_profile = txn.txn_profile_snapshot();
+                txn_profile.validation = ValidationOutcome::RolledBack;
                 txn.rollback();
+                self.last_txn_profile = Some(txn_profile);
                 Ok(StatementOutcome::RolledBack)
             }
             Statement::CreateTable { name, columns } => {
@@ -137,22 +183,31 @@ impl Session {
             }
             dml => {
                 if let Some(txn) = self.current.as_mut() {
-                    return Ok(outcome_of(txn.execute_statement(dml)?));
+                    let result = txn.execute_statement(dml);
+                    self.last_profile = txn.last_profile().cloned();
+                    return Ok(outcome_of(result?));
                 }
                 // Auto-commit with conflict retries.
                 let retries = self.engine.config().auto_retries;
                 let mut attempt = 0;
                 loop {
                     let mut txn = Transaction::begin(Arc::clone(&self.engine), self.isolation);
-                    let result = txn
-                        .execute_statement(dml)
-                        .and_then(|r| txn.commit().map(|_| r));
-                    match result {
-                        Ok(r) => return Ok(outcome_of(r)),
-                        Err(e) if e.is_retryable_conflict() && attempt < retries => {
-                            attempt += 1;
+                    match txn.execute_statement(dml) {
+                        Ok(r) => match self.commit_recorded(txn) {
+                            Ok(_) => return Ok(outcome_of(r)),
+                            Err(e) if e.is_retryable_conflict() && attempt < retries => {
+                                attempt += 1;
+                            }
+                            Err(e) => return Err(e),
+                        },
+                        Err(e) => {
+                            self.last_profile = txn.last_profile().cloned();
+                            if e.is_retryable_conflict() && attempt < retries {
+                                attempt += 1;
+                                continue;
+                            }
+                            return Err(e);
                         }
-                        Err(e) => return Err(e),
                     }
                 }
             }
@@ -168,19 +223,28 @@ impl Session {
     /// Bulk-insert a batch (auto-commit or inside the open transaction).
     pub fn insert_batch(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
         if let Some(txn) = self.current.as_mut() {
-            return txn.insert(table, batch);
+            let result = txn.insert(table, batch);
+            self.last_profile = txn.last_profile().cloned();
+            return result;
         }
         let retries = self.engine.config().auto_retries;
         let mut attempt = 0;
         loop {
             let mut txn = Transaction::begin(Arc::clone(&self.engine), self.isolation);
-            let result = txn
-                .insert(table, batch)
-                .and_then(|n| txn.commit().map(|_| n));
-            match result {
-                Ok(n) => return Ok(n),
-                Err(e) if e.is_retryable_conflict() && attempt < retries => attempt += 1,
-                Err(e) => return Err(e),
+            match txn.insert(table, batch) {
+                Ok(n) => match self.commit_recorded(txn) {
+                    Ok(_) => return Ok(n),
+                    Err(e) if e.is_retryable_conflict() && attempt < retries => attempt += 1,
+                    Err(e) => return Err(e),
+                },
+                Err(e) => {
+                    self.last_profile = txn.last_profile().cloned();
+                    if e.is_retryable_conflict() && attempt < retries {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -189,6 +253,17 @@ impl Session {
     /// debugging and tests).
     pub fn schema_json(schema: &Schema) -> String {
         schema_to_json(schema)
+    }
+}
+
+/// Classify a commit-time error into a validation outcome.
+fn conflict_outcome(e: &PolarisError) -> ValidationOutcome {
+    match e {
+        PolarisError::Conflict { detail } if detail.contains("serialization") => {
+            ValidationOutcome::SerializationFailure
+        }
+        PolarisError::Conflict { .. } => ValidationOutcome::WwConflict,
+        _ => ValidationOutcome::RolledBack,
     }
 }
 

@@ -290,10 +290,17 @@ enum Fate {
 /// one global active set: a file referenced by *any* table stays (§5.3).
 pub fn garbage_collect(engine: &Arc<PolarisEngine>) -> PolarisResult<GcReport> {
     let config = *engine.config();
+    // The watermark must be sampled BEFORE the snapshot below is taken: a
+    // transaction that commits in between would be invisible to the replay
+    // yet already gone from the active set, and its freshly committed data
+    // files would be swept as aborted leftovers. Sampled first, any
+    // transaction missing from the active set has either committed (its
+    // writes became visible before it left the set, so the later snapshot
+    // sees its manifest) or aborted (its files are true garbage).
+    let min_active_txn = engine.catalog().min_active_txn_id();
     let mut ctxn = engine.catalog().begin(config.default_isolation);
     let tables = engine.catalog().list_tables(&mut ctxn)?;
     let now = SequenceId(engine.catalog().now().0);
-    let min_active_txn = engine.catalog().min_active_txn_id();
 
     // Fates are computed in two phases. WITHIN one table's manifest chain
     // the LAST action for a path wins (a file added and later removed is
@@ -473,6 +480,19 @@ pub fn run_once(engine: &Arc<PolarisEngine>) -> PolarisResult<StoTickReport> {
     // Periodic catalog backup (§6.3): one per orchestrator pass, enabling
     // point-in-time restore of the whole database.
     engine.backup_catalog("system/catalog-backup.json")?;
+    let metrics = engine.metrics();
+    metrics.counter("sto.ticks").inc();
+    metrics
+        .counter("sto.checkpoints")
+        .add(report.checkpoints as u64);
+    metrics
+        .counter("sto.compactions")
+        .add(report.compactions as u64);
+    metrics
+        .counter("sto.compaction_conflicts")
+        .add(report.compaction_conflicts as u64);
+    metrics.counter("sto.published").add(report.published as u64);
+    metrics.counter("sto.gc_deleted").add(report.gc_deleted as u64);
     Ok(report)
 }
 

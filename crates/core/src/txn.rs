@@ -7,6 +7,7 @@ use polaris_columnar::{ColumnVector, DataType, RecordBatch, Schema, Value};
 use polaris_dcp::{TaskError, WorkflowDag, WorkloadClass};
 use polaris_exec::{cell::partition_cells, cells_of_snapshot, write as bewrite, Expr};
 use polaris_lst::{Manifest, ManifestAction, SequenceId, TableSnapshot, TxnDelta};
+use polaris_obs::{QueryProfile, ScanMeter, TxnProfile, ValidationOutcome};
 use polaris_sql::Statement;
 use polaris_store::{BlobPath, BlockId, Stamp};
 use std::collections::HashMap;
@@ -54,6 +55,14 @@ pub struct Transaction {
     /// Statement counter, used in block IDs and file names.
     stmt: u32,
     finished: bool,
+    /// Scan accounting for the statement currently executing; replaced
+    /// with a fresh meter at each profiled statement boundary.
+    pub(crate) scan_meter: Arc<ScanMeter>,
+    /// Profile of the most recently executed statement.
+    last_profile: Option<QueryProfile>,
+    /// Manifest blocks staged / committed across the whole transaction.
+    blocks_staged: u64,
+    blocks_committed: u64,
 }
 
 /// What a write task reports back to the DCP: the blocks it staged and the
@@ -69,7 +78,78 @@ impl Transaction {
             tables: HashMap::new(),
             stmt: 0,
             finished: false,
+            scan_meter: Arc::new(ScanMeter::new()),
+            last_profile: None,
+            blocks_staged: 0,
+            blocks_committed: 0,
         }
+    }
+
+    /// Profile of the most recently executed statement. Validation stays
+    /// [`Pending`](ValidationOutcome::Pending) until the transaction
+    /// resolves; the session patches the outcome into its own copy.
+    pub fn last_profile(&self) -> Option<&QueryProfile> {
+        self.last_profile.as_ref()
+    }
+
+    /// Transaction-level accounting so far; the session fills in the
+    /// validation outcome and commit wall time.
+    pub(crate) fn txn_profile_snapshot(&self) -> TxnProfile {
+        TxnProfile {
+            statements: self.stmt,
+            blocks_staged: self.blocks_staged,
+            blocks_committed: self.blocks_committed,
+            tables_written: self
+                .tables
+                .values()
+                .filter(|t| !t.delta.is_empty())
+                .count() as u64,
+            validation: ValidationOutcome::Pending,
+            commit_wall_ns: 0,
+        }
+    }
+
+    /// Run one statement with a fresh scan meter, then publish its
+    /// accounting as [`last_profile`](Transaction::last_profile) and fold
+    /// the scan counters into the engine registry.
+    ///
+    /// Cache / pool numbers are deltas over engine-wide meters: exact for
+    /// a single session, approximate when sessions run concurrently (they
+    /// share the snapshot caches and the compute pool).
+    fn run_profiled<T>(
+        &mut self,
+        statement: &str,
+        f: impl FnOnce(&mut Self) -> PolarisResult<T>,
+    ) -> PolarisResult<T> {
+        self.scan_meter = Arc::new(ScanMeter::new());
+        let registry = Arc::clone(self.engine.metrics());
+        let hits = registry.counter("lst.cache.hits");
+        let misses = registry.counter("lst.cache.misses");
+        let (hits0, misses0) = (hits.get(), misses.get());
+        let pool0 = self.engine.pool().stats();
+        let (staged0, committed0) = (self.blocks_staged, self.blocks_committed);
+        let start = std::time::Instant::now();
+        let result = f(self);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let meter = Arc::clone(&self.scan_meter);
+        let mut profile = QueryProfile {
+            statement: statement.to_owned(),
+            ..QueryProfile::default()
+        };
+        profile.absorb_scan(&meter);
+        profile.rows_out = ScanMeter::read(&meter.rows_out);
+        meter.fold_into_registry(&registry);
+        profile.cache_hits = hits.get().saturating_sub(hits0);
+        profile.cache_misses = misses.get().saturating_sub(misses0);
+        let pool1 = self.engine.pool().stats();
+        profile.task_attempts = pool1.attempts.saturating_sub(pool0.attempts);
+        profile.task_retries = pool1.retries.saturating_sub(pool0.retries);
+        profile.blocks_staged = self.blocks_staged - staged0;
+        profile.blocks_committed = self.blocks_committed - committed0;
+        profile.wall_ns = wall_ns;
+        profile.phase("execute", wall_ns);
+        self.last_profile = Some(profile);
+        result
     }
 
     /// The engine this transaction runs on.
@@ -139,6 +219,15 @@ impl Transaction {
     /// distribution bucket; never conflicts with concurrent transactions
     /// (§4).
     pub fn insert(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
+        let label = format!("insert {table}");
+        let n = self.run_profiled(&label, |t| t.insert_inner(table, batch))?;
+        if let Some(p) = self.last_profile.as_mut() {
+            p.rows_out = n;
+        }
+        Ok(n)
+    }
+
+    fn insert_inner(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
         self.stmt += 1;
         let tid = self.table_state(table)?;
         let t = &self.tables[&tid];
@@ -242,7 +331,9 @@ impl Transaction {
                     t.delta.apply(&t.base, action)?;
                 }
             }
+            let staged = new_blocks.len() as u64;
             t.blocks.extend(new_blocks);
+            self.blocks_staged += staged;
         }
         self.commit_manifest_blocks(tid)?;
         Ok(inserted)
@@ -251,6 +342,15 @@ impl Transaction {
     /// Delete rows matching `predicate` (all rows when `None`). Returns
     /// the number of rows deleted.
     pub fn delete(&mut self, table: &str, predicate: Option<&Expr>) -> PolarisResult<u64> {
+        let label = format!("delete {table}");
+        let n = self.run_profiled(&label, |t| t.delete_inner(table, predicate))?;
+        if let Some(p) = self.last_profile.as_mut() {
+            p.rows_out = n;
+        }
+        Ok(n)
+    }
+
+    fn delete_inner(&mut self, table: &str, predicate: Option<&Expr>) -> PolarisResult<u64> {
         self.stmt += 1;
         let tid = self.table_state(table)?;
         let view = self.tables[&tid].view();
@@ -334,15 +434,18 @@ impl Transaction {
         }
         let results = self.engine.pool().run_dag(dag, WorkloadClass::Write)?;
         let mut deleted = 0;
+        let mut staged = 0u64;
         {
             let t = self.tables.get_mut(&tid).expect("state loaded above");
-            for (_, actions, n) in results {
+            for (ids, actions, n) in results {
+                staged += ids.len() as u64;
                 deleted += n;
                 for action in &actions {
                     t.delta.apply(&t.base, action)?;
                 }
             }
         }
+        self.blocks_staged += staged;
         // Updates/deletes trigger the reconciling manifest rewrite
         // (§3.2.3): the committed manifest reflects only the net delta.
         self.rewrite_manifest(tid)?;
@@ -352,6 +455,20 @@ impl Transaction {
     /// Update rows matching `predicate`: delete + re-insert with the
     /// assignments applied (§4.1.1 step 2).
     pub fn update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> PolarisResult<u64> {
+        let label = format!("update {table}");
+        let n = self.run_profiled(&label, |t| t.update_inner(table, assignments, predicate))?;
+        if let Some(p) = self.last_profile.as_mut() {
+            p.rows_out = n;
+        }
+        Ok(n)
+    }
+
+    fn update_inner(
         &mut self,
         table: &str,
         assignments: &[(String, Expr)],
@@ -459,15 +576,18 @@ impl Transaction {
         }
         let results = self.engine.pool().run_dag(dag, WorkloadClass::Write)?;
         let mut updated = 0;
+        let mut staged = 0u64;
         {
             let t = self.tables.get_mut(&tid).expect("state loaded above");
-            for (_, actions, n) in results {
+            for (ids, actions, n) in results {
+                staged += ids.len() as u64;
                 updated += n;
                 for action in &actions {
                     t.delta.apply(&t.base, action)?;
                 }
             }
         }
+        self.blocks_staged += staged;
         self.rewrite_manifest(tid)?;
         Ok(updated)
     }
@@ -502,7 +622,10 @@ impl Transaction {
         match stmt {
             Statement::Select(sel) => {
                 let plan = polaris_sql::plan_select(&sel)?;
-                Ok(execute_select(self, &plan)?.batch)
+                let label = format!("select {}", plan.table);
+                Ok(self
+                    .run_profiled(&label, |t| execute_select(t, &plan))?
+                    .batch)
             }
             _ => Err(PolarisError::invalid("query() requires a SELECT statement")),
         }
@@ -514,7 +637,8 @@ impl Transaction {
         match stmt {
             Statement::Select(sel) => {
                 let plan = polaris_sql::plan_select(sel)?;
-                execute_select(self, &plan)
+                let label = format!("select {}", plan.table);
+                self.run_profiled(&label, |t| execute_select(t, &plan))
             }
             Statement::Insert { table, rows } => {
                 let tid = self.table_state(table)?;
@@ -571,6 +695,7 @@ impl Transaction {
         self.engine
             .store()
             .commit_block_list(&t.manifest_path, &t.blocks, stamp)?;
+        self.blocks_committed += t.blocks.len() as u64;
         Ok(())
     }
 
@@ -597,7 +722,10 @@ impl Transaction {
             ids.push(id);
         }
         store.commit_block_list(&t.manifest_path, &ids, stamp)?;
+        let n = ids.len() as u64;
         t.blocks = ids;
+        self.blocks_staged += n;
+        self.blocks_committed += n;
         Ok(())
     }
 

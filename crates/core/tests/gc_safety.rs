@@ -3,6 +3,10 @@
 //! snapshot) remains fully readable — garbage collection may only ever
 //! delete unreachable files.
 
+// The `..Default::default()` in proptest_config is redundant against the
+// vendored proptest stub but required by the real crate's larger config.
+#![allow(clippy::needless_update)]
+
 use polaris_core::{lineage, sto, EngineConfig, PolarisEngine, RecordBatch, SequenceId, Value};
 use polaris_core::{DataType, Field, Schema};
 use polaris_dcp::{ComputePool, WorkloadClass};

@@ -5,6 +5,10 @@
 //! reconstruction, commit protocol — against an implementation-free
 //! specification.
 
+// The `..ProptestConfig::default()` spread is redundant against the
+// vendored proptest stub but required by the real crate's larger config.
+#![allow(clippy::needless_update)]
+
 use polaris_core::{DataType, Field, Schema};
 use polaris_core::{PolarisEngine, RecordBatch, Value};
 use proptest::prelude::*;

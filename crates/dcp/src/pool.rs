@@ -4,7 +4,8 @@
 use crate::dag::{TaskCtx, TaskFn, WorkflowDag};
 use crate::{DcpError, DcpResult, TaskError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
+use polaris_obs::PoolMeter;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -75,7 +76,10 @@ pub struct PoolStats {
 pub struct ComputePool {
     nodes: RwLock<HashMap<NodeId, NodeHandle>>,
     next_node: AtomicU64,
-    stats: Mutex<PoolStats>,
+    /// Per-task-completion accounting. Lock-free counters: the recv loop
+    /// bumps these once per attempt, so a shared mutex here would serialize
+    /// every concurrent DAG on the pool's hottest path.
+    meter: PoolMeter,
     /// Default retry budget per task.
     max_attempts: u32,
 }
@@ -92,7 +96,7 @@ impl ComputePool {
         ComputePool {
             nodes: RwLock::new(HashMap::new()),
             next_node: AtomicU64::new(1),
-            stats: Mutex::new(PoolStats::default()),
+            meter: PoolMeter::default(),
             max_attempts: 4,
         }
     }
@@ -186,9 +190,21 @@ impl ComputePool {
             .sum()
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics — a lock-free snapshot of the meter's
+    /// counters. Reads of the three counters are not mutually atomic, but
+    /// each is monotonic, so a snapshot is always a valid recent state.
     pub fn stats(&self) -> PoolStats {
-        *self.stats.lock()
+        PoolStats {
+            attempts: self.meter.attempts.get(),
+            retries: self.meter.retries.get(),
+            node_losses: self.meter.node_losses.get(),
+        }
+    }
+
+    /// The pool's meter (shared counter handles) — adopt it into a
+    /// [`polaris_obs::MetricsRegistry`] to surface `dcp.*` metrics.
+    pub fn meter(&self) -> &PoolMeter {
+        &self.meter
     }
 
     /// Run every task of `dag` on nodes of `class`; returns one result per
@@ -247,15 +263,12 @@ impl ComputePool {
             let (task, attempt, outcome) =
                 result_rx.recv().expect("result channel cannot close early");
             in_flight -= 1;
-            {
-                let mut stats = self.stats.lock();
-                stats.attempts += 1;
-                if attempt > 0 {
-                    stats.retries += 1;
-                }
-                if matches!(outcome, Err(TaskError::NodeLost { .. })) {
-                    stats.node_losses += 1;
-                }
+            self.meter.attempts.inc();
+            if attempt > 0 {
+                self.meter.retries.inc();
+            }
+            if matches!(outcome, Err(TaskError::NodeLost { .. })) {
+                self.meter.node_losses.inc();
             }
             match outcome {
                 Ok(value) => {
@@ -363,6 +376,7 @@ impl ComputePool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicU32;
 
     #[test]
@@ -474,7 +488,10 @@ mod tests {
         let victim = ids[0];
         let pool2 = Arc::clone(&pool);
         let killer = std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(30));
+            // Land mid-batch (tasks run 15ms, batches start at 0/15/30…):
+            // killing exactly on a batch boundary can catch the victim idle
+            // between tasks, recording no loss at all.
+            std::thread::sleep(std::time::Duration::from_millis(22));
             pool2.kill_node(victim);
         });
         // 8 slow tasks across 2 single-slot nodes; one node dies mid-run.
@@ -552,6 +569,55 @@ mod tests {
             parallel * 2 < serial,
             "parallel {parallel:?} should be well under serial {serial:?}"
         );
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent_under_concurrent_dags() {
+        // stats() must be readable while DAGs run (no lock to contend on)
+        // and must add up once everything drains: attempts from successful
+        // single-try tasks plus one extra attempt per recorded retry.
+        let pool = Arc::new(ComputePool::with_topology(4, 0, 2));
+        let readers_done = Arc::new(AtomicBool::new(false));
+        let rd = Arc::clone(&readers_done);
+        let p = Arc::clone(&pool);
+        let reader = std::thread::spawn(move || {
+            let mut last = PoolStats::default();
+            while !rd.load(Ordering::SeqCst) {
+                let s = p.stats();
+                // Counters are monotonic.
+                assert!(s.attempts >= last.attempts);
+                assert!(s.retries >= last.retries);
+                last = s;
+            }
+        });
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut dag = WorkflowDag::new();
+                    for _ in 0..25 {
+                        dag.add_task(|ctx| {
+                            if ctx.attempt == 0 && ctx.task % 5 == 0 {
+                                Err(TaskError::transient("first try fails"))
+                            } else {
+                                Ok(())
+                            }
+                        });
+                    }
+                    pool.run_dag(dag, WorkloadClass::Read).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        readers_done.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        let s = pool.stats();
+        // 4 DAGs x 25 tasks, 5 of each DAG's tasks retried exactly once.
+        assert_eq!(s.retries, 20);
+        assert_eq!(s.attempts, 120);
+        assert_eq!(s.node_losses, 0);
     }
 
     #[test]

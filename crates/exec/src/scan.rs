@@ -3,6 +3,7 @@
 use crate::{Cell, ExecResult, Expr};
 use polaris_columnar::{Bitmap, ColumnarFile, DeleteVector, RecordBatch, Schema};
 use polaris_lst::TableSnapshot;
+use polaris_obs::ScanMeter;
 use polaris_store::{BlobPath, ObjectStore};
 
 /// Scan one cell.
@@ -23,28 +24,56 @@ pub fn scan_cell(
     projection: Option<&[&str]>,
     predicate: Option<&Expr>,
 ) -> ExecResult<Option<RecordBatch>> {
+    scan_cell_metered(store, cell, projection, predicate, None)
+}
+
+/// [`scan_cell`] recording pruning decisions, row counts, and fetched bytes
+/// into `meter` (shared by every task of a statement).
+pub fn scan_cell_metered(
+    store: &dyn ObjectStore,
+    cell: &Cell,
+    projection: Option<&[&str]>,
+    predicate: Option<&Expr>,
+    meter: Option<&ScanMeter>,
+) -> ExecResult<Option<RecordBatch>> {
     // Metadata-only pruning (the Delta-style manifest statistics): if the
     // ranges recorded at write time preclude the predicate, skip the file
     // without a single storage request.
     if let Some(pred) = predicate {
         let lookup = |name: &str| cell.range_stats(name);
         if !pred.may_match(&lookup) {
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.files_pruned, 1);
+            }
             return Ok(None);
         }
     }
     let data = store.get(&BlobPath::new(cell.file.clone())?)?;
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.bytes_read, data.len() as u64);
+    }
     let file = ColumnarFile::parse(data)?;
     if let Some(pred) = predicate {
         let lookup = |name: &str| file.column_stats(name).ok();
         if !pred.may_match(&lookup) {
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.files_pruned, 1);
+            }
             return Ok(None);
         }
     }
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.files_scanned, 1);
+    }
     // Load the delete vector once per file.
     let dv = match &cell.dv_path {
-        Some(path) => Some(DeleteVector::from_bytes(
-            store.get(&BlobPath::new(path.clone())?)?,
-        )?),
+        Some(path) => {
+            let raw = store.get(&BlobPath::new(path.clone())?)?;
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.bytes_read, raw.len() as u64);
+            }
+            Some(DeleteVector::from_bytes(raw)?)
+        }
         None => None,
     };
     let mut batches = Vec::new();
@@ -60,9 +89,16 @@ pub fn scan_cell(
                     .map(|idx| group.chunks[idx].stats.clone())
             };
             if !pred.may_match(&lookup) {
+                if let Some(m) = meter {
+                    ScanMeter::bump(&m.row_groups_pruned, 1);
+                }
                 row_offset += group_rows;
                 continue;
             }
+        }
+        if let Some(m) = meter {
+            ScanMeter::bump(&m.row_groups_scanned, 1);
+            ScanMeter::bump(&m.rows_in, group_rows as u64);
         }
         let batch = file.read_row_group(gi)?;
         // Merge-on-read: mask deleted rows. DV indexes are file-relative.
@@ -96,6 +132,9 @@ pub fn scan_cell(
     let mut out = RecordBatch::concat(&batches)?;
     if let Some(cols) = projection {
         out = out.project(cols)?;
+    }
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.rows_out, out.num_rows() as u64);
     }
     Ok(Some(out))
 }
@@ -141,12 +180,28 @@ pub fn scan_cell_lazy(
     needed: Option<&std::collections::BTreeSet<String>>,
     predicate: Option<&Expr>,
 ) -> ExecResult<Option<RecordBatch>> {
+    scan_cell_lazy_metered(store, cell, needed, predicate, None)
+}
+
+/// [`scan_cell_lazy`] recording pruning decisions, row counts, and fetched
+/// bytes into `meter`. Because this path only range-reads what it decodes,
+/// the metered byte count is the statement's true transfer volume.
+pub fn scan_cell_lazy_metered(
+    store: &dyn ObjectStore,
+    cell: &Cell,
+    needed: Option<&std::collections::BTreeSet<String>>,
+    predicate: Option<&Expr>,
+    meter: Option<&ScanMeter>,
+) -> ExecResult<Option<RecordBatch>> {
     use polaris_columnar::ColumnarFooter;
 
     // Metadata-only pruning first: zero storage requests.
     if let Some(pred) = predicate {
         let lookup = |name: &str| cell.range_stats(name);
         if !pred.may_match(&lookup) {
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.files_pruned, 1);
+            }
             return Ok(None);
         }
     }
@@ -162,6 +217,9 @@ pub fn scan_cell_lazy(
         .checked_sub(footer_len + 8)
         .ok_or_else(|| polaris_columnar::ColumnarError::corrupt("footer length out of range"))?;
     let tail = store.get_range(&path, tail_start..file_len)?;
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.bytes_read, (tail8.len() + tail.len()) as u64);
+    }
     let footer = ColumnarFooter::parse_tail(tail, file_len)?;
 
     // File-level stats pruning from the footer.
@@ -176,8 +234,14 @@ pub fn scan_cell_lazy(
             })
         };
         if !pred.may_match(&merged) {
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.files_pruned, 1);
+            }
             return Ok(None);
         }
+    }
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.files_scanned, 1);
     }
 
     // Resolve the column subset to fetch.
@@ -207,9 +271,13 @@ pub fn scan_cell_lazy(
     let sub_schema = Schema::new(sub_fields);
 
     let dv = match &cell.dv_path {
-        Some(p) => Some(DeleteVector::from_bytes(
-            store.get(&BlobPath::new(p.clone())?)?,
-        )?),
+        Some(p) => {
+            let raw = store.get(&BlobPath::new(p.clone())?)?;
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.bytes_read, raw.len() as u64);
+            }
+            Some(DeleteVector::from_bytes(raw)?)
+        }
         None => None,
     };
 
@@ -225,15 +293,25 @@ pub fn scan_cell_lazy(
                     .map(|idx| group.chunks[idx].stats.clone())
             };
             if !pred.may_match(&lookup) {
+                if let Some(m) = meter {
+                    ScanMeter::bump(&m.row_groups_pruned, 1);
+                }
                 row_offset += group_rows;
                 continue;
             }
+        }
+        if let Some(m) = meter {
+            ScanMeter::bump(&m.row_groups_scanned, 1);
+            ScanMeter::bump(&m.rows_in, group_rows as u64);
         }
         // Fetch and decode only the needed chunks of this group.
         let mut columns = Vec::with_capacity(fetch_cols.len());
         for &ci in &fetch_cols {
             let chunk = &group.chunks[ci];
             let payload = store.get_range(&path, chunk.offset..chunk.offset + chunk.length)?;
+            if let Some(m) = meter {
+                ScanMeter::bump(&m.bytes_read, payload.len() as u64);
+            }
             columns.push(footer.decode_chunk_payload(
                 &schema.fields()[ci],
                 chunk,
@@ -269,7 +347,11 @@ pub fn scan_cell_lazy(
     if batches.is_empty() {
         return Ok(None);
     }
-    Ok(Some(RecordBatch::concat(&batches)?))
+    let out = RecordBatch::concat(&batches)?;
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.rows_out, out.num_rows() as u64);
+    }
+    Ok(Some(out))
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::{LstResult, Manifest, SequenceId, TableSnapshot};
 use parking_lot::Mutex;
+use polaris_obs::CacheMeter;
 use std::sync::Arc;
 
 /// Caches reconstructed [`TableSnapshot`]s for one table so that different
@@ -11,24 +12,39 @@ use std::sync::Arc;
 /// The cache is purely an optimization: it lives on BE compute nodes and
 /// its loss "has no impact on the overall consistency of the system" (§3.3)
 /// — a fresh node rebuilds it from OneLake as queries run.
+///
+/// Hit/miss/replay accounting lives in a [`CacheMeter`] of lock-free
+/// counters, so readers on the hit path never serialize on a stats lock and
+/// the same counters can be shared with an engine-wide metrics registry via
+/// [`SnapshotCache::with_meter`].
 pub struct SnapshotCache {
     /// Cached snapshots, ascending by sequence. Bounded by `capacity`.
     entries: Mutex<Vec<(SequenceId, Arc<TableSnapshot>)>>,
     capacity: usize,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    meter: CacheMeter,
 }
 
 impl SnapshotCache {
     /// A cache retaining up to `capacity` distinct snapshots.
     pub fn new(capacity: usize) -> Self {
+        SnapshotCache::with_meter(capacity, CacheMeter::default())
+    }
+
+    /// A cache whose counters are shared handles — typically
+    /// [`CacheMeter::from_registry`], so hits and misses surface under
+    /// `lst.cache.*` in the engine's metrics snapshot.
+    pub fn with_meter(capacity: usize, meter: CacheMeter) -> Self {
         assert!(capacity > 0, "cache needs room for at least one snapshot");
         SnapshotCache {
             entries: Mutex::new(Vec::new()),
             capacity,
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            meter,
         }
+    }
+
+    /// The cache's meter (shared counter handles).
+    pub fn meter(&self) -> &CacheMeter {
+        &self.meter
     }
 
     /// Snapshot as of `upto`, reconstructing incrementally.
@@ -48,16 +64,17 @@ impl SnapshotCache {
         };
         if let Some((seq, snap)) = &base {
             if *seq == upto {
-                *self.hits.lock() += 1;
+                self.meter.hits.inc();
                 return Ok(snap.clone());
             }
         }
-        *self.misses.lock() += 1;
+        self.meter.misses.inc();
         let (from, mut snap) = match base {
             Some((seq, snap)) => (seq, (*snap).clone()),
             None => (SequenceId(0), TableSnapshot::empty()),
         };
         let manifests = fetch(from, upto)?;
+        self.meter.replayed_manifests.add(manifests.len() as u64);
         for (seq, m) in &manifests {
             snap.apply_manifest(*seq, m)?;
         }
@@ -113,7 +130,7 @@ impl SnapshotCache {
 
     /// (hits, misses) since creation.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (self.meter.hits.get(), self.meter.misses.get())
     }
 }
 
@@ -214,6 +231,53 @@ mod tests {
         // Consistency is unaffected by cache loss.
         let s = cache.snapshot_at(SequenceId(3), fetcher(&calls)).unwrap();
         assert_eq!(s.file_count(), 3);
+    }
+
+    #[test]
+    fn replay_lengths_are_counted() {
+        let cache = SnapshotCache::new(4);
+        let calls = AtomicUsize::new(0);
+        cache.snapshot_at(SequenceId(5), fetcher(&calls)).unwrap();
+        assert_eq!(cache.meter().replayed_manifests.get(), 5);
+        // Incremental extension replays only the (5, 8] tail.
+        cache.snapshot_at(SequenceId(8), fetcher(&calls)).unwrap();
+        assert_eq!(cache.meter().replayed_manifests.get(), 8);
+        // A hit replays nothing.
+        cache.snapshot_at(SequenceId(8), fetcher(&calls)).unwrap();
+        assert_eq!(cache.meter().replayed_manifests.get(), 8);
+    }
+
+    #[test]
+    fn concurrent_readers_agree_on_stats() {
+        // Hammer one cache from many threads; with lock-free counters the
+        // totals must still add up: every snapshot_at is exactly one hit or
+        // one miss, and every reader sees a correct snapshot.
+        let cache = Arc::new(SnapshotCache::new(8));
+        let threads = 8;
+        let iters = 200;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..iters {
+                        let upto = SequenceId(1 + ((t + i) % 4) as u64);
+                        let snap = cache
+                            .snapshot_at(upto, |from, to| {
+                                Ok((from.0 + 1..=to.0)
+                                    .map(|i| (SequenceId(i), manifest(i)))
+                                    .collect())
+                            })
+                            .unwrap();
+                        assert_eq!(snap.upto(), upto);
+                        assert_eq!(snap.file_count(), upto.0 as usize);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, (threads * iters) as u64);
+        assert!(hits > 0, "steady state must serve hits");
+        assert!(misses >= 4, "each distinct sequence missed at least once");
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! Cross-layer observability substrate for the Polaris reproduction.
+//!
+//! The paper's evaluation (§7) is a story about *where time and I/O go*:
+//! storage requests saved by manifest statistics, cache misses induced by
+//! compaction, task retries under node loss. Every layer of this workspace
+//! reports into one [`MetricsRegistry`] so those quantities are measured the
+//! same way everywhere and can be snapshotted as JSON next to each figure.
+//!
+//! Design constraints:
+//!
+//! * **Lock-free hot path.** Counters, gauges and histogram buckets are
+//!   plain atomics. The only locks in the crate guard *registration*
+//!   (first lookup of a metric name), never recording.
+//! * **Shared by handle.** [`Counter`], [`Gauge`] and [`Histogram`] are
+//!   cheaply cloneable `Arc` handles. A component can create its own
+//!   counters up front and later *adopt* them into an engine's registry
+//!   ([`MetricsRegistry::adopt_counter`]) — the handle keeps working, the
+//!   registry merely learns to snapshot it.
+//! * **Names are `component.metric`.** E.g. `store.reads`,
+//!   `lst.cache.hits`, `catalog.commits`, `dcp.task_attempts`,
+//!   `exec.files_pruned`, `sto.compactions`.
+//!
+//! Besides the registry this crate defines the per-statement accounting
+//! types threaded through the engine: [`ScanMeter`] (bumped by BE scan
+//! tasks), [`QueryProfile`] / [`TxnProfile`] (returned by
+//! `Session::last_profile()` in `polaris-core`).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+/// Monotonic event counter; a cloneable handle onto one shared `AtomicU64`.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (benches do this between phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Do the two handles share the same underlying atomic?
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Instantaneous level (queue depth, active transactions); may go down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    #[inline]
+    pub fn adjust(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of exponential buckets; bucket `i` covers values
+/// `< 1_000 << i` nanoseconds (1 µs · 2^i), the last bucket is overflow.
+const HIST_BUCKETS: usize = 28;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram (nanosecond samples, exponential buckets
+/// from 1 µs to ~134 s). Recording is one `fetch_add` per bucket + sum +
+/// count — no locks, no allocation.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        // bucket i covers ns < 1000 << i
+        let mut i = 0;
+        while i + 1 < HIST_BUCKETS && ns >= (1_000u64 << i) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Upper bound (exclusive, in ns) of bucket `i`; `None` for overflow.
+    fn bucket_bound(i: usize) -> Option<u64> {
+        if i + 1 < HIST_BUCKETS {
+            Some(1_000u64 << i)
+        } else {
+            None
+        }
+    }
+
+    /// Record one sample in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let inner = &self.0;
+        inner.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(ns, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the elapsed time of `since` as one sample.
+    #[inline]
+    pub fn record_since(&self, since: Instant) {
+        self.record_ns(since.elapsed().as_nanos() as u64);
+    }
+
+    /// Start a scoped span that records into this histogram on drop.
+    pub fn span(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot with approximate quantiles (upper bucket bounds).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((count as f64) * q).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    // report the bucket's upper bound; overflow reports the
+                    // last finite bound
+                    return Self::bucket_bound(i)
+                        .or_else(|| Self::bucket_bound(HIST_BUCKETS - 2))
+                        .unwrap_or(u64::MAX);
+                }
+            }
+            u64::MAX
+        };
+        HistogramSnapshot {
+            count,
+            sum_ns: self.0.sum.load(Ordering::Relaxed),
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Approximate median (upper bucket bound), ns.
+    pub p50_ns: u64,
+    /// Approximate 95th percentile, ns.
+    pub p95_ns: u64,
+    /// Approximate 99th percentile, ns.
+    pub p99_ns: u64,
+}
+
+/// Scoped timer: records the elapsed wall time into its histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record_since(self.start);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The shared metrics registry. One per [`PolarisEngine`]; every layer holds
+/// cloned [`Counter`]/[`Histogram`] handles so recording never touches the
+/// registry lock — the `RwLock` is only taken to register or snapshot.
+///
+/// [`PolarisEngine`]: https://docs.rs/polaris-core
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry behind an `Arc` (the shape every consumer
+    /// wants).
+    pub fn new() -> Arc<Self> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// Get or create the counter registered under `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().unwrap().counters.get(name) {
+            return c.clone();
+        }
+        let mut inner = self.inner.write().unwrap();
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get or create the gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().unwrap().gauges.get(name) {
+            return g.clone();
+        }
+        let mut inner = self.inner.write().unwrap();
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get or create the histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().unwrap().histograms.get(name) {
+            return h.clone();
+        }
+        let mut inner = self.inner.write().unwrap();
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Register an externally created counter handle under `name`,
+    /// replacing any previous registration. This lets a component that
+    /// pre-dates the registry (e.g. a shared `ComputePool`) keep its own
+    /// handles while the engine's snapshots still see them.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        self.inner
+            .write()
+            .unwrap()
+            .counters
+            .insert(name.to_owned(), counter.clone());
+    }
+
+    /// Register an externally created gauge handle under `name`.
+    pub fn adopt_gauge(&self, name: &str, gauge: &Gauge) {
+        self.inner
+            .write()
+            .unwrap()
+            .gauges
+            .insert(name.to_owned(), gauge.clone());
+    }
+
+    /// Register an externally created histogram handle under `name`.
+    pub fn adopt_histogram(&self, name: &str, histogram: &Histogram) {
+        self.inner
+            .write()
+            .unwrap()
+            .histograms
+            .insert(name.to_owned(), histogram.clone());
+    }
+
+    /// Start a scoped span recording into the histogram named `name`.
+    pub fn span(&self, name: &str) -> Span {
+        self.histogram(name).span()
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// Serializable point-in-time copy of a [`MetricsRegistry`]. Benches dump
+/// this as JSON next to their figure output so perf PRs can diff storage
+/// requests / retries / cache behavior instead of eyeballing logs.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Pretty-printed JSON, the format benches write to
+    /// `results/<figure>_metrics.json`.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshot serializes")
+    }
+
+    /// Counter value, or 0 if the metric was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component meter bundles
+// ---------------------------------------------------------------------------
+
+/// Counters a [`SnapshotCache`](https://docs.rs/polaris-lst) records into.
+/// `Default` gives free-standing (unregistered) counters so the cache works
+/// without an engine; `from_registry` binds the canonical `lst.cache.*`
+/// names.
+#[derive(Clone, Debug, Default)]
+pub struct CacheMeter {
+    /// Snapshot resolved from a cached entry.
+    pub hits: Counter,
+    /// Snapshot required reconstruction.
+    pub misses: Counter,
+    /// Manifests replayed during reconstructions (sum of replay lengths).
+    pub replayed_manifests: Counter,
+}
+
+impl CacheMeter {
+    /// Bind to the canonical `lst.cache.*` metric names in `registry`.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        CacheMeter {
+            hits: registry.counter("lst.cache.hits"),
+            misses: registry.counter("lst.cache.misses"),
+            replayed_manifests: registry.counter("lst.cache.replayed_manifests"),
+        }
+    }
+}
+
+/// Counters and timers the MVCC catalog records into.
+#[derive(Clone, Debug, Default)]
+pub struct CatalogMeter {
+    /// Transactions that committed.
+    pub commits: Counter,
+    /// Transactions explicitly aborted / rolled back.
+    pub aborts: Counter,
+    /// First-committer-wins write-write conflicts detected at commit.
+    pub ww_conflicts: Counter,
+    /// Serializable-mode read-set validation failures.
+    pub serialization_failures: Counter,
+    /// Wall time the global commit lock was held, per commit attempt.
+    pub commit_lock_hold: Histogram,
+}
+
+impl CatalogMeter {
+    /// Bind to the canonical `catalog.*` metric names in `registry`.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        CatalogMeter {
+            commits: registry.counter("catalog.commits"),
+            aborts: registry.counter("catalog.aborts"),
+            ww_conflicts: registry.counter("catalog.ww_conflicts"),
+            serialization_failures: registry.counter("catalog.serialization_failures"),
+            commit_lock_hold: registry.histogram("catalog.commit_lock_hold_ns"),
+        }
+    }
+}
+
+/// Counters the compute pool records into on every task completion.
+/// Replaces the old `Mutex<PoolStats>` (one lock acquisition per task) with
+/// three relaxed atomic adds.
+#[derive(Clone, Debug, Default)]
+pub struct PoolMeter {
+    /// Task executions, including retries.
+    pub attempts: Counter,
+    /// Re-executions after a failed attempt.
+    pub retries: Counter,
+    /// Attempts lost to simulated node failure.
+    pub node_losses: Counter,
+}
+
+impl PoolMeter {
+    /// Bind to the canonical `dcp.*` metric names in `registry`.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        PoolMeter {
+            attempts: registry.counter("dcp.task_attempts"),
+            retries: registry.counter("dcp.task_retries"),
+            node_losses: registry.counter("dcp.node_losses"),
+        }
+    }
+
+    /// Register this meter's existing handles into `registry` under the
+    /// canonical names (for pools created before the engine's registry).
+    pub fn adopt_into(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("dcp.task_attempts", &self.attempts);
+        registry.adopt_counter("dcp.task_retries", &self.retries);
+        registry.adopt_counter("dcp.node_losses", &self.node_losses);
+    }
+}
+
+/// Per-statement scan accounting, bumped by BE scan tasks (`polaris-exec`)
+/// while they run. Plain atomics: one instance is shared by all tasks of a
+/// statement via `Arc`, then folded into the statement's [`QueryProfile`]
+/// and the engine registry.
+#[derive(Debug, Default)]
+pub struct ScanMeter {
+    /// Data files opened and scanned.
+    pub files_scanned: AtomicU64,
+    /// Data files skipped entirely (manifest column ranges or footer stats).
+    pub files_pruned: AtomicU64,
+    /// Row groups decoded.
+    pub row_groups_scanned: AtomicU64,
+    /// Row groups skipped by row-group zone maps.
+    pub row_groups_pruned: AtomicU64,
+    /// Rows entering the scan (decoded, before predicate).
+    pub rows_in: AtomicU64,
+    /// Rows surviving predicate + delete-vector masking.
+    pub rows_out: AtomicU64,
+    /// Payload bytes fetched from the object store (footers + column chunks).
+    pub bytes_read: AtomicU64,
+}
+
+impl ScanMeter {
+    /// Fresh meter with all counts at zero.
+    pub fn new() -> Self {
+        ScanMeter::default()
+    }
+
+    /// Convenience: `fetch_add` with relaxed ordering.
+    #[inline]
+    pub fn bump(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed load of a field.
+    #[inline]
+    pub fn read(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+
+    /// Fold this meter into the engine-wide `exec.*` registry counters.
+    pub fn fold_into_registry(&self, registry: &MetricsRegistry) {
+        let r = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        registry.counter("exec.files_scanned").add(r(&self.files_scanned));
+        registry.counter("exec.files_pruned").add(r(&self.files_pruned));
+        registry
+            .counter("exec.row_groups_scanned")
+            .add(r(&self.row_groups_scanned));
+        registry
+            .counter("exec.row_groups_pruned")
+            .add(r(&self.row_groups_pruned));
+        registry.counter("exec.rows_in").add(r(&self.rows_in));
+        registry.counter("exec.rows_out").add(r(&self.rows_out));
+        registry.counter("exec.bytes_read").add(r(&self.bytes_read));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+/// How a statement's / transaction's optimistic validation ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub enum ValidationOutcome {
+    /// Not validated yet (statement ran inside a still-open transaction).
+    #[default]
+    Pending,
+    /// Read-only: nothing to validate.
+    ReadOnly,
+    /// Validation passed and the transaction committed.
+    Committed,
+    /// First-committer-wins write-write conflict; transaction aborted.
+    WwConflict,
+    /// Serializable read-set validation failed; transaction aborted.
+    SerializationFailure,
+    /// Explicitly rolled back before validation.
+    RolledBack,
+}
+
+/// Structured accounting for one executed statement, returned by
+/// `Session::last_profile()`.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct QueryProfile {
+    /// Statement kind (`select`, `insert`, `update`, `delete`, …).
+    pub statement: String,
+    /// Data files opened and scanned.
+    pub files_scanned: u64,
+    /// Data files pruned via manifest / footer statistics.
+    pub files_pruned: u64,
+    /// Row groups decoded.
+    pub row_groups_scanned: u64,
+    /// Row groups pruned via zone maps.
+    pub row_groups_pruned: u64,
+    /// Rows decoded before predicates.
+    pub rows_in: u64,
+    /// Rows produced (result rows, or rows written for DML).
+    pub rows_out: u64,
+    /// Payload bytes fetched from the object store by scans.
+    pub bytes_read: u64,
+    /// Snapshot-cache hits while resolving this statement's snapshots.
+    pub cache_hits: u64,
+    /// Snapshot-cache misses (reconstructions) for this statement.
+    pub cache_misses: u64,
+    /// Manifest blocks staged by BE write tasks.
+    pub blocks_staged: u64,
+    /// Manifest blocks committed by the FE.
+    pub blocks_committed: u64,
+    /// DCP task attempts executed for this statement.
+    pub task_attempts: u64,
+    /// DCP task retries (attempts beyond the first per task).
+    pub task_retries: u64,
+    /// Validation outcome (auto-commit statements resolve at commit;
+    /// statements inside an explicit transaction stay [`Pending`]).
+    ///
+    /// [`Pending`]: ValidationOutcome::Pending
+    pub validation: ValidationOutcome,
+    /// Per-phase wall time in nanoseconds, in execution order
+    /// (e.g. `plan`, `execute`, `commit`).
+    pub phases_ns: Vec<(String, u64)>,
+    /// Total wall time of the statement in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl QueryProfile {
+    /// Fold a statement-scoped [`ScanMeter`] into this profile.
+    pub fn absorb_scan(&mut self, meter: &ScanMeter) {
+        let r = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        self.files_scanned += r(&meter.files_scanned);
+        self.files_pruned += r(&meter.files_pruned);
+        self.row_groups_scanned += r(&meter.row_groups_scanned);
+        self.row_groups_pruned += r(&meter.row_groups_pruned);
+        self.rows_in += r(&meter.rows_in);
+        self.bytes_read += r(&meter.bytes_read);
+    }
+
+    /// Record a named phase duration.
+    pub fn phase(&mut self, name: &str, ns: u64) {
+        self.phases_ns.push((name.to_owned(), ns));
+    }
+}
+
+/// Accounting for one whole transaction, populated at commit / rollback.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TxnProfile {
+    /// Statements executed inside the transaction.
+    pub statements: u32,
+    /// Manifest blocks staged across all statements.
+    pub blocks_staged: u64,
+    /// Manifest blocks committed at transaction commit.
+    pub blocks_committed: u64,
+    /// Tables written by the transaction.
+    pub tables_written: u64,
+    /// How validation ended.
+    pub validation: ValidationOutcome,
+    /// Wall time of the commit protocol itself (validate + publish), ns.
+    pub commit_wall_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_are_shared_by_handle() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.events");
+        let b = reg.counter("x.events");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x.events").get(), 3);
+        assert!(a.same_as(&b));
+    }
+
+    #[test]
+    fn adopt_counter_makes_existing_handle_visible() {
+        let reg = MetricsRegistry::new();
+        let mine = Counter::new();
+        mine.add(7);
+        reg.adopt_counter("pool.attempts", &mine);
+        mine.inc();
+        assert_eq!(reg.snapshot().counter("pool.attempts"), 8);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(999), 0);
+        assert_eq!(Histogram::bucket_index(1_000), 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        for _ in 0..99 {
+            h.record_ns(500); // < 1µs
+        }
+        h.record_ns(5_000_000_000); // 5s outlier
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50_ns, 1_000);
+        assert!(snap.p99_ns >= 1_000);
+        assert!(snap.sum_ns > 5_000_000_000);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("phase.commit_ns");
+        }
+        assert_eq!(reg.histogram("phase.commit_ns").count(), 1);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c.hot");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("store.reads").add(3);
+        reg.gauge("dcp.active_tasks").set(2);
+        reg.histogram("catalog.commit_lock_hold_ns").record_ns(1234);
+        let json = reg.snapshot().to_json_pretty();
+        assert!(json.contains("\"store.reads\": 3"));
+        assert!(json.contains("dcp.active_tasks"));
+        assert!(json.contains("catalog.commit_lock_hold_ns"));
+    }
+
+    #[test]
+    fn scan_meter_folds_into_profile_and_registry() {
+        let m = ScanMeter::new();
+        ScanMeter::bump(&m.files_scanned, 4);
+        ScanMeter::bump(&m.files_pruned, 6);
+        ScanMeter::bump(&m.bytes_read, 4096);
+        let mut p = QueryProfile {
+            statement: "select".into(),
+            ..QueryProfile::default()
+        };
+        p.absorb_scan(&m);
+        assert_eq!(p.files_pruned, 6);
+        assert_eq!(p.bytes_read, 4096);
+        let reg = MetricsRegistry::new();
+        m.fold_into_registry(&reg);
+        assert_eq!(reg.snapshot().counter("exec.files_pruned"), 6);
+    }
+}

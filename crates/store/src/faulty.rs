@@ -3,6 +3,7 @@
 use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreError, StoreResult};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use polaris_obs::{Counter, MetricsRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
@@ -26,6 +27,8 @@ pub struct FaultyStore<S> {
     write_failure_rate: f64,
     /// Probability in `[0, 1]` that a read op fails.
     read_failure_rate: f64,
+    injected_write_faults: Counter,
+    injected_read_faults: Counter,
 }
 
 impl<S: ObjectStore> FaultyStore<S> {
@@ -40,6 +43,8 @@ impl<S: ObjectStore> FaultyStore<S> {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             write_failure_rate,
             read_failure_rate: 0.0,
+            injected_write_faults: Counter::new(),
+            injected_read_faults: Counter::new(),
         }
     }
 
@@ -58,29 +63,53 @@ impl<S: ObjectStore> FaultyStore<S> {
         &self.inner
     }
 
-    fn maybe_fail(&self, rate: f64, op: &str) -> StoreResult<()> {
+    /// Faults injected so far as `(write_faults, read_faults)`.
+    pub fn injected_faults(&self) -> (u64, u64) {
+        (
+            self.injected_write_faults.get(),
+            self.injected_read_faults.get(),
+        )
+    }
+
+    /// Publish the fault counters into `registry` so chaos harnesses can see
+    /// how many failures they actually provoked.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("store.injected_write_faults", &self.injected_write_faults);
+        registry.adopt_counter("store.injected_read_faults", &self.injected_read_faults);
+    }
+
+    fn maybe_fail(&self, rate: f64, counter: &Counter, op: &str) -> StoreResult<()> {
         if rate > 0.0 && self.rng.lock().gen_bool(rate) {
+            counter.inc();
             return Err(StoreError::Transient {
                 detail: format!("injected fault during {op}"),
             });
         }
         Ok(())
     }
+
+    fn maybe_fail_write(&self, op: &str) -> StoreResult<()> {
+        self.maybe_fail(self.write_failure_rate, &self.injected_write_faults, op)
+    }
+
+    fn maybe_fail_read(&self, op: &str) -> StoreResult<()> {
+        self.maybe_fail(self.read_failure_rate, &self.injected_read_faults, op)
+    }
 }
 
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
-        self.maybe_fail(self.write_failure_rate, "put")?;
+        self.maybe_fail_write("put")?;
         self.inner.put(path, data, stamp)
     }
 
     fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
-        self.maybe_fail(self.read_failure_rate, "get")?;
+        self.maybe_fail_read("get")?;
         self.inner.get(path)
     }
 
     fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
-        self.maybe_fail(self.read_failure_rate, "get_range")?;
+        self.maybe_fail_read("get_range")?;
         self.inner.get_range(path, range)
     }
 
@@ -89,12 +118,12 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     }
 
     fn delete(&self, path: &BlobPath) -> StoreResult<()> {
-        self.maybe_fail(self.write_failure_rate, "delete")?;
+        self.maybe_fail_write("delete")?;
         self.inner.delete(path)
     }
 
     fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
-        self.maybe_fail(self.read_failure_rate, "list")?;
+        self.maybe_fail_read("list")?;
         self.inner.list(prefix)
     }
 
@@ -105,7 +134,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
         data: Bytes,
         stamp: Stamp,
     ) -> StoreResult<()> {
-        self.maybe_fail(self.write_failure_rate, "stage_block")?;
+        self.maybe_fail_write("stage_block")?;
         self.inner.stage_block(path, block, data, stamp)
     }
 
@@ -115,7 +144,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
         blocks: &[BlockId],
         stamp: Stamp,
     ) -> StoreResult<()> {
-        self.maybe_fail(self.write_failure_rate, "commit_block_list")?;
+        self.maybe_fail_write("commit_block_list")?;
         self.inner.commit_block_list(path, blocks, stamp)
     }
 

@@ -1,9 +1,9 @@
-//! Operation-counting wrapper used by the benchmark harness.
+//! Operation-counting wrapper used by the engine and benchmark harnesses.
 
 use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreResult};
 use bytes::Bytes;
+use polaris_obs::{Counter, MetricsRegistry};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Snapshot of operation counters.
@@ -31,46 +31,68 @@ pub struct OpCounts {
 ///
 /// The figure harnesses use these counters to report IO amplification — e.g.
 /// the §5.2 checkpoint experiment shows how many manifest bytes a snapshot
-/// reconstruction reads with and without checkpoints.
-pub struct StatsStore<S> {
+/// reconstruction reads with and without checkpoints. Counters are
+/// [`polaris_obs::Counter`] handles, so a store built with
+/// [`StatsStore::with_registry`] shares them with the engine-wide
+/// [`MetricsRegistry`] under `store.*` names while `counts()` keeps serving
+/// cheap local snapshots.
+pub struct StatsStore<S: ?Sized> {
+    reads: Counter,
+    puts: Counter,
+    staged: Counter,
+    commits: Counter,
+    deletes: Counter,
+    lists: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
     inner: S,
-    reads: AtomicU64,
-    puts: AtomicU64,
-    staged: AtomicU64,
-    commits: AtomicU64,
-    deletes: AtomicU64,
-    lists: AtomicU64,
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
 }
 
 impl<S: ObjectStore> StatsStore<S> {
-    /// Wrap `inner`.
+    /// Wrap `inner` with free-standing counters.
     pub fn new(inner: S) -> Self {
         StatsStore {
             inner,
-            reads: AtomicU64::new(0),
-            puts: AtomicU64::new(0),
-            staged: AtomicU64::new(0),
-            commits: AtomicU64::new(0),
-            deletes: AtomicU64::new(0),
-            lists: AtomicU64::new(0),
-            bytes_read: AtomicU64::new(0),
-            bytes_written: AtomicU64::new(0),
+            reads: Counter::new(),
+            puts: Counter::new(),
+            staged: Counter::new(),
+            commits: Counter::new(),
+            deletes: Counter::new(),
+            lists: Counter::new(),
+            bytes_read: Counter::new(),
+            bytes_written: Counter::new(),
         }
     }
 
+    /// Wrap `inner` with counters registered in `registry` under `store.*`
+    /// names, so store traffic shows up in the engine-wide metrics snapshot.
+    pub fn with_registry(inner: S, registry: &MetricsRegistry) -> Self {
+        StatsStore {
+            inner,
+            reads: registry.counter("store.reads"),
+            puts: registry.counter("store.puts"),
+            staged: registry.counter("store.staged_blocks"),
+            commits: registry.counter("store.commits"),
+            deletes: registry.counter("store.deletes"),
+            lists: registry.counter("store.lists"),
+            bytes_read: registry.counter("store.bytes_read"),
+            bytes_written: registry.counter("store.bytes_written"),
+        }
+    }
+}
+
+impl<S: ObjectStore + ?Sized> StatsStore<S> {
     /// Current counter values.
     pub fn counts(&self) -> OpCounts {
         OpCounts {
-            reads: self.reads.load(Ordering::Relaxed),
-            puts: self.puts.load(Ordering::Relaxed),
-            staged_blocks: self.staged.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            lists: self.lists.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            puts: self.puts.get(),
+            staged_blocks: self.staged.get(),
+            commits: self.commits.get(),
+            deletes: self.deletes.get(),
+            lists: self.lists.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
         }
     }
 
@@ -86,7 +108,7 @@ impl<S: ObjectStore> StatsStore<S> {
             &self.bytes_read,
             &self.bytes_written,
         ] {
-            c.store(0, Ordering::Relaxed);
+            c.reset();
         }
     }
 
@@ -96,27 +118,24 @@ impl<S: ObjectStore> StatsStore<S> {
     }
 }
 
-impl<S: ObjectStore> ObjectStore for StatsStore<S> {
+impl<S: ObjectStore + ?Sized> ObjectStore for StatsStore<S> {
     fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
-        self.puts.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.puts.inc();
+        self.bytes_written.add(data.len() as u64);
         self.inner.put(path, data, stamp)
     }
 
     fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
         let data = self.inner.get(path)?;
-        self.bytes_read
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_read.add(data.len() as u64);
         Ok(data)
     }
 
     fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
         let data = self.inner.get_range(path, range)?;
-        self.bytes_read
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_read.add(data.len() as u64);
         Ok(data)
     }
 
@@ -125,12 +144,12 @@ impl<S: ObjectStore> ObjectStore for StatsStore<S> {
     }
 
     fn delete(&self, path: &BlobPath) -> StoreResult<()> {
-        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.deletes.inc();
         self.inner.delete(path)
     }
 
     fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
-        self.lists.fetch_add(1, Ordering::Relaxed);
+        self.lists.inc();
         self.inner.list(prefix)
     }
 
@@ -141,9 +160,8 @@ impl<S: ObjectStore> ObjectStore for StatsStore<S> {
         data: Bytes,
         stamp: Stamp,
     ) -> StoreResult<()> {
-        self.staged.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.staged.inc();
+        self.bytes_written.add(data.len() as u64);
         self.inner.stage_block(path, block, data, stamp)
     }
 
@@ -153,7 +171,7 @@ impl<S: ObjectStore> ObjectStore for StatsStore<S> {
         blocks: &[BlockId],
         stamp: Stamp,
     ) -> StoreResult<()> {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.inc();
         self.inner.commit_block_list(path, blocks, stamp)
     }
 
@@ -162,7 +180,7 @@ impl<S: ObjectStore> ObjectStore for StatsStore<S> {
     }
 }
 
-impl<S: ObjectStore> ObjectStore for Arc<S> {
+impl<S: ObjectStore + ?Sized> ObjectStore for Arc<S> {
     fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
         (**self).put(path, data, stamp)
     }
@@ -233,5 +251,20 @@ mod tests {
         assert_eq!(c.bytes_read, 6);
         s.reset();
         assert_eq!(s.counts(), OpCounts::default());
+    }
+
+    #[test]
+    fn registry_backed_counts_show_in_snapshot() {
+        let registry = MetricsRegistry::new();
+        let s = StatsStore::with_registry(MemoryStore::new(), &registry);
+        let p = BlobPath::new("a/b").unwrap();
+        s.put(&p, Bytes::from_static(b"1234"), Stamp(1)).unwrap();
+        s.get(&p).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.puts"), 1);
+        assert_eq!(snap.counter("store.reads"), 1);
+        assert_eq!(snap.counter("store.bytes_read"), 4);
+        // Local snapshot and registry view read the same atomics.
+        assert_eq!(s.counts().bytes_written, snap.counter("store.bytes_written"));
     }
 }

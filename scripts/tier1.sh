@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, then lint-clean clippy.
+# Run from the repo root before every PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

@@ -31,6 +31,7 @@
 //! | [`dcp`] | `polaris-dcp` | task DAGs, scheduler, topology, WLM |
 //! | [`exec`] | `polaris-exec` | vectorized operators and the BE write path |
 //! | [`sql`] | `polaris-sql` | T-SQL-flavoured parser and planner |
+//! | [`obs`] | `polaris-obs` | metrics registry and statement/transaction profiles |
 //! | [`workloads`] | `polaris-workloads` | TPC-H/TPC-DS-like generators, LST-Bench drivers |
 
 pub use polaris_catalog as catalog;
@@ -39,6 +40,7 @@ pub use polaris_core as core;
 pub use polaris_dcp as dcp;
 pub use polaris_exec as exec;
 pub use polaris_lst as lst;
+pub use polaris_obs as obs;
 pub use polaris_sql as sql;
 pub use polaris_store as store;
 pub use polaris_workloads as workloads;

@@ -1,0 +1,735 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize, Deserialize)]` against the vendored `serde`
+//! stand-in's `Value` data model. Implemented without `syn`/`quote`
+//! (unavailable offline): the item is parsed by walking raw
+//! `proc_macro::TokenTree`s, and the impls are generated as strings and
+//! re-parsed into a `TokenStream`.
+//!
+//! Supported shapes: non-generic named structs, tuple/newtype structs, unit
+//! structs, and enums with unit / newtype / tuple / struct variants, both
+//! externally tagged (default) and internally tagged (`#[serde(tag =
+//! "...")]`). Supported attributes: `rename`, `rename_all = "snake_case"`
+//! (and `"lowercase"`), `tag`, `default`, `skip_serializing_if`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse_input(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields (1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default)]
+struct Field {
+    ident: String,
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Variant {
+    ident: String,
+    rename: Option<String>,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// One `key` or `key = "value"` entry from a `#[serde(...)]` attribute.
+struct SerdeAttr {
+    key: String,
+    value: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Skip a leading run of `#[...]` attributes, collecting `serde(...)`
+/// entries into `out`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, out: &mut Vec<SerdeAttr>) -> usize {
+    while is_punct(toks.get(i), '#') {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            collect_serde_attrs(g, out);
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// From a bracket group `[serde(k = "v", flag)]`, collect the entries.
+/// Non-`serde` attributes (doc comments, other derives' helpers) are
+/// ignored.
+fn collect_serde_attrs(attr: &Group, out: &mut Vec<SerdeAttr>) {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if !is_ident(toks.first(), "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    let items: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let TokenTree::Ident(key) = &items[i] else {
+            // unsupported entry shape: skip to next comma
+            while i < items.len() && !is_punct(items.get(i), ',') {
+                i += 1;
+            }
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        i += 1;
+        let mut value = None;
+        if is_punct(items.get(i), '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(lit)) = items.get(i) {
+                value = Some(unquote(&lit.to_string()));
+                i += 1;
+            }
+        }
+        out.push(SerdeAttr { key, value });
+        if is_punct(items.get(i), ',') {
+            i += 1;
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = Vec::new();
+    let mut i = skip_attrs(&toks, 0, &mut attrs);
+    i = skip_visibility(&toks, i);
+
+    let item_kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if is_punct(toks.get(i), '<') {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported"
+        ));
+    }
+
+    let mut rename_all = None;
+    let mut tag = None;
+    for a in &attrs {
+        match (a.key.as_str(), &a.value) {
+            ("rename_all", Some(v)) => rename_all = Some(v.clone()),
+            ("tag", Some(v)) => tag = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    let kind = match item_kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g)?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Input {
+        name,
+        rename_all,
+        tag,
+        kind,
+    })
+}
+
+fn parse_named_fields(body: &Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = Vec::new();
+        i = skip_attrs(&toks, i, &mut attrs);
+        i = skip_visibility(&toks, i);
+        let ident = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing attrs / comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        if !is_punct(toks.get(i), ':') {
+            return Err(format!("expected `:` after field `{ident}`"));
+        }
+        i += 1;
+        // skip the type: everything up to a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(make_field(ident, attrs));
+    }
+    Ok(fields)
+}
+
+fn make_field(ident: String, attrs: Vec<SerdeAttr>) -> Field {
+    let mut f = Field {
+        ident,
+        ..Field::default()
+    };
+    for a in attrs {
+        match (a.key.as_str(), a.value) {
+            ("rename", Some(v)) => f.rename = Some(v),
+            ("default", _) => f.default = true,
+            ("skip_serializing_if", Some(v)) => f.skip_serializing_if = Some(v),
+            _ => {}
+        }
+    }
+    f
+}
+
+/// Count fields in a tuple-struct / tuple-variant paren group.
+fn count_tuple_fields(body: &Group) -> usize {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = true;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = Vec::new();
+        i = skip_attrs(&toks, i, &mut attrs);
+        let ident = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip any discriminant, then the separating comma
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        let mut rename = None;
+        for a in attrs {
+            if a.key == "rename" {
+                rename = a.value;
+            }
+        }
+        variants.push(Variant {
+            ident,
+            rename,
+            kind,
+        });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Name mangling
+// ---------------------------------------------------------------------------
+
+fn apply_rename_all(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_lowercase(),
+        _ => name.to_string(),
+    }
+}
+
+fn field_key(f: &Field, rename_all: Option<&str>) -> String {
+    f.rename
+        .clone()
+        .unwrap_or_else(|| apply_rename_all(&f.ident, rename_all))
+}
+
+fn variant_key(v: &Variant, rename_all: Option<&str>) -> String {
+    v.rename
+        .clone()
+        .unwrap_or_else(|| apply_rename_all(&v.ident, rename_all))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+/// `__fields.push((key, to_value(access)));`, guarded by
+/// `skip_serializing_if` when present.
+fn push_field(f: &Field, key: &str, access: &str) -> String {
+    let push = format!(
+        "__fields.push(({key:?}.to_string(), ::serde::Serialize::to_value({access})));"
+    );
+    match &f.skip_serializing_if {
+        Some(pred) => format!("if !({pred}({access})) {{ {push} }}\n"),
+        None => format!("{push}\n"),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let rename_all = input.rename_all.as_deref();
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                b += &push_field(f, &field_key(f, rename_all), &format!("&self.{}", f.ident));
+            }
+            b += "::serde::Value::Object(__fields)";
+            b
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(v, rename_all);
+                arms += &gen_serialize_variant(name, v, &key, input.tag.as_deref());
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_serialize_variant(name: &str, v: &Variant, key: &str, tag: Option<&str>) -> String {
+    let vname = &v.ident;
+    match (&v.kind, tag) {
+        (VariantKind::Unit, None) => {
+            format!("{name}::{vname} => ::serde::Value::String({key:?}.to_string()),\n")
+        }
+        (VariantKind::Unit, Some(tag)) => format!(
+            "{name}::{vname} => ::serde::Value::Object(vec![({tag:?}.to_string(), \
+             ::serde::Value::String({key:?}.to_string()))]),\n"
+        ),
+        (VariantKind::Newtype, None) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![({key:?}.to_string(), \
+             ::serde::Serialize::to_value(__f0))]),\n"
+        ),
+        (VariantKind::Newtype, Some(tag)) => format!(
+            "{name}::{vname}(__f0) => {{\n\
+             let mut __inner = match ::serde::Serialize::to_value(__f0) {{\n\
+             ::serde::Value::Object(__f) => __f,\n\
+             __other => vec![(\"value\".to_string(), __other)],\n\
+             }};\n\
+             __inner.insert(0, ({tag:?}.to_string(), \
+             ::serde::Value::String({key:?}.to_string())));\n\
+             ::serde::Value::Object(__inner)\n\
+             }}\n"
+        ),
+        (VariantKind::Tuple(n), tag) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            let arr = format!("::serde::Value::Array(vec![{}])", items.join(", "));
+            match tag {
+                None => format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(vec![({key:?}.to_string(), \
+                     {arr})]),\n",
+                    binds.join(", ")
+                ),
+                Some(tag) => format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(vec![({tag:?}.to_string(), \
+                     ::serde::Value::String({key:?}.to_string())), (\"value\".to_string(), \
+                     {arr})]),\n",
+                    binds.join(", ")
+                ),
+            }
+        }
+        (VariantKind::Struct(fields), tag) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+            let mut inner = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            if let Some(tag) = tag {
+                inner += &format!(
+                    "__fields.push(({tag:?}.to_string(), \
+                     ::serde::Value::String({key:?}.to_string())));\n"
+                );
+            }
+            for f in fields {
+                inner += &push_field(f, &field_key(f, None), &f.ident);
+            }
+            let result = if tag.is_some() {
+                "::serde::Value::Object(__fields)".to_string()
+            } else {
+                format!(
+                    "::serde::Value::Object(vec![({key:?}.to_string(), \
+                     ::serde::Value::Object(__fields))])"
+                )
+            };
+            format!(
+                "{name}::{vname} {{ {} }} => {{\n{inner}{result}\n}}\n",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// `field: match __field(obj, key) { Some(v) => from_value(v)?, None => ... }`
+fn read_field(f: &Field, key: &str, obj: &str, type_name: &str) -> String {
+    let missing = if f.default || f.skip_serializing_if.is_some() {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(concat!(\
+             {type_name:?}, \": missing field \", {key:?})))"
+        )
+    };
+    format!(
+        "{}: match ::serde::__field({obj}, {key:?}) {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n",
+        f.ident
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let rename_all = input.rename_all.as_deref();
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(concat!(\
+                 {name:?}, \": expected object\")))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                b += &read_field(f, &field_key(f, rename_all), "__obj", name);
+            }
+            b += "})";
+            b
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(concat!(\
+                 {name:?}, \": expected array\")))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(concat!(\
+                 {name:?}, \": wrong tuple length\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => match input.tag.as_deref() {
+            Some(tag) => gen_deserialize_tagged_enum(name, variants, rename_all, tag),
+            None => gen_deserialize_external_enum(name, variants, rename_all),
+        },
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Deserialize arms for a struct variant's fields, as a `Name::V { ... }`
+/// expression reading from `__inner`.
+fn struct_variant_expr(name: &str, v: &Variant, fields: &[Field], inner: &str) -> String {
+    let mut b = format!(
+        "{{\nlet __obj = {inner}.as_object().ok_or_else(|| \
+         ::serde::Error::custom(concat!({name:?}, \": expected object for variant\")))?;\n\
+         ::std::result::Result::Ok({name}::{} {{\n",
+        v.ident
+    );
+    for f in fields {
+        b += &read_field(f, &field_key(f, None), "__obj", name);
+    }
+    b += "})\n}";
+    b
+}
+
+fn gen_deserialize_external_enum(
+    name: &str,
+    variants: &[Variant],
+    rename_all: Option<&str>,
+) -> String {
+    let bad = format!(
+        "::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"unknown {name} variant {{__other:?}}\")))"
+    );
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let key = variant_key(v, rename_all);
+        let vname = &v.ident;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms += &format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                );
+            }
+            VariantKind::Newtype => {
+                keyed_arms += &format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                );
+            }
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                keyed_arms += &format!(
+                    "{key:?} => {{\n\
+                     let __arr = __inner.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(concat!({name:?}, \": expected array\")))?;\n\
+                     if __arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(concat!(\
+                     {name:?}, \": wrong tuple length\")));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }}\n",
+                    items.join(", ")
+                );
+            }
+            VariantKind::Struct(fields) => {
+                keyed_arms += &format!(
+                    "{key:?} => {},\n",
+                    struct_variant_expr(name, v, fields, "__inner")
+                );
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => {bad},\n\
+         }},\n\
+         ::serde::Value::Object(__fs) if __fs.len() == 1 => {{\n\
+         let (__k, __inner) = &__fs[0];\n\
+         match __k.as_str() {{\n\
+         {keyed_arms}\
+         __other => {bad},\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"cannot deserialize {name} from {{__other:?}}\"))),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_tagged_enum(
+    name: &str,
+    variants: &[Variant],
+    rename_all: Option<&str>,
+    tag: &str,
+) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let key = variant_key(v, rename_all);
+        let vname = &v.ident;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms += &format!("{key:?} => ::std::result::Result::Ok({name}::{vname}),\n");
+            }
+            VariantKind::Newtype => {
+                // internally tagged newtype: the inner type reads the same
+                // object (minus the tag, which it ignores as unknown)
+                arms += &format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__v)?)),\n"
+                );
+            }
+            VariantKind::Tuple(_) => {
+                arms += &format!(
+                    "{key:?} => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"internally tagged tuple variants are not supported\")),\n"
+                );
+            }
+            VariantKind::Struct(fields) => {
+                arms += &format!(
+                    "{key:?} => {},\n",
+                    struct_variant_expr(name, v, fields, "__v")
+                );
+            }
+        }
+    }
+    format!(
+        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(concat!(\
+         {name:?}, \": expected object\")))?;\n\
+         let __tag = match ::serde::__field(__obj, {tag:?}).and_then(::serde::Value::as_str) \
+         {{\n\
+         ::std::option::Option::Some(__t) => __t,\n\
+         ::std::option::Option::None => return ::std::result::Result::Err(\
+         ::serde::Error::custom(concat!({name:?}, \": missing tag field \", {tag:?}))),\n\
+         }};\n\
+         match __tag {{\n\
+         {arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"unknown {name} variant {{__other:?}}\"))),\n\
+         }}"
+    )
+}

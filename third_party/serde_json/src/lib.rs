@@ -1,0 +1,207 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde`
+//! stand-in's [`Value`] data model: string/bytes (de)serialization plus the
+//! [`json!`] macro.
+
+pub use serde::{Error, Value};
+
+/// `Result` alias matching serde_json's API.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize `value` to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    T::from_value(&serde::parse_value(s)?)
+}
+
+/// Deserialize a `T` from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::custom("input is not valid UTF-8"))?;
+    from_str(s)
+}
+
+/// Convert any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a `T` from a [`Value`].
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax.
+///
+/// Supports object/array literals with nested `{}`/`[]`, `null`, booleans,
+/// and arbitrary Rust expressions in value position (anything implementing
+/// the vendored `serde::Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => { $crate::json_object!(@fields [] $($body)*) };
+    ([ $($body:tt)* ]) => { $crate::json_array!(@items [] $($body)*) };
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+/// Internal muncher for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // done
+    (@fields [$($done:tt)*]) => {
+        $crate::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([$($done)*])))
+    };
+    // "key": { nested object }
+    (@fields [$($done:tt)*] $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::json!({ $($inner)* })),]
+            $($rest)*
+        )
+    };
+    (@fields [$($done:tt)*] $key:literal : { $($inner:tt)* }) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::json!({ $($inner)* })),]
+        )
+    };
+    // "key": [ nested array ]
+    (@fields [$($done:tt)*] $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::json!([ $($inner)* ])),]
+            $($rest)*
+        )
+    };
+    (@fields [$($done:tt)*] $key:literal : [ $($inner:tt)* ]) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::json!([ $($inner)* ])),]
+        )
+    };
+    // "key": null
+    (@fields [$($done:tt)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::Value::Null),]
+            $($rest)*
+        )
+    };
+    (@fields [$($done:tt)*] $key:literal : null) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::Value::Null),]
+        )
+    };
+    // "key": expression
+    (@fields [$($done:tt)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::__to_value(&$value)),]
+            $($rest)*
+        )
+    };
+    (@fields [$($done:tt)*] $key:literal : $value:expr) => {
+        $crate::json_object!(
+            @fields
+            [$($done)* (($key).to_string(), $crate::__to_value(&$value)),]
+        )
+    };
+}
+
+/// Internal muncher for [`json!`] array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    (@items [$($done:tt)*]) => {
+        $crate::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([$($done)*])))
+    };
+    (@items [$($done:tt)*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!(@items [$($done)* $crate::json!({ $($inner)* }),] $($rest)*)
+    };
+    (@items [$($done:tt)*] { $($inner:tt)* }) => {
+        $crate::json_array!(@items [$($done)* $crate::json!({ $($inner)* }),])
+    };
+    (@items [$($done:tt)*] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array!(@items [$($done)* $crate::json!([ $($inner)* ]),] $($rest)*)
+    };
+    (@items [$($done:tt)*] [ $($inner:tt)* ]) => {
+        $crate::json_array!(@items [$($done)* $crate::json!([ $($inner)* ]),])
+    };
+    (@items [$($done:tt)*] null , $($rest:tt)*) => {
+        $crate::json_array!(@items [$($done)* $crate::Value::Null,] $($rest)*)
+    };
+    (@items [$($done:tt)*] null) => {
+        $crate::json_array!(@items [$($done)* $crate::Value::Null,])
+    };
+    (@items [$($done:tt)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_array!(@items [$($done)* $crate::__to_value(&$value),] $($rest)*)
+    };
+    (@items [$($done:tt)*] $value:expr) => {
+        $crate::json_array!(@items [$($done)* $crate::__to_value(&$value),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let seq = 7u64;
+        let path = String::from("p/1.bin");
+        let v = json!({
+            "commitInfo": {
+                "polarisSequence": seq,
+                "engineInfo": "polaris",
+                "ok": true,
+            },
+            "path": path,
+            "items": [1, 2, 3],
+            "nothing": null,
+        });
+        assert_eq!(v["commitInfo"]["polarisSequence"], 7);
+        assert_eq!(v["commitInfo"]["engineInfo"], "polaris");
+        assert_eq!(v["commitInfo"]["ok"], true);
+        assert_eq!(v["path"], "p/1.bin");
+        assert_eq!(v["items"][1], 2);
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({"a": 1, "b": [true, null]});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":[true,null]}"#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = json!({"a": 1});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
