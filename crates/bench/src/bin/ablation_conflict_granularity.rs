@@ -6,15 +6,16 @@
 //! every pair aborts (same WriteSets row); at DataFile granularity the
 //! deletes usually touch different data files and both commit.
 
-use polaris_bench::{bench_config, engine_with_topology, header};
+use polaris_bench::{bench_config, dump_metrics_snapshot, engine_with_topology, header};
 use polaris_core::{ConflictGranularity, PolarisEngine};
 use polaris_exec::Expr;
+use polaris_obs::MetricsSnapshot;
 use std::sync::Arc;
 
 const PAIRS: usize = 24;
 const ROWS: i64 = 4_096;
 
-fn run(granularity: ConflictGranularity) -> (usize, usize) {
+fn run(granularity: ConflictGranularity) -> (usize, usize, MetricsSnapshot) {
     let mut config = bench_config();
     config.conflict_granularity = granularity;
     // Many distributions -> many data files -> disjoint ranges land in
@@ -55,7 +56,7 @@ fn run(granularity: ConflictGranularity) -> (usize, usize) {
             }
         }
     }
-    (commits, aborts)
+    (commits, aborts, engine.metrics_snapshot())
 }
 
 fn main() {
@@ -67,11 +68,13 @@ fn main() {
         "{:>12} {:>9} {:>8} {:>12}",
         "granularity", "commits", "aborts", "abort_rate"
     );
+    let mut last_metrics = None;
     for (label, g) in [
         ("Table", ConflictGranularity::Table),
         ("DataFile", ConflictGranularity::DataFile),
     ] {
-        let (commits, aborts) = run(g);
+        let (commits, aborts, metrics) = run(g);
+        last_metrics = Some(metrics);
         println!(
             "{:>12} {:>9} {:>8} {:>11.0}%",
             label,
@@ -85,4 +88,7 @@ fn main() {
         "shape check: Table granularity aborts one of every concurrent pair (~50%); \
          DataFile granularity lets disjoint-file deletes commit (near 0%)"
     );
+    if let Some(snapshot) = last_metrics {
+        dump_metrics_snapshot("ablation_conflict_granularity", &snapshot);
+    }
 }

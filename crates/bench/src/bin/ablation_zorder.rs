@@ -5,7 +5,7 @@
 //! into files, so per-file min/max statistics become tight and range scans
 //! prune most files. Measured as bytes read from storage per query.
 
-use polaris_bench::bench_config;
+use polaris_bench::{bench_config, dump_metrics_snapshot};
 use polaris_core::{DataType, Field, Schema};
 use polaris_core::{EngineConfig, PolarisEngine, RecordBatch, Value};
 use polaris_dcp::{ComputePool, WorkloadClass};
@@ -41,7 +41,7 @@ fn shuffled_batch() -> RecordBatch {
     RecordBatch::from_rows(schema(), &rows).unwrap()
 }
 
-fn run(clustered: bool) -> (u64, u64) {
+fn run(clustered: bool) -> (u64, u64, polaris_obs::MetricsSnapshot) {
     let mut config = bench_config();
     config.distributions = 16;
     let (engine, stats) = engine_with_stats(config);
@@ -73,7 +73,7 @@ fn run(clustered: bool) -> (u64, u64) {
         "both layouts return identical results"
     );
     let c = stats.counts();
-    (c.reads, c.bytes_read)
+    (c.reads, c.bytes_read, engine.metrics_snapshot())
 }
 
 fn main() {
@@ -82,9 +82,9 @@ fn main() {
         "range queries over Z-order-clustered vs unclustered layout (bytes read from storage)",
     );
     println!("{:>12} {:>10} {:>14}", "layout", "reads", "bytes_read");
-    let (u_reads, u_bytes) = run(false);
+    let (u_reads, u_bytes, _) = run(false);
     println!("{:>12} {:>10} {:>14}", "unclustered", u_reads, u_bytes);
-    let (c_reads, c_bytes) = run(true);
+    let (c_reads, c_bytes, clustered_metrics) = run(true);
     println!("{:>12} {:>10} {:>14}", "clustered", c_reads, c_bytes);
     println!();
     println!(
@@ -92,4 +92,5 @@ fn main() {
          lets the scan prune files a range predicate cannot touch)",
         u_bytes as f64 / c_bytes as f64
     );
+    dump_metrics_snapshot("ablation_zorder", &clustered_metrics);
 }

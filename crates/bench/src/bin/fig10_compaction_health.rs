@@ -6,7 +6,7 @@
 //! compacts them. This harness prints the same timeline: one row per
 //! health sample, `GREEN`/`RED` per table, before and after each STO pass.
 
-use polaris_bench::{bench_config, engine_with_topology, header};
+use polaris_bench::{bench_config, dump_metrics_snapshot, engine_with_topology, header};
 use polaris_workloads::lstbench::{self, Wp1Event};
 use polaris_workloads::tpcds;
 
@@ -96,4 +96,5 @@ fn main() {
         "shape check: post-DM rows show RED (fragmentation); \
          post-STO rows return to GREEN (paper: tables back to green within minutes of the next SU phase)"
     );
+    dump_metrics_snapshot("fig10_compaction", &engine.metrics_snapshot());
 }

@@ -8,7 +8,7 @@
 //! phase and web tables later, which shows up as staggered checkpoint
 //! creation — the paper's observation.
 
-use polaris_bench::{bench_config, engine_with_topology, header};
+use polaris_bench::{bench_config, dump_metrics_snapshot, engine_with_topology, header};
 use polaris_core::SequenceId;
 use polaris_workloads::lstbench::{self, Wp1Event};
 use polaris_workloads::tpcds;
@@ -84,4 +84,5 @@ fn main() {
         tpcds::tables().len(),
         3
     );
+    dump_metrics_snapshot("fig11_checkpoints", &engine.metrics_snapshot());
 }

@@ -8,8 +8,13 @@
 //! committed data: snapshot extensions, cache misses, and compacted files
 //! to re-read.
 
-use polaris_bench::{bench_config, cloud_model, engine_with_latency, header, ms};
+use polaris_bench::{
+    bench_config, cloud_model, dump_chrome_trace, dump_metrics_snapshot, engine_with_latency,
+    header, ms,
+};
+use polaris_dcp::WorkloadClass;
 use polaris_workloads::lstbench;
+use std::time::Duration;
 
 const SF: f64 = 4.0;
 
@@ -31,6 +36,34 @@ fn main() {
     lstbench::run_su(&engine).unwrap();
 
     let report = lstbench::run_wp3(&engine, SF, 42).unwrap();
+
+    // Node-loss drill, after the measured phases so the bounded trace ring
+    // is sure to retain it: victim write nodes join the pool, a DM round
+    // starts, and the victims die while its write tasks are in flight.
+    // Tasks caught on a dead node report NodeLost and are retried
+    // elsewhere — §4.3's claim. Whether a given kill catches a task is a
+    // race, so the drill repeats (with a sliding kill delay) until the
+    // pool meter confirms a loss; the exported Chrome trace then shows
+    // dcp.task spans with attempt > 0 / outcome=node_lost in Perfetto.
+    let baseline = engine.pool().stats().node_losses;
+    let mut drill_rounds = 0usize;
+    while engine.pool().stats().node_losses == baseline && drill_rounds < 50 {
+        drill_rounds += 1;
+        let victims = engine.pool().add_nodes(WorkloadClass::Write, 2, 1);
+        let killer = {
+            let pool = std::sync::Arc::clone(engine.pool());
+            let delay = Duration::from_millis(2 + 3 * drill_rounds as u64);
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                for id in victims {
+                    pool.kill_node(id);
+                }
+            })
+        };
+        lstbench::run_dm(&engine, 100 + drill_rounds, SF, 42).unwrap();
+        killer.join().unwrap();
+    }
+    let pool_stats = engine.pool().stats();
 
     println!("{:>22} {:>12}", "phase", "su_ms");
     println!("{:>22} {:>12}", "SU || DM", ms(report.su_with_dm.total));
@@ -62,4 +95,12 @@ fn main() {
     ) {
         println!("  {:<28} {:>9} {:>9} {:>9}", n, ms(*a), ms(*b), ms(*c));
     }
+    println!();
+    println!(
+        "node-loss drill: {} task attempts, {} retries, {} node losses over {} drill round(s) \
+         (victim write nodes killed with DM in flight; work rescheduled, run still correct)",
+        pool_stats.attempts, pool_stats.retries, pool_stats.node_losses, drill_rounds
+    );
+    dump_metrics_snapshot("fig12_wp3", &engine.metrics_snapshot());
+    dump_chrome_trace("fig12_wp3", &engine);
 }

@@ -11,7 +11,9 @@
 //! unit (the 100 GB→40-files ratio scaled down). Expect the `time/SF`
 //! column to *fall* as SF grows — the sub-linear shape.
 
-use polaris_bench::{bench_config, engine_with_latency, header, ingest_model, ms};
+use polaris_bench::{
+    bench_config, dump_metrics_snapshot, engine_with_latency, header, ingest_model, ms,
+};
 use polaris_dcp::{CostEstimate, ElasticAllocator, ResourceAllocator};
 use polaris_workloads::tpch;
 use std::time::Instant;
@@ -80,10 +82,6 @@ fn main() {
     // Dump the engine-wide metrics of the largest run next to the figure
     // output so regressions in store traffic / task counts are diffable.
     if let Some(snapshot) = last_metrics {
-        let dir = std::path::Path::new("target/bench");
-        std::fs::create_dir_all(dir).unwrap();
-        let path = dir.join("fig7_ingestion_metrics.json");
-        std::fs::write(&path, snapshot.to_json_pretty()).unwrap();
-        println!("metrics snapshot written to {}", path.display());
+        dump_metrics_snapshot("fig7_ingestion", &snapshot);
     }
 }

@@ -8,13 +8,16 @@
 //!
 //! Scale mapping: the paper's 1 TB / 10 TB pair becomes SF 2 / SF 20 here.
 
-use polaris_bench::{bench_config, engine_with_latency, header, ingest_model, ms};
+use polaris_bench::{
+    bench_config, dump_metrics_snapshot, engine_with_latency, header, ingest_model, ms,
+};
 use polaris_core::RecordBatch;
 use polaris_dcp::{CostEstimate, ElasticAllocator, FixedAllocator, ResourceAllocator};
+use polaris_obs::MetricsSnapshot;
 use polaris_workloads::tpch;
 use std::time::{Duration, Instant};
 
-fn load_with(nodes: usize, files: usize, sf: f64) -> Duration {
+fn load_with(nodes: usize, files: usize, sf: f64) -> (Duration, MetricsSnapshot) {
     let mut config = bench_config();
     config.distributions = files as u32;
     config.max_write_tasks = files;
@@ -27,7 +30,7 @@ fn load_with(nodes: usize, files: usize, sf: f64) -> Duration {
     let mut txn = engine.begin();
     txn.insert("lineitem", &all).unwrap();
     txn.commit().unwrap();
-    started.elapsed()
+    (started.elapsed(), engine.metrics_snapshot())
 }
 
 fn main() {
@@ -45,6 +48,7 @@ fn main() {
         "sf", "rows", "model", "nodes", "load_ms", "node_ms (cost)"
     );
     let mut results: Vec<(f64, &str, usize, Duration)> = Vec::new();
+    let mut last_metrics = None;
     for sf in [2.0f64, 20.0] {
         let files = ((4.0 * sf).round() as usize).max(1);
         let rows = tpch::rows_at("lineitem", sf);
@@ -58,7 +62,8 @@ fn main() {
             ("elastic", &elastic as &dyn ResourceAllocator),
         ] {
             let nodes = alloc.nodes_for(&estimate);
-            let elapsed = load_with(nodes, files, sf);
+            let (elapsed, metrics) = load_with(nodes, files, sf);
+            last_metrics = Some(metrics);
             println!(
                 "{:>6.0} {:>8} {:>9} {:>7} {:>12} {:>18.1}   resource_factor={}x",
                 sf,
@@ -80,4 +85,7 @@ fn main() {
          with ELASTIC only {elastic_ratio:.1}x (paper: elastic stays near-flat, \
          price-performance similar since cost = nodes x time)"
     );
+    if let Some(snapshot) = last_metrics {
+        dump_metrics_snapshot("fig8_fixed_vs_elastic", &snapshot);
+    }
 }

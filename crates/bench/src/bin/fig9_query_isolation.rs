@@ -8,7 +8,9 @@
 //!
 //! Expect the `with_load/solo` ratio near 1.0 for most queries.
 
-use polaris_bench::{bench_config, cloud_model, engine_with_latency, header, ms};
+use polaris_bench::{
+    bench_config, cloud_model, dump_metrics_snapshot, engine_with_latency, header, ms,
+};
 use polaris_core::PolarisEngine;
 use polaris_workloads::{queries, tpch};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -101,4 +103,5 @@ fn main() {
          uncommitted load) and caches stay warm (immutably committed files \
          are never invalidated)."
     );
+    dump_metrics_snapshot("fig9_query_isolation", &engine.metrics_snapshot());
 }

@@ -102,6 +102,44 @@ pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+/// Where figure binaries drop their machine-readable artifacts.
+const BENCH_OUT_DIR: &str = "target/bench";
+
+fn write_artifact(file_name: &str, contents: &str, what: &str) {
+    let dir = std::path::Path::new(BENCH_OUT_DIR);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(file_name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("{what} written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Dump the engine-wide metrics snapshot to
+/// `target/bench/<figure>_metrics.json` next to the figure's stdout, so
+/// regressions in store traffic / task counts are diffable run-to-run.
+pub fn dump_metrics_snapshot(figure: &str, snapshot: &polaris_obs::MetricsSnapshot) {
+    write_artifact(
+        &format!("{figure}_metrics.json"),
+        &snapshot.to_json_pretty(),
+        "metrics snapshot",
+    );
+}
+
+/// Dump the engine's trace ring as Chrome `trace_event` JSON to
+/// `target/bench/<figure>_trace.json` — load it in Perfetto or
+/// `chrome://tracing` to see per-node task lanes.
+pub fn dump_chrome_trace(figure: &str, engine: &PolarisEngine) {
+    write_artifact(
+        &format!("{figure}_trace.json"),
+        &engine.chrome_trace(),
+        "chrome trace",
+    );
+}
+
 /// Print a figure header in a consistent style.
 pub fn header(figure: &str, caption: &str) {
     println!("=== {figure} ===");

@@ -310,11 +310,17 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
         extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)>,
     ) -> CatalogResult<CommitOutcome> {
         self.ensure_active(txn)?;
-        let _guard = self.commit_lock.lock();
+        let _guard = {
+            let mut lock_span = self.meter.tracer.span("catalog.lock_acquire");
+            lock_span.attr("txn", txn.id.0);
+            self.commit_lock.lock()
+        };
         // Dropped when the function returns (with the lock), on success and
         // conflict paths alike — so the histogram sees every hold.
         let _hold = self.meter.commit_lock_hold.span();
         {
+            let mut validate_span = self.meter.tracer.span("catalog.validate");
+            validate_span.attr("write_set", txn.writes.len());
             let rows = self.rows.read();
             // First committer wins: any version of a written key newer than
             // our snapshot means a concurrent transaction got there first.
@@ -323,6 +329,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
                     txn.status = TxnStatus::Aborted;
                     self.active.lock().remove(&txn.id);
                     self.meter.ww_conflicts.inc();
+                    validate_span.attr("outcome", "ww_conflict");
                     return Err(CatalogError::WriteWriteConflict {
                         key: format_key(key),
                     });
@@ -334,16 +341,21 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
                         txn.status = TxnStatus::Aborted;
                         self.active.lock().remove(&txn.id);
                         self.meter.serialization_failures.inc();
+                        validate_span.attr("outcome", "serialization_failure");
                         return Err(CatalogError::SerializationFailure {
                             key: format_key(key),
                         });
                     }
                 }
             }
+            validate_span.attr("outcome", "ok");
         }
         let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
         let extra_writes = extra(commit_ts);
         {
+            let mut install_span = self.meter.tracer.span("catalog.install");
+            install_span.attr("commit_ts", commit_ts.0);
+            install_span.attr("extra_writes", extra_writes.len());
             let mut rows = self.rows.write();
             for (key, value) in std::mem::take(&mut txn.writes) {
                 rows.entry(key).or_default().push(Version {

@@ -37,6 +37,9 @@ pub struct EngineConfig {
     /// Automatic transaction retries on commit conflict for auto-commit
     /// statements.
     pub auto_retries: u32,
+    /// Capacity of the engine's trace flight recorder, in events. The ring
+    /// keeps the most recent `trace_capacity` events; 0 disables tracing.
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +57,7 @@ impl Default for EngineConfig {
             max_write_tasks: 16,
             max_read_tasks: 16,
             auto_retries: 3,
+            trace_capacity: 8192,
         }
     }
 }
@@ -70,6 +74,7 @@ impl EngineConfig {
             compact_min_rows: 16,
             checkpoint_every: 4,
             retention_seqs: 2,
+            trace_capacity: 1 << 16,
             ..Default::default()
         }
     }

@@ -8,7 +8,7 @@ use polaris_catalog::{Catalog, CatalogTxn, TableId, TableMeta};
 use polaris_columnar::Schema;
 use polaris_dcp::ComputePool;
 use polaris_lst::{Checkpoint, Manifest, SequenceId, SnapshotCache, TableSnapshot};
-use polaris_obs::{CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot};
+use polaris_obs::{CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, Tracer};
 use polaris_store::{BlobPath, MemoryStore, ObjectStore, StatsStore};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -42,6 +42,9 @@ pub struct PolarisEngine {
     /// Engine-wide metrics registry: every layer (store, cache, catalog,
     /// pool, scan) emits into this one instance.
     metrics: Arc<MetricsRegistry>,
+    /// Engine-wide trace flight recorder; every layer opens spans on
+    /// cloned handles of this tracer.
+    tracer: Tracer,
 }
 
 impl PolarisEngine {
@@ -52,19 +55,30 @@ impl PolarisEngine {
         config: EngineConfig,
     ) -> Arc<Self> {
         let metrics = MetricsRegistry::new();
+        let tracer = if config.trace_capacity > 0 {
+            Tracer::with_capacity(config.trace_capacity)
+        } else {
+            Tracer::disabled()
+        };
         // Wrap the store so every blob operation is counted in the shared
         // registry; `Arc<dyn ObjectStore>` itself implements `ObjectStore`,
         // so the wrapper composes with whatever the caller handed us.
-        let store: Arc<dyn ObjectStore> = Arc::new(StatsStore::with_registry(store, &metrics));
+        let mut stats_store = StatsStore::with_registry(store, &metrics);
+        stats_store.set_tracer(tracer.clone());
+        let store: Arc<dyn ObjectStore> = Arc::new(stats_store);
         pool.meter().adopt_into(&metrics);
+        pool.bind_tracer(&tracer);
+        let mut catalog_meter = CatalogMeter::from_registry(&metrics);
+        catalog_meter.tracer = tracer.clone();
         Arc::new(PolarisEngine {
             config,
-            catalog: Catalog::with_meter(CatalogMeter::from_registry(&metrics)),
+            catalog: Catalog::with_meter(catalog_meter),
             store,
             pool,
             caches: RwLock::new(HashMap::new()),
             publish_watermarks: Mutex::new(HashMap::new()),
             metrics,
+            tracer,
         })
     }
 
@@ -118,6 +132,17 @@ impl PolarisEngine {
     /// Point-in-time snapshot of every metric the engine has emitted.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The engine-wide trace flight recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Chrome `trace_event` JSON of the retained trace ring — loadable in
+    /// `chrome://tracing` / Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        self.tracer.chrome_trace()
     }
 
     /// Create a table (auto-commit DDL).
@@ -242,14 +267,14 @@ impl PolarisEngine {
             return Arc::clone(c);
         }
         let mut caches = self.caches.write();
-        Arc::clone(
-            caches.entry(table).or_insert_with(|| {
-                Arc::new(SnapshotCache::with_meter(
-                    self.config.snapshot_cache_capacity,
-                    CacheMeter::from_registry(&self.metrics),
-                ))
-            }),
-        )
+        Arc::clone(caches.entry(table).or_insert_with(|| {
+            let mut meter = CacheMeter::from_registry(&self.metrics);
+            meter.tracer = self.tracer.clone();
+            Arc::new(SnapshotCache::with_meter(
+                self.config.snapshot_cache_capacity,
+                meter,
+            ))
+        }))
     }
 
     /// Drop all BE snapshot caches (simulates compute nodes leaving and
@@ -288,11 +313,15 @@ impl PolarisEngine {
         }
         let store = &self.store;
         let catalog = &self.catalog;
+        let tracer = &self.tracer;
         let table = meta.id;
         let snap = cache.snapshot_at(upto, |from, to| {
+            let mut span = tracer.span("lst.manifest_fetch");
+            span.attr("table", meta.id.0);
             let rows = catalog
                 .manifests_between(txn, table, from, to)
                 .map_err(|e| polaris_lst::LstError::malformed(e.to_string()))?;
+            span.attr("manifests", rows.len());
             rows.into_iter()
                 .map(|(seq, row)| {
                     let raw = store.get(&BlobPath::new(row.manifest_file.clone())?)?;

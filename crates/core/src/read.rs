@@ -14,8 +14,8 @@ use polaris_exec::{
     cell::partition_cells, cells_of_snapshot, ops, scan::scan_cell_lazy_metered, AggExpr, AggFunc,
     BinOp, Expr,
 };
-use polaris_obs::ScanMeter;
 use polaris_lst::{SequenceId, TableSnapshot};
+use polaris_obs::ScanMeter;
 use polaris_sql::{AggPlan, SelectPlan};
 use std::sync::Arc;
 

@@ -3,10 +3,18 @@
 use crate::schema_json::schema_to_json;
 use crate::{PolarisEngine, PolarisError, PolarisResult, QueryResult, SequenceId, Transaction};
 use polaris_catalog::IsolationLevel;
-use polaris_columnar::{Field, RecordBatch, Schema};
-use polaris_obs::{QueryProfile, TxnProfile, ValidationOutcome};
+use polaris_columnar::{DataType, Field, RecordBatch, Schema, Value};
+use polaris_obs::{build_spans, QueryProfile, TxnProfile, ValidationOutcome};
 use polaris_sql::Statement;
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// How many [`QueryProfile`]s a session retains in its history ring.
+const PROFILE_HISTORY_CAP: usize = 64;
+
+/// How many trailing trace events the session dumps when a transaction
+/// aborts at commit time.
+const POST_MORTEM_EVENTS: usize = 64;
 
 /// What one executed statement produced.
 #[derive(Debug, Clone)]
@@ -39,6 +47,8 @@ pub struct Session {
     current: Option<Transaction>,
     last_profile: Option<QueryProfile>,
     last_txn_profile: Option<TxnProfile>,
+    profile_history: VecDeque<QueryProfile>,
+    last_post_mortem: Option<String>,
 }
 
 impl Session {
@@ -50,6 +60,8 @@ impl Session {
             current: None,
             last_profile: None,
             last_txn_profile: None,
+            profile_history: VecDeque::new(),
+            last_post_mortem: None,
         }
     }
 
@@ -65,6 +77,30 @@ impl Session {
     /// or rolled back) transaction.
     pub fn last_txn_profile(&self) -> Option<&TxnProfile> {
         self.last_txn_profile.as_ref()
+    }
+
+    /// Profiles of recently executed statements, oldest first. Bounded to
+    /// the last [`PROFILE_HISTORY_CAP`] statements.
+    pub fn profile_history(&self) -> impl Iterator<Item = &QueryProfile> {
+        self.profile_history.iter()
+    }
+
+    /// Post-mortem trace dump captured when the most recent commit-time
+    /// abort happened (tracing must be enabled).
+    pub fn last_post_mortem(&self) -> Option<&str> {
+        self.last_post_mortem.as_deref()
+    }
+
+    /// Record a statement profile as both `last_profile` and an entry in
+    /// the bounded history ring.
+    fn record_profile(&mut self, profile: Option<QueryProfile>) {
+        if let Some(p) = &profile {
+            if self.profile_history.len() == PROFILE_HISTORY_CAP {
+                self.profile_history.pop_front();
+            }
+            self.profile_history.push_back(p.clone());
+        }
+        self.last_profile = profile;
     }
 
     /// Commit `txn`, timing the commit protocol and recording both the
@@ -86,7 +122,10 @@ impl Session {
             p.phase("commit", txn_profile.commit_wall_ns);
             p.wall_ns += txn_profile.commit_wall_ns;
         }
-        self.last_profile = profile;
+        if result.is_err() && self.engine.tracer().is_enabled() {
+            self.last_post_mortem = Some(self.engine.tracer().post_mortem(POST_MORTEM_EVENTS));
+        }
+        self.record_profile(profile);
         self.last_txn_profile = Some(txn_profile);
         result.map(|info| info.sequence)
     }
@@ -181,10 +220,12 @@ impl Session {
                 self.engine.drop_table(name)?;
                 Ok(StatementOutcome::Ddl)
             }
+            Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
             dml => {
                 if let Some(txn) = self.current.as_mut() {
                     let result = txn.execute_statement(dml);
-                    self.last_profile = txn.last_profile().cloned();
+                    let profile = txn.last_profile().cloned();
+                    self.record_profile(profile);
                     return Ok(outcome_of(result?));
                 }
                 // Auto-commit with conflict retries.
@@ -201,7 +242,8 @@ impl Session {
                             Err(e) => return Err(e),
                         },
                         Err(e) => {
-                            self.last_profile = txn.last_profile().cloned();
+                            let profile = txn.last_profile().cloned();
+                            self.record_profile(profile);
                             if e.is_retryable_conflict() && attempt < retries {
                                 attempt += 1;
                                 continue;
@@ -214,6 +256,85 @@ impl Session {
         }
     }
 
+    /// Execute the inner statement of `EXPLAIN ANALYZE` and render its trace
+    /// span tree plus a profile summary as a single-column result set.
+    fn explain_analyze(&mut self, inner: &Statement) -> PolarisResult<StatementOutcome> {
+        match inner {
+            Statement::Select(_)
+            | Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. } => {}
+            _ => {
+                return Err(PolarisError::unsupported(
+                    "EXPLAIN ANALYZE of DDL or transaction control",
+                ))
+            }
+        }
+        if !self.engine.tracer().is_enabled() {
+            return Err(PolarisError::invalid(
+                "EXPLAIN ANALYZE requires tracing (EngineConfig::trace_capacity > 0)",
+            ));
+        }
+        self.execute_parsed(inner)?;
+        let profile = self
+            .last_profile
+            .clone()
+            .ok_or_else(|| PolarisError::invalid("statement produced no profile"))?;
+        let events = self.engine.tracer().events();
+        let spans = build_spans(&events);
+        // Inside an explicit transaction, render just this statement's
+        // subtree; in auto-commit mode climb to the enclosing `txn` root so
+        // the commit-protocol spans show too.
+        let root = if self.in_transaction() {
+            profile.trace_span
+        } else {
+            spans
+                .get(&profile.trace_span)
+                .map(|s| if s.parent != 0 { s.parent } else { s.id })
+                .unwrap_or(profile.trace_span)
+        };
+        let mut lines: Vec<String> = self
+            .engine
+            .tracer()
+            .render_span_tree(root)
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        lines.push(String::new());
+        lines.push(format!(
+            "statement: {} ({:.3} ms wall)",
+            profile.statement,
+            profile.wall_ns as f64 / 1e6
+        ));
+        for (phase, ns) in &profile.phases_ns {
+            lines.push(format!("  phase {phase}: {:.3} ms", *ns as f64 / 1e6));
+        }
+        lines.push(format!(
+            "files: {} scanned, {} pruned; row groups: {} scanned, {} pruned",
+            profile.files_scanned,
+            profile.files_pruned,
+            profile.row_groups_scanned,
+            profile.row_groups_pruned
+        ));
+        lines.push(format!(
+            "rows: {} in, {} out; bytes read: {}",
+            profile.rows_in, profile.rows_out, profile.bytes_read
+        ));
+        lines.push(format!(
+            "cache: {} hits, {} misses; tasks: {} attempts, {} retries",
+            profile.cache_hits, profile.cache_misses, profile.task_attempts, profile.task_retries
+        ));
+        lines.push(format!("validation: {:?}", profile.validation));
+        let schema = Schema::new(vec![Field {
+            name: "plan".to_owned(),
+            data_type: DataType::Utf8,
+            nullable: false,
+        }]);
+        let rows: Vec<Vec<Value>> = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(StatementOutcome::Rows(batch))
+    }
+
     /// Create a table from a programmatic schema (bypasses SQL).
     pub fn create_table(&self, name: &str, schema: &Schema) -> PolarisResult<()> {
         self.engine.create_table(name, schema)?;
@@ -224,7 +345,8 @@ impl Session {
     pub fn insert_batch(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
         if let Some(txn) = self.current.as_mut() {
             let result = txn.insert(table, batch);
-            self.last_profile = txn.last_profile().cloned();
+            let profile = txn.last_profile().cloned();
+            self.record_profile(profile);
             return result;
         }
         let retries = self.engine.config().auto_retries;
@@ -238,7 +360,8 @@ impl Session {
                     Err(e) => return Err(e),
                 },
                 Err(e) => {
-                    self.last_profile = txn.last_profile().cloned();
+                    let profile = txn.last_profile().cloned();
+                    self.record_profile(profile);
                     if e.is_retryable_conflict() && attempt < retries {
                         attempt += 1;
                         continue;

@@ -415,6 +415,8 @@ pub fn publish_table(engine: &Arc<PolarisEngine>, table: &str) -> PolarisResult<
         return Ok(0);
     };
     let (from, to) = engine.publish_range(meta.id, *last_seq);
+    let mut span = engine.tracer().span("lst.publish");
+    span.attr("table", table);
     let mut published = 0;
     for (seq, row) in rows {
         if seq <= from || seq > to {
@@ -427,6 +429,7 @@ pub fn publish_table(engine: &Arc<PolarisEngine>, table: &str) -> PolarisResult<
         publish::publish_manifest_as_delta(&**engine.store(), &meta.data_root, seq, &manifest)?;
         published += 1;
     }
+    span.attr("published", published);
     engine.catalog().abort(&mut ctxn);
     Ok(published)
 }
@@ -491,8 +494,12 @@ pub fn run_once(engine: &Arc<PolarisEngine>) -> PolarisResult<StoTickReport> {
     metrics
         .counter("sto.compaction_conflicts")
         .add(report.compaction_conflicts as u64);
-    metrics.counter("sto.published").add(report.published as u64);
-    metrics.counter("sto.gc_deleted").add(report.gc_deleted as u64);
+    metrics
+        .counter("sto.published")
+        .add(report.published as u64);
+    metrics
+        .counter("sto.gc_deleted")
+        .add(report.gc_deleted as u64);
     Ok(report)
 }
 

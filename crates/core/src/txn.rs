@@ -7,7 +7,7 @@ use polaris_columnar::{ColumnVector, DataType, RecordBatch, Schema, Value};
 use polaris_dcp::{TaskError, WorkflowDag, WorkloadClass};
 use polaris_exec::{cell::partition_cells, cells_of_snapshot, write as bewrite, Expr};
 use polaris_lst::{Manifest, ManifestAction, SequenceId, TableSnapshot, TxnDelta};
-use polaris_obs::{QueryProfile, ScanMeter, TxnProfile, ValidationOutcome};
+use polaris_obs::{QueryProfile, ScanMeter, Tracer, TxnProfile, ValidationOutcome};
 use polaris_sql::Statement;
 use polaris_store::{BlobPath, BlockId, Stamp};
 use std::collections::HashMap;
@@ -63,6 +63,11 @@ pub struct Transaction {
     /// Manifest blocks staged / committed across the whole transaction.
     blocks_staged: u64,
     blocks_committed: u64,
+    /// Engine tracer handle (disabled when the engine has no ring).
+    tracer: Tracer,
+    /// The transaction's root trace span; 0 once closed (commit, rollback
+    /// or drop each close it exactly once).
+    root_span: u64,
 }
 
 /// What a write task reports back to the DCP: the blocks it staged and the
@@ -72,17 +77,36 @@ type WriteTaskResult = (Vec<BlockId>, Vec<ManifestAction>, u64);
 impl Transaction {
     pub(crate) fn begin(engine: Arc<PolarisEngine>, isolation: IsolationLevel) -> Self {
         let ctxn = engine.catalog().begin(isolation);
+        let tracer = engine.tracer().clone();
+        // Manual span: it outlives this call (statements and the commit
+        // run later, possibly interleaved with other transactions on the
+        // same thread), so the thread-local stack cannot own it.
+        let root_span = tracer.begin_manual("txn", 0, vec![("txn".to_owned(), ctxn.id.0.into())]);
         Transaction {
             engine,
             ctxn,
             tables: HashMap::new(),
             stmt: 0,
             finished: false,
-            scan_meter: Arc::new(ScanMeter::new()),
+            scan_meter: Arc::new(ScanMeter::with_tracer(tracer.clone())),
             last_profile: None,
             blocks_staged: 0,
             blocks_committed: 0,
+            tracer,
+            root_span,
         }
+    }
+
+    /// Close the root span exactly once, tagging how the transaction ended.
+    fn end_root(&mut self, outcome: &str) {
+        let span = std::mem::take(&mut self.root_span);
+        self.tracer
+            .end_manual(span, "txn", vec![("outcome".to_owned(), outcome.into())]);
+    }
+
+    /// The transaction's root trace span id (0 when tracing is disabled).
+    pub fn trace_span(&self) -> u64 {
+        self.root_span
     }
 
     /// Profile of the most recently executed statement. Validation stays
@@ -99,11 +123,7 @@ impl Transaction {
             statements: self.stmt,
             blocks_staged: self.blocks_staged,
             blocks_committed: self.blocks_committed,
-            tables_written: self
-                .tables
-                .values()
-                .filter(|t| !t.delta.is_empty())
-                .count() as u64,
+            tables_written: self.tables.values().filter(|t| !t.delta.is_empty()).count() as u64,
             validation: ValidationOutcome::Pending,
             commit_wall_ns: 0,
         }
@@ -121,16 +141,22 @@ impl Transaction {
         statement: &str,
         f: impl FnOnce(&mut Self) -> PolarisResult<T>,
     ) -> PolarisResult<T> {
-        self.scan_meter = Arc::new(ScanMeter::new());
+        self.scan_meter = Arc::new(ScanMeter::with_tracer(self.tracer.clone()));
         let registry = Arc::clone(self.engine.metrics());
         let hits = registry.counter("lst.cache.hits");
         let misses = registry.counter("lst.cache.misses");
         let (hits0, misses0) = (hits.get(), misses.get());
         let pool0 = self.engine.pool().stats();
         let (staged0, committed0) = (self.blocks_staged, self.blocks_committed);
+        // Statement span: explicit parent (the root span is manual), but on
+        // the thread-local stack so every span opened while `f` runs —
+        // snapshot replay, DCP attempts, store commits — nests under it.
+        let stmt_span = self.tracer.span_at(statement, self.root_span);
+        let trace_span = stmt_span.id();
         let start = std::time::Instant::now();
         let result = f(self);
         let wall_ns = start.elapsed().as_nanos() as u64;
+        drop(stmt_span);
         let meter = Arc::clone(&self.scan_meter);
         let mut profile = QueryProfile {
             statement: statement.to_owned(),
@@ -148,6 +174,7 @@ impl Transaction {
         profile.blocks_committed = self.blocks_committed - committed0;
         profile.wall_ns = wall_ns;
         profile.phase("execute", wall_ns);
+        profile.trace_span = trace_span;
         self.last_profile = Some(profile);
         result
     }
@@ -677,8 +704,9 @@ impl Transaction {
             | Statement::DropTable { .. }
             | Statement::Begin
             | Statement::Commit
-            | Statement::Rollback => Err(PolarisError::invalid(
-                "DDL and transaction control are handled by the session",
+            | Statement::Rollback
+            | Statement::ExplainAnalyze(_) => Err(PolarisError::invalid(
+                "DDL, EXPLAIN ANALYZE, and transaction control are handled by the session",
             )),
         }
     }
@@ -745,6 +773,7 @@ impl Transaction {
     pub fn commit(mut self) -> PolarisResult<CommitInfo> {
         self.check_active()?;
         self.finished = true;
+        let commit_span = self.tracer.span_at("txn.commit", self.root_span);
         let granularity = self.engine.config().conflict_granularity;
         let mut manifests: Vec<(TableId, String)> = Vec::new();
         let mut write_sets: Vec<(TableId, Vec<String>)> = Vec::new();
@@ -760,23 +789,43 @@ impl Transaction {
         }
         if manifests.is_empty() {
             // Read-only (or DDL-only): plain catalog commit, no sequence.
-            self.engine.catalog().commit(&mut self.ctxn)?;
+            let result = self.engine.catalog().commit(&mut self.ctxn);
+            drop(commit_span);
+            self.end_root(if result.is_ok() {
+                "committed"
+            } else {
+                "aborted"
+            });
+            result?;
             return Ok(CommitInfo { sequence: None });
         }
         for (tid, modified) in &write_sets {
-            self.engine
-                .catalog()
-                .record_write_set(&mut self.ctxn, *tid, modified, granularity)?;
+            if let Err(e) =
+                self.engine
+                    .catalog()
+                    .record_write_set(&mut self.ctxn, *tid, modified, granularity)
+            {
+                drop(commit_span);
+                self.end_root("aborted");
+                return Err(e.into());
+            }
         }
-        match self
+        let outcome = self
             .engine
             .catalog()
-            .commit_write(&mut self.ctxn, &manifests)
-        {
-            Ok(outcome) => Ok(CommitInfo {
-                sequence: Some(SequenceId(outcome.commit_ts.0)),
-            }),
-            Err(e) => Err(e.into()),
+            .commit_write(&mut self.ctxn, &manifests);
+        drop(commit_span);
+        match outcome {
+            Ok(outcome) => {
+                self.end_root("committed");
+                Ok(CommitInfo {
+                    sequence: Some(SequenceId(outcome.commit_ts.0)),
+                })
+            }
+            Err(e) => {
+                self.end_root("aborted");
+                Err(e.into())
+            }
         }
     }
 
@@ -785,6 +834,7 @@ impl Transaction {
         if !self.finished {
             self.engine.catalog().abort(&mut self.ctxn);
             self.finished = true;
+            self.end_root("rolled_back");
         }
     }
 }
@@ -794,6 +844,9 @@ impl Drop for Transaction {
         if !self.finished {
             self.engine.catalog().abort(&mut self.ctxn);
         }
+        // Commit / rollback already closed the root span; this is the
+        // abandoned-drop path (and a no-op when root_span is 0).
+        self.end_root("aborted");
     }
 }
 

@@ -2,9 +2,7 @@
 //! `Session::last_profile()` / `Session::last_txn_profile()`, and their
 //! agreement with the engine-wide metrics registry.
 
-use polaris_core::{
-    DataType, Field, PolarisEngine, RecordBatch, Schema, Value, ValidationOutcome,
-};
+use polaris_core::{DataType, Field, PolarisEngine, RecordBatch, Schema, ValidationOutcome, Value};
 use std::sync::Arc;
 
 fn clustered_engine() -> Arc<PolarisEngine> {
@@ -66,7 +64,10 @@ fn clustered_range_query_prunes_files_and_reads_less() {
         .query("SELECT SUM(v) AS s FROM t WHERE k BETWEEN 100 AND 120")
         .unwrap();
     assert_eq!(rows.row(0)[0], Value::Int((100..=120).sum::<i64>()));
-    let range = s.last_profile().expect("select must leave a profile").clone();
+    let range = s
+        .last_profile()
+        .expect("select must leave a profile")
+        .clone();
     assert_eq!(range.statement, "select t");
     assert!(
         range.files_pruned > 0,

@@ -5,7 +5,7 @@ use crate::dag::{TaskCtx, TaskFn, WorkflowDag};
 use crate::{DcpError, DcpResult, TaskError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use polaris_obs::PoolMeter;
+use polaris_obs::{PoolMeter, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -45,6 +45,16 @@ impl WorkloadClass {
 /// report [`TaskError::NodeLost`] without running.
 type Job = Box<dyn FnOnce(bool) + Send + 'static>;
 
+/// Trace-attribute label for how an attempt ended.
+fn outcome_label<T>(outcome: &Result<T, TaskError>) -> &'static str {
+    match outcome {
+        Ok(_) => "ok",
+        Err(TaskError::NodeLost { .. }) => "node_lost",
+        Err(e) if e.is_retryable() => "transient",
+        Err(_) => "fatal",
+    }
+}
+
 struct NodeHandle {
     class: WorkloadClass,
     alive: Arc<AtomicBool>,
@@ -80,6 +90,10 @@ pub struct ComputePool {
     /// bumps these once per attempt, so a shared mutex here would serialize
     /// every concurrent DAG on the pool's hottest path.
     meter: PoolMeter,
+    /// Trace handle: every task attempt opens a `dcp.task` span on the
+    /// executing node's lane. The lock is read once per `run_dag`, never
+    /// per attempt. Disabled (no-op) until an engine binds its tracer.
+    tracer: RwLock<Tracer>,
     /// Default retry budget per task.
     max_attempts: u32,
 }
@@ -97,6 +111,7 @@ impl ComputePool {
             nodes: RwLock::new(HashMap::new()),
             next_node: AtomicU64::new(1),
             meter: PoolMeter::default(),
+            tracer: RwLock::new(Tracer::default()),
             max_attempts: 4,
         }
     }
@@ -207,6 +222,12 @@ impl ComputePool {
         &self.meter
     }
 
+    /// Bind an engine's tracer so task attempts record `dcp.task` spans
+    /// (one per attempt, on the executing node's trace lane).
+    pub fn bind_tracer(&self, tracer: &Tracer) {
+        *self.tracer.write() = tracer.clone();
+    }
+
     /// Run every task of `dag` on nodes of `class`; returns one result per
     /// task, in task order.
     pub fn run_dag<T: Send + 'static>(
@@ -219,6 +240,10 @@ impl ComputePool {
         if n == 0 {
             return Ok(Vec::new());
         }
+        // Capture the tracer and the submitting thread's current span once:
+        // attempts run on worker threads, so parenting must be explicit.
+        let tracer = self.tracer.read().clone();
+        let trace_parent = tracer.current();
         // Dependency bookkeeping.
         let mut pending: Vec<usize> = deps.iter().map(Vec::len).collect();
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -240,7 +265,15 @@ impl ComputePool {
             // Dispatch as many ready tasks as capacity allows.
             let mut defer = Vec::new();
             while let Some((task, attempt)) = ready.pop() {
-                match self.dispatch(class, task, attempt, &fns[task], &result_tx) {
+                match self.dispatch(
+                    class,
+                    task,
+                    attempt,
+                    &fns[task],
+                    &result_tx,
+                    &tracer,
+                    trace_parent,
+                ) {
                     Ok(()) => in_flight += 1,
                     Err(()) => defer.push((task, attempt)),
                 }
@@ -316,6 +349,7 @@ impl ComputePool {
 
     /// Try to place one attempt on the least-loaded alive node of `class`.
     /// `Err(())` means no node currently has a free slot.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch<T: Send + 'static>(
         &self,
         class: WorkloadClass,
@@ -323,6 +357,8 @@ impl ComputePool {
         attempt: u32,
         run: &TaskFn<T>,
         result_tx: &Sender<(usize, u32, Result<T, TaskError>)>,
+        tracer: &Tracer,
+        trace_parent: u64,
     ) -> Result<(), ()> {
         let nodes = self.nodes.read();
         let Some((id, handle)) = nodes
@@ -342,7 +378,15 @@ impl ComputePool {
         let alive = Arc::clone(&handle.alive);
         let run = Arc::clone(run);
         let tx = result_tx.clone();
+        let job_tracer = tracer.clone();
         let job: Job = Box::new(move |alive_at_dequeue| {
+            // One span per attempt, on the node's trace lane; spans inside
+            // the task body (exec.scan, exec.write_*) nest under it via the
+            // worker thread's span stack.
+            let mut span = job_tracer.span_on_lane("dcp.task", trace_parent, node_id.0);
+            span.attr("node", node_id.0);
+            span.attr("task", task);
+            span.attr("attempt", attempt);
             let outcome = if !alive_at_dequeue {
                 Err(TaskError::NodeLost { node: node_id.0 })
             } else {
@@ -361,12 +405,30 @@ impl ComputePool {
                     Err(TaskError::NodeLost { node: node_id.0 })
                 }
             };
+            span.attr("outcome", outcome_label(&outcome));
+            drop(span);
             busy.fetch_sub(1, Ordering::SeqCst);
             let _ = tx.send((task, attempt, outcome));
         });
         if handle.sender.send(job).is_err() {
-            // Worker gone (pool shutting down): report as node loss.
+            // Worker gone (pool shutting down): report as node loss. Emit
+            // the attempt's span manually so trace attempt counts still
+            // equal the meter's.
             handle.busy.fetch_sub(1, Ordering::SeqCst);
+            let span = tracer.begin_manual(
+                "dcp.task",
+                trace_parent,
+                vec![
+                    ("node".to_owned(), node_id.0.into()),
+                    ("task".to_owned(), task.into()),
+                    ("attempt".to_owned(), attempt.into()),
+                ],
+            );
+            tracer.end_manual(
+                span,
+                "dcp.task",
+                vec![("outcome".to_owned(), "node_lost".into())],
+            );
             let _ = result_tx.send((task, attempt, Err(TaskError::NodeLost { node: node_id.0 })));
         }
         Ok(())

@@ -36,6 +36,10 @@ pub fn scan_cell_metered(
     predicate: Option<&Expr>,
     meter: Option<&ScanMeter>,
 ) -> ExecResult<Option<RecordBatch>> {
+    let mut span = meter
+        .map(|m| m.tracer.span("exec.scan"))
+        .unwrap_or_default();
+    span.attr("file", cell.file.as_str());
     // Metadata-only pruning (the Delta-style manifest statistics): if the
     // ranges recorded at write time preclude the predicate, skip the file
     // without a single storage request.
@@ -45,6 +49,7 @@ pub fn scan_cell_metered(
             if let Some(m) = meter {
                 ScanMeter::bump(&m.files_pruned, 1);
             }
+            span.attr("pruned", "manifest");
             return Ok(None);
         }
     }
@@ -52,6 +57,7 @@ pub fn scan_cell_metered(
     if let Some(m) = meter {
         ScanMeter::bump(&m.bytes_read, data.len() as u64);
     }
+    span.attr("bytes", data.len());
     let file = ColumnarFile::parse(data)?;
     if let Some(pred) = predicate {
         let lookup = |name: &str| file.column_stats(name).ok();
@@ -59,6 +65,7 @@ pub fn scan_cell_metered(
             if let Some(m) = meter {
                 ScanMeter::bump(&m.files_pruned, 1);
             }
+            span.attr("pruned", "footer");
             return Ok(None);
         }
     }
@@ -127,6 +134,7 @@ pub fn scan_cell_metered(
         row_offset += group_rows;
     }
     if batches.is_empty() {
+        span.attr("rows", 0usize);
         return Ok(None);
     }
     let mut out = RecordBatch::concat(&batches)?;
@@ -136,6 +144,7 @@ pub fn scan_cell_metered(
     if let Some(m) = meter {
         ScanMeter::bump(&m.rows_out, out.num_rows() as u64);
     }
+    span.attr("rows", out.num_rows());
     Ok(Some(out))
 }
 
@@ -195,6 +204,10 @@ pub fn scan_cell_lazy_metered(
 ) -> ExecResult<Option<RecordBatch>> {
     use polaris_columnar::ColumnarFooter;
 
+    let mut span = meter
+        .map(|m| m.tracer.span("exec.scan"))
+        .unwrap_or_default();
+    span.attr("file", cell.file.as_str());
     // Metadata-only pruning first: zero storage requests.
     if let Some(pred) = predicate {
         let lookup = |name: &str| cell.range_stats(name);
@@ -202,6 +215,7 @@ pub fn scan_cell_lazy_metered(
             if let Some(m) = meter {
                 ScanMeter::bump(&m.files_pruned, 1);
             }
+            span.attr("pruned", "manifest");
             return Ok(None);
         }
     }
@@ -237,6 +251,7 @@ pub fn scan_cell_lazy_metered(
             if let Some(m) = meter {
                 ScanMeter::bump(&m.files_pruned, 1);
             }
+            span.attr("pruned", "footer");
             return Ok(None);
         }
     }
@@ -345,12 +360,14 @@ pub fn scan_cell_lazy_metered(
         row_offset += group_rows;
     }
     if batches.is_empty() {
+        span.attr("rows", 0usize);
         return Ok(None);
     }
     let out = RecordBatch::concat(&batches)?;
     if let Some(m) = meter {
         ScanMeter::bump(&m.rows_out, out.num_rows() as u64);
     }
+    span.attr("rows", out.num_rows());
     Ok(Some(out))
 }
 

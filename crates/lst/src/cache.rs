@@ -69,12 +69,16 @@ impl SnapshotCache {
             }
         }
         self.meter.misses.inc();
+        let mut replay_span = self.meter.tracer.span("lst.cache.replay");
         let (from, mut snap) = match base {
             Some((seq, snap)) => (seq, (*snap).clone()),
             None => (SequenceId(0), TableSnapshot::empty()),
         };
+        replay_span.attr("from", from.0);
+        replay_span.attr("to", upto.0);
         let manifests = fetch(from, upto)?;
         self.meter.replayed_manifests.add(manifests.len() as u64);
+        replay_span.attr("manifests", manifests.len());
         for (seq, m) in &manifests {
             snap.apply_manifest(*seq, m)?;
         }

@@ -23,7 +23,15 @@
 //! Besides the registry this crate defines the per-statement accounting
 //! types threaded through the engine: [`ScanMeter`] (bumped by BE scan
 //! tasks), [`QueryProfile`] / [`TxnProfile`] (returned by
-//! `Session::last_profile()` in `polaris-core`).
+//! `Session::last_profile()` in `polaris-core`), and the transaction-scoped
+//! tracing subsystem in [`trace`] ([`Tracer`] / [`TraceSink`] / renderers).
+
+pub mod trace;
+
+pub use trace::{
+    build_spans, chrome_trace_json, post_mortem_dump, render_span_tree, AttrValue, SpanGuard,
+    SpanRecord, TraceEvent, TraceEventKind, TraceSink, Tracer,
+};
 
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -429,6 +437,8 @@ pub struct CacheMeter {
     pub misses: Counter,
     /// Manifests replayed during reconstructions (sum of replay lengths).
     pub replayed_manifests: Counter,
+    /// Trace handle; replay misses open `lst.cache.replay` spans on it.
+    pub tracer: Tracer,
 }
 
 impl CacheMeter {
@@ -438,6 +448,7 @@ impl CacheMeter {
             hits: registry.counter("lst.cache.hits"),
             misses: registry.counter("lst.cache.misses"),
             replayed_manifests: registry.counter("lst.cache.replayed_manifests"),
+            tracer: Tracer::default(),
         }
     }
 }
@@ -455,6 +466,8 @@ pub struct CatalogMeter {
     pub serialization_failures: Counter,
     /// Wall time the global commit lock was held, per commit attempt.
     pub commit_lock_hold: Histogram,
+    /// Trace handle; the commit protocol opens `catalog.*` spans on it.
+    pub tracer: Tracer,
 }
 
 impl CatalogMeter {
@@ -466,6 +479,7 @@ impl CatalogMeter {
             ww_conflicts: registry.counter("catalog.ww_conflicts"),
             serialization_failures: registry.counter("catalog.serialization_failures"),
             commit_lock_hold: registry.histogram("catalog.commit_lock_hold_ns"),
+            tracer: Tracer::default(),
         }
     }
 }
@@ -522,12 +536,22 @@ pub struct ScanMeter {
     pub rows_out: AtomicU64,
     /// Payload bytes fetched from the object store (footers + column chunks).
     pub bytes_read: AtomicU64,
+    /// Trace handle; scan kernels open `exec.scan` spans on it.
+    pub tracer: Tracer,
 }
 
 impl ScanMeter {
     /// Fresh meter with all counts at zero.
     pub fn new() -> Self {
         ScanMeter::default()
+    }
+
+    /// Fresh meter recording `exec.scan` spans into `tracer`.
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        ScanMeter {
+            tracer,
+            ..ScanMeter::default()
+        }
     }
 
     /// Convenience: `fetch_add` with relaxed ordering.
@@ -545,8 +569,12 @@ impl ScanMeter {
     /// Fold this meter into the engine-wide `exec.*` registry counters.
     pub fn fold_into_registry(&self, registry: &MetricsRegistry) {
         let r = |f: &AtomicU64| f.load(Ordering::Relaxed);
-        registry.counter("exec.files_scanned").add(r(&self.files_scanned));
-        registry.counter("exec.files_pruned").add(r(&self.files_pruned));
+        registry
+            .counter("exec.files_scanned")
+            .add(r(&self.files_scanned));
+        registry
+            .counter("exec.files_pruned")
+            .add(r(&self.files_pruned));
         registry
             .counter("exec.row_groups_scanned")
             .add(r(&self.row_groups_scanned));
@@ -623,6 +651,9 @@ pub struct QueryProfile {
     pub phases_ns: Vec<(String, u64)>,
     /// Total wall time of the statement in nanoseconds.
     pub wall_ns: u64,
+    /// Trace span id of this statement's root span (0 when tracing is
+    /// disabled); `EXPLAIN ANALYZE` renders the tree rooted here.
+    pub trace_span: u64,
 }
 
 impl QueryProfile {

@@ -182,4 +182,7 @@ pub enum Statement {
     Commit,
     /// ROLLBACK.
     Rollback,
+    /// EXPLAIN ANALYZE <stmt>: execute the inner statement and render its
+    /// trace span tree with per-phase timings and pruning statistics.
+    ExplainAnalyze(Box<Statement>),
 }

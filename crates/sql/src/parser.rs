@@ -133,6 +133,11 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.eat_keyword("EXPLAIN") {
+            self.expect_keyword("ANALYZE")?;
+            let inner = self.statement()?;
+            return Ok(Statement::ExplainAnalyze(Box::new(inner)));
+        }
         if self.eat_keyword("SELECT") {
             return self.select().map(Statement::Select);
         }

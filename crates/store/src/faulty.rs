@@ -3,7 +3,7 @@
 use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreError, StoreResult};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use polaris_obs::{Counter, MetricsRegistry};
+use polaris_obs::{Counter, MetricsRegistry, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
@@ -24,11 +24,12 @@ pub struct FaultyStore<S> {
     inner: S,
     rng: Mutex<StdRng>,
     /// Probability in `[0, 1]` that a write op fails.
-    write_failure_rate: f64,
+    write_failure_rate: Mutex<f64>,
     /// Probability in `[0, 1]` that a read op fails.
-    read_failure_rate: f64,
+    read_failure_rate: Mutex<f64>,
     injected_write_faults: Counter,
     injected_read_faults: Counter,
+    tracer: Mutex<Tracer>,
 }
 
 impl<S: ObjectStore> FaultyStore<S> {
@@ -41,21 +42,32 @@ impl<S: ObjectStore> FaultyStore<S> {
         FaultyStore {
             inner,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            write_failure_rate,
-            read_failure_rate: 0.0,
+            write_failure_rate: Mutex::new(write_failure_rate),
+            read_failure_rate: Mutex::new(0.0),
             injected_write_faults: Counter::new(),
             injected_read_faults: Counter::new(),
+            tracer: Mutex::new(Tracer::default()),
         }
     }
 
     /// Also fail `rate` of read operations.
-    pub fn with_read_failures(mut self, rate: f64) -> Self {
+    pub fn with_read_failures(self, rate: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&rate),
             "failure rate must be a probability"
         );
-        self.read_failure_rate = rate;
+        *self.read_failure_rate.lock() = rate;
         self
+    }
+
+    /// Change the write failure rate mid-run — chaos tests turn faults on
+    /// for the phase under test and back off for deterministic teardown.
+    pub fn set_write_failure_rate(&self, rate: f64) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "failure rate must be a probability"
+        );
+        *self.write_failure_rate.lock() = rate;
     }
 
     /// Access the wrapped store.
@@ -78,9 +90,18 @@ impl<S: ObjectStore> FaultyStore<S> {
         registry.adopt_counter("store.injected_read_faults", &self.injected_read_faults);
     }
 
+    /// Record every injected fault as a `store.injected_fault` instant
+    /// event in `tracer`, parented under whatever span was executing.
+    pub fn bind_tracer(&self, tracer: &Tracer) {
+        *self.tracer.lock() = tracer.clone();
+    }
+
     fn maybe_fail(&self, rate: f64, counter: &Counter, op: &str) -> StoreResult<()> {
         if rate > 0.0 && self.rng.lock().gen_bool(rate) {
             counter.inc();
+            self.tracer
+                .lock()
+                .instant("store.injected_fault", vec![("op".to_owned(), op.into())]);
             return Err(StoreError::Transient {
                 detail: format!("injected fault during {op}"),
             });
@@ -89,11 +110,13 @@ impl<S: ObjectStore> FaultyStore<S> {
     }
 
     fn maybe_fail_write(&self, op: &str) -> StoreResult<()> {
-        self.maybe_fail(self.write_failure_rate, &self.injected_write_faults, op)
+        let rate = *self.write_failure_rate.lock();
+        self.maybe_fail(rate, &self.injected_write_faults, op)
     }
 
     fn maybe_fail_read(&self, op: &str) -> StoreResult<()> {
-        self.maybe_fail(self.read_failure_rate, &self.injected_read_faults, op)
+        let rate = *self.read_failure_rate.lock();
+        self.maybe_fail(rate, &self.injected_read_faults, op)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreResult};
 use bytes::Bytes;
-use polaris_obs::{Counter, MetricsRegistry};
+use polaris_obs::{Counter, MetricsRegistry, Tracer};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -45,6 +45,7 @@ pub struct StatsStore<S: ?Sized> {
     lists: Counter,
     bytes_read: Counter,
     bytes_written: Counter,
+    tracer: Tracer,
     inner: S,
 }
 
@@ -61,6 +62,7 @@ impl<S: ObjectStore> StatsStore<S> {
             lists: Counter::new(),
             bytes_read: Counter::new(),
             bytes_written: Counter::new(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -77,7 +79,14 @@ impl<S: ObjectStore> StatsStore<S> {
             lists: registry.counter("store.lists"),
             bytes_read: registry.counter("store.bytes_read"),
             bytes_written: registry.counter("store.bytes_written"),
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Record `store.stage_block` / `store.commit_block_list` spans into
+    /// `tracer` (the engine sets this before sharing the store).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -162,6 +171,8 @@ impl<S: ObjectStore + ?Sized> ObjectStore for StatsStore<S> {
     ) -> StoreResult<()> {
         self.staged.inc();
         self.bytes_written.add(data.len() as u64);
+        let mut span = self.tracer.span("store.stage_block");
+        span.attr("bytes", data.len());
         self.inner.stage_block(path, block, data, stamp)
     }
 
@@ -172,6 +183,8 @@ impl<S: ObjectStore + ?Sized> ObjectStore for StatsStore<S> {
         stamp: Stamp,
     ) -> StoreResult<()> {
         self.commits.inc();
+        let mut span = self.tracer.span("store.commit_block_list");
+        span.attr("blocks", blocks.len());
         self.inner.commit_block_list(path, blocks, stamp)
     }
 
@@ -265,6 +278,9 @@ mod tests {
         assert_eq!(snap.counter("store.reads"), 1);
         assert_eq!(snap.counter("store.bytes_read"), 4);
         // Local snapshot and registry view read the same atomics.
-        assert_eq!(s.counts().bytes_written, snap.counter("store.bytes_written"));
+        assert_eq!(
+            s.counts().bytes_written,
+            snap.counter("store.bytes_written")
+        );
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Produce a Chrome trace from the Figure 12 workload (LST-Bench WP3 with
+# concurrent DM and mid-run node kills) and report where to load it.
+#
+# The run writes:
+#   target/bench/fig12_wp3_trace.json    — open in https://ui.perfetto.dev
+#                                          or chrome://tracing
+#   target/bench/fig12_wp3_metrics.json  — engine-wide metrics snapshot
+#
+# Look for `dcp.task` rows with `attempt > 0` / `outcome: node_lost` in
+# the victim-node lanes: those are retries after the injected node loss.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p polaris-bench --bin fig12_wp3_concurrency
+
+trace="target/bench/fig12_wp3_trace.json"
+[ -s "$trace" ] || { echo "error: $trace was not produced" >&2; exit 1; }
+echo
+echo "trace ready: $trace (load it in Perfetto or chrome://tracing)"

@@ -161,7 +161,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let report = run_bench(self.criterion.sample_size, self.criterion.measurement_time, f);
+        let report = run_bench(
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
         report.print(&format!("{}/{}", self.name, id.id), self.throughput);
         self
     }
@@ -234,7 +238,10 @@ impl Report {
                 format!("  {:.3} Melem/s", n as f64 / self.mean_ns * 1e3)
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  {:.3} MiB/s", n as f64 / self.mean_ns * 1e9 / (1 << 20) as f64)
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / self.mean_ns * 1e9 / (1 << 20) as f64
+                )
             }
             None => String::new(),
         };

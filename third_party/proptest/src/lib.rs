@@ -326,8 +326,7 @@ pub mod strategy {
                             }
                             let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
                             out.push(
-                                char::from_u32(rng.gen_range(lo as u32..=hi as u32))
-                                    .unwrap_or(lo),
+                                char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo),
                             );
                         }
                     }

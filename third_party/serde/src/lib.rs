@@ -351,9 +351,7 @@ impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V>
     }
 }
 
-impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize
-    for std::collections::HashMap<K, V>
-{
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         v.as_object()
             .ok_or_else(|| Error::custom(format!("expected object, got {v:?}")))?

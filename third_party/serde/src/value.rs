@@ -404,7 +404,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -432,7 +437,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                _ => return Err(Error::custom(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }

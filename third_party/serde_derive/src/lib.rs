@@ -397,9 +397,8 @@ fn variant_key(v: &Variant, rename_all: Option<&str>) -> String {
 /// `__fields.push((key, to_value(access)));`, guarded by
 /// `skip_serializing_if` when present.
 fn push_field(f: &Field, key: &str, access: &str) -> String {
-    let push = format!(
-        "__fields.push(({key:?}.to_string(), ::serde::Serialize::to_value({access})));"
-    );
+    let push =
+        format!("__fields.push(({key:?}.to_string(), ::serde::Serialize::to_value({access})));");
     match &f.skip_serializing_if {
         Some(pred) => format!("if !({pred}({access})) {{ {push} }}\n"),
         None => format!("{push}\n"),
@@ -627,9 +626,7 @@ fn gen_deserialize_external_enum(
         let vname = &v.ident;
         match &v.kind {
             VariantKind::Unit => {
-                unit_arms += &format!(
-                    "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
-                );
+                unit_arms += &format!("{key:?} => ::std::result::Result::Ok({name}::{vname}),\n");
             }
             VariantKind::Newtype => {
                 keyed_arms += &format!(
