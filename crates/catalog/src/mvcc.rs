@@ -3,10 +3,47 @@
 
 use crate::{CatalogError, CatalogResult};
 use parking_lot::{Mutex, RwLock};
-use polaris_obs::CatalogMeter;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use polaris_obs::{CatalogMeter, Histogram};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The bounds every [`MvccStore`] key type must satisfy: totally ordered
+/// (versioned rows live in a `BTreeMap`), cloneable (buffered writes),
+/// hashable (commit-shard assignment) and debug-printable (conflict
+/// errors name the key). Blanket-implemented — never implement it by hand.
+pub trait MvccKey: Ord + Clone + Hash + std::fmt::Debug {}
+
+impl<K: Ord + Clone + Hash + std::fmt::Debug> MvccKey for K {}
+
+/// Default number of commit shards (see [`MvccStore::with_shards`]).
+pub const DEFAULT_COMMIT_SHARDS: usize = 16;
+
+/// Whole-key shard hash — the default installed by
+/// [`MvccStore::with_shards`].
+fn default_shard_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// One commit shard: a slice of the key space (by key hash) that owns its
+/// keys' versioned rows and whose first-committer-wins validation
+/// serializes through `lock`. Sharding the row storage along the same
+/// hash as the commit locks is what lets disjoint-footprint commits
+/// proceed with *no* shared lock at all — validation reads and version
+/// installs both touch only the shards of the committing transaction's
+/// footprint.
+struct CommitShard<K, V> {
+    lock: Mutex<()>,
+    /// Wall time this shard's lock was held, per acquisition.
+    hold: Histogram,
+    /// This shard's slice of the versioned rows. RwLock: reads share,
+    /// installs exclusive — per shard, not globally.
+    rows: RwLock<BTreeMap<K, Vec<Version<V>>>>,
+}
 
 /// Logical commit timestamp. Timestamp 0 is "before everything".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -104,17 +141,40 @@ impl<K: Ord + Clone, V> Txn<K, V> {
 /// Generic MVCC store with Snapshot Isolation.
 ///
 /// Concurrency model: many transactions execute concurrently; reads are
-/// never blocked; commits serialize through a single commit lock
-/// (§4.1.2 step 2), where first-committer-wins validation happens.
+/// never blocked; commits serialize *per shard* (§4.1.2 step 2). The key
+/// space is hashed onto a fixed set of commit shards; a committing
+/// transaction locks only the shards its validated footprint touches
+/// (write set, plus read set under `Serializable`), in ascending shard
+/// order so overlapping commits can never deadlock. Commits with disjoint
+/// footprints — e.g. writes to different tables — validate and install
+/// concurrently; first-committer-wins remains exact because any two
+/// transactions writing the same key share that key's shard.
+///
+/// Validation — the per-key work that grows with the write set — runs
+/// under shard locks only. The remaining serial tail is a short global
+/// *sequencer* section in which the commit timestamp is drawn, all
+/// versions install under it, and the visible clock publishes it — as one
+/// atomic step. Timestamps are therefore dense, allocation-ordered and
+/// publication-ordered: when [`MvccStore::now`] reads `t`, every commit
+/// `<= t` is fully installed and no commit `> t` is visible anywhere.
+/// Subsystems that equate commit timestamps with manifest *sequence
+/// numbers* (snapshot reconstruction, checkpoints, GC retention) depend
+/// on that contiguity — a snapshot must never observe sequence `t` while
+/// a hole below `t` is still installing.
 pub struct MvccStore<K, V> {
-    /// Versioned rows. RwLock: reads share, installs exclusive.
-    rows: RwLock<BTreeMap<K, Vec<Version<V>>>>,
-    /// Latest committed timestamp.
+    /// Visible commit watermark: every commit with `ts <= committed` is
+    /// fully installed, and nothing above it is visible. New snapshots
+    /// read this.
     committed: AtomicU64,
+    /// The commit sequencer: draws the next timestamp, installs under it
+    /// and publishes it as one atomic step (see [`MvccStore::commit_with`]).
+    sequencer: Mutex<()>,
     /// Next transaction id.
     next_txn: AtomicU64,
-    /// The commit lock.
-    commit_lock: Mutex<()>,
+    /// The commit shards, each owning its slice of the versioned rows.
+    shards: Vec<CommitShard<K, V>>,
+    /// Key -> shard hash (deterministic; see [`MvccStore::with_shards_by`]).
+    shard_hash: fn(&K) -> u64,
     /// Active transactions: id -> snapshot ts (for GC watermarks, §5.3).
     active: Mutex<HashMap<TxnId, Timestamp>>,
     /// Commit/abort/conflict accounting (lock-free handles, shareable with
@@ -122,14 +182,14 @@ pub struct MvccStore<K, V> {
     meter: CatalogMeter,
 }
 
-impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> Default for MvccStore<K, V> {
+impl<K: MvccKey, V: Clone> Default for MvccStore<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, V> {
-    /// An empty store at timestamp 0.
+impl<K: MvccKey, V: Clone> MvccStore<K, V> {
+    /// An empty store at timestamp 0 with [`DEFAULT_COMMIT_SHARDS`].
     pub fn new() -> Self {
         Self::with_meter(CatalogMeter::default())
     }
@@ -138,11 +198,47 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
     /// [`CatalogMeter::from_registry`], so commit outcomes and commit-lock
     /// hold times surface under `catalog.*` in the engine's metrics.
     pub fn with_meter(meter: CatalogMeter) -> Self {
+        Self::with_shards(meter, DEFAULT_COMMIT_SHARDS)
+    }
+
+    /// An empty store with an explicit commit-shard count (clamped to at
+    /// least 1; 1 reproduces the old single-global-commit-lock behaviour).
+    /// Per-shard hold histograms come from `meter.commit_shard_holds`
+    /// where provided (see [`CatalogMeter::from_registry_sharded`]) and
+    /// are free-standing otherwise. Keys map to shards by hashing the
+    /// whole key; use [`MvccStore::with_shards_by`] to group related keys
+    /// onto one shard.
+    pub fn with_shards(meter: CatalogMeter, shard_count: usize) -> Self {
+        Self::with_shards_by(meter, shard_count, default_shard_hash::<K>)
+    }
+
+    /// Like [`MvccStore::with_shards`] but with a caller-supplied shard
+    /// hash. The only correctness requirement is determinism — equal keys
+    /// must hash equally, so any two commits writing the same key collide
+    /// on its shard and first-committer-wins stays exact. A *coarser*
+    /// hash (e.g. the catalog hashing every key of a table to that
+    /// table's shard) is always safe; it only widens the serialization
+    /// domain. The payoff of coarseness: a commit whose footprint lives
+    /// in one group locks one shard instead of scattering across all of
+    /// them, so disjoint-group commits really do proceed concurrently.
+    pub fn with_shards_by(
+        meter: CatalogMeter,
+        shard_count: usize,
+        shard_hash: fn(&K) -> u64,
+    ) -> Self {
+        let shards = (0..shard_count.max(1))
+            .map(|i| CommitShard {
+                lock: Mutex::new(()),
+                hold: meter.commit_shard_holds.get(i).cloned().unwrap_or_default(),
+                rows: RwLock::new(BTreeMap::new()),
+            })
+            .collect();
         MvccStore {
-            rows: RwLock::new(BTreeMap::new()),
             committed: AtomicU64::new(0),
+            sequencer: Mutex::new(()),
             next_txn: AtomicU64::new(1),
-            commit_lock: Mutex::new(()),
+            shards,
+            shard_hash,
             active: Mutex::new(HashMap::new()),
             meter,
         }
@@ -153,18 +249,36 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
         &self.meter
     }
 
-    /// Latest committed timestamp.
+    /// Number of commit shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The commit shard `key` hashes to. Stable for the store's lifetime;
+    /// exposed so tests and benches can construct footprints that
+    /// provably share or avoid shards.
+    pub fn shard_of(&self, key: &K) -> usize {
+        ((self.shard_hash)(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Latest fully installed commit timestamp.
     pub fn now(&self) -> Timestamp {
         Timestamp(self.committed.load(Ordering::SeqCst))
     }
 
     /// Advance the commit clock to at least `floor` — used when restoring
     /// a catalog backup so new commits sequence after everything restored.
+    /// Must not race in-flight commits (restore happens before traffic).
     pub fn advance_clock(&self, floor: Timestamp) {
         self.committed.fetch_max(floor.0, Ordering::SeqCst);
     }
 
     /// Begin a transaction at the current snapshot.
+    ///
+    /// Because commits draw, install and publish their timestamp as one
+    /// atomic sequencer step, the watermark read here covers *every*
+    /// commit that has completed — in particular this session's own last
+    /// commit, so a writer never spuriously conflicts with itself.
     pub fn begin(&self, isolation: IsolationLevel) -> Txn<K, V> {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
         let snapshot = self.now();
@@ -214,7 +328,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
             return Ok(buffered.clone());
         }
         let ts = self.read_ts(txn);
-        let rows = self.rows.read();
+        let rows = self.shards[self.shard_of(key)].rows.read();
         Ok(Self::visible(&rows, key, ts))
     }
 
@@ -238,19 +352,26 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
     ) -> CatalogResult<Vec<(K, V)>> {
         self.ensure_active(txn)?;
         let ts = self.read_ts(txn);
-        let rows = self.rows.read();
-        let mut out: BTreeMap<K, V> = rows
-            .range((lo.cloned(), hi.cloned()))
-            .filter_map(|(k, versions)| {
-                versions
-                    .iter()
-                    .rev()
-                    .find(|v| v.ts <= ts)
-                    .and_then(|v| v.value.clone())
-                    .map(|v| (k.clone(), v))
-            })
-            .collect();
-        drop(rows);
+        // Each shard holds an arbitrary slice of the key space, so a range
+        // scan visits every shard; collecting into a `BTreeMap` re-sorts.
+        // Shard read locks are taken one at a time — the scan as a whole
+        // is still a consistent snapshot because every version `<= ts` was
+        // fully installed (and is immutable) before `ts` became visible.
+        let mut out: BTreeMap<K, V> = BTreeMap::new();
+        for shard in &self.shards {
+            let rows = shard.rows.read();
+            out.extend(
+                rows.range((lo.cloned(), hi.cloned()))
+                    .filter_map(|(k, versions)| {
+                        versions
+                            .iter()
+                            .rev()
+                            .find(|v| v.ts <= ts)
+                            .and_then(|v| v.value.clone())
+                            .map(|v| (k.clone(), v))
+                    }),
+            );
+        }
         let in_range = |k: &K| {
             (match lo {
                 Bound::Included(b) => k >= b,
@@ -298,33 +419,61 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
 
     /// Validation + commit (§4.1.2).
     ///
-    /// Under the commit lock: first-committer-wins validation of the write
-    /// set (and read set under `Serializable`); on success a commit
-    /// timestamp is assigned, `extra(commit_ts)` may contribute additional
-    /// writes computed *at* the commit point (Polaris uses this to insert
+    /// Under the commit shards of the transaction's footprint (write set,
+    /// plus read set under `Serializable`), acquired in ascending shard
+    /// order: first-committer-wins validation of the write set (and read
+    /// set under `Serializable`); on success a commit timestamp is drawn
+    /// atomically, `extra(commit_ts)` may contribute additional writes
+    /// computed *at* the commit point (Polaris uses this to insert
     /// `Manifests` rows keyed by the just-assigned sequence number), and
-    /// all versions install atomically.
+    /// all versions install atomically under that single timestamp.
+    ///
+    /// `extra` writes are installed without validation or shard locking —
+    /// they must be keys the transaction exclusively owns by construction
+    /// (Polaris keys them by the fresh, globally unique commit timestamp).
     pub fn commit_with(
         &self,
         txn: &mut Txn<K, V>,
         extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)>,
     ) -> CatalogResult<CommitOutcome> {
         self.ensure_active(txn)?;
-        let _guard = {
-            let mut lock_span = self.meter.tracer.span("catalog.lock_acquire");
-            lock_span.attr("txn", txn.id.0);
-            self.commit_lock.lock()
-        };
-        // Dropped when the function returns (with the lock), on success and
-        // conflict paths alike — so the histogram sees every hold.
+        // The validated footprint, as a sorted, deduplicated shard set.
+        let mut footprint: BTreeSet<usize> = txn.writes.keys().map(|k| self.shard_of(k)).collect();
+        if txn.isolation == IsolationLevel::Serializable {
+            footprint.extend(txn.reads.iter().map(|k| self.shard_of(k)));
+        }
+        // Acquire in ascending shard order: any two commits order their
+        // common shards identically, so the protocol is deadlock-free. An
+        // empty footprint (read-only SI commit, or a pure insert whose
+        // manifest rows arrive via `extra`) skips locking entirely.
+        let mut guards = Vec::with_capacity(footprint.len());
+        for &idx in &footprint {
+            let shard = &self.shards[idx];
+            let guard = {
+                let mut lock_span = self.meter.tracer.span("catalog.lock_acquire");
+                lock_span.attr("txn", txn.id.0);
+                lock_span.attr("shard", idx as u64);
+                shard.lock.lock()
+            };
+            guards.push((guard, shard.hold.span()));
+        }
+        self.meter
+            .commit_shards_acquired
+            .add(footprint.len() as u64);
+        // Dropped when the function returns (with the shard locks), on
+        // success and conflict paths alike — so the histogram sees every
+        // hold.
         let _hold = self.meter.commit_lock_hold.span();
         {
             let mut validate_span = self.meter.tracer.span("catalog.validate");
             validate_span.attr("write_set", txn.writes.len());
-            let rows = self.rows.read();
-            // First committer wins: any version of a written key newer than
-            // our snapshot means a concurrent transaction got there first.
+            // First committer wins: any version of a written key newer
+            // than our snapshot means a concurrent transaction got there
+            // first. Each key is checked in its own shard's rows; the
+            // shard `lock` (held above) is what freezes the keys of our
+            // footprint against concurrent committers.
             for key in txn.writes.keys() {
+                let rows = self.shards[self.shard_of(key)].rows.read();
                 if Self::newest_ts(&rows, key) > txn.snapshot {
                     txn.status = TxnStatus::Aborted;
                     self.active.lock().remove(&txn.id);
@@ -337,6 +486,7 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
             }
             if txn.isolation == IsolationLevel::Serializable {
                 for key in &txn.reads {
+                    let rows = self.shards[self.shard_of(key)].rows.read();
                     if Self::newest_ts(&rows, key) > txn.snapshot {
                         txn.status = TxnStatus::Aborted;
                         self.active.lock().remove(&txn.id);
@@ -350,24 +500,44 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
             }
             validate_span.attr("outcome", "ok");
         }
+        // The sequencer: draw, install and publish as one atomic step.
+        // This short section is the protocol's serial tail — the per-key
+        // validation above ran under shard locks only. Holding it across
+        // install and publish keeps commit timestamps dense and
+        // publication-ordered, so a snapshot can never observe timestamp
+        // `t` while a commit below `t` is still installing (subsystems
+        // keyed by manifest sequence — snapshot caches, checkpoints, GC —
+        // rely on that contiguity), and a committer's next snapshot always
+        // covers its own commit. Lock order shard -> sequencer is uniform,
+        // so no deadlock.
+        let _sequencer = self.sequencer.lock();
         let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
         let extra_writes = extra(commit_ts);
         {
             let mut install_span = self.meter.tracer.span("catalog.install");
             install_span.attr("commit_ts", commit_ts.0);
             install_span.attr("extra_writes", extra_writes.len());
-            let mut rows = self.rows.write();
+            // Install shard by shard, write-locking one shard's rows at a
+            // time (never two — no lock-order concerns). The commit stays
+            // invisible while partially installed: `commit_ts` is above
+            // the watermark until the store below publishes it.
+            let mut by_shard: BTreeMap<usize, Vec<(K, Option<V>)>> = BTreeMap::new();
             for (key, value) in std::mem::take(&mut txn.writes) {
-                rows.entry(key).or_default().push(Version {
-                    ts: commit_ts,
-                    value,
-                });
+                let idx = self.shard_of(&key);
+                by_shard.entry(idx).or_default().push((key, value));
             }
             for (key, value) in extra_writes {
-                rows.entry(key).or_default().push(Version {
-                    ts: commit_ts,
-                    value,
-                });
+                let idx = self.shard_of(&key);
+                by_shard.entry(idx).or_default().push((key, value));
+            }
+            for (idx, writes) in by_shard {
+                let mut rows = self.shards[idx].rows.write();
+                for (key, value) in writes {
+                    rows.entry(key).or_default().push(Version {
+                        ts: commit_ts,
+                        value,
+                    });
+                }
             }
         }
         self.committed.store(commit_ts.0, Ordering::SeqCst);
@@ -432,28 +602,33 @@ impl<K: Ord + Clone + std::hash::Hash + std::fmt::Debug, V: Clone> MvccStore<K, 
     /// the past), keeping at least the newest version of each key. Safe
     /// when `before <= min_active_snapshot()`.
     pub fn vacuum(&self, before: Timestamp) -> usize {
-        let mut rows = self.rows.write();
         let mut removed = 0;
-        rows.retain(|_, versions| {
-            // Find the newest version <= before: everything older is
-            // unreachable by any current or future snapshot.
-            if let Some(idx) = versions.iter().rposition(|v| v.ts <= before) {
-                removed += idx;
-                versions.drain(..idx);
-            }
-            // A lone tombstone in the past can go entirely.
-            if versions.len() == 1 && versions[0].value.is_none() && versions[0].ts <= before {
-                removed += 1;
-                return false;
-            }
-            true
-        });
+        for shard in &self.shards {
+            let mut rows = shard.rows.write();
+            rows.retain(|_, versions| {
+                // Find the newest version <= before: everything older is
+                // unreachable by any current or future snapshot.
+                if let Some(idx) = versions.iter().rposition(|v| v.ts <= before) {
+                    removed += idx;
+                    versions.drain(..idx);
+                }
+                // A lone tombstone in the past can go entirely.
+                if versions.len() == 1 && versions[0].value.is_none() && versions[0].ts <= before {
+                    removed += 1;
+                    return false;
+                }
+                true
+            });
+        }
         removed
     }
 
     /// Total number of stored versions (for tests/metrics).
     pub fn version_count(&self) -> usize {
-        self.rows.read().values().map(Vec::len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.rows.read().values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 }
 

@@ -13,6 +13,11 @@ pub struct EngineConfig {
     pub writer: WriterOptions,
     /// Write-write conflict granularity (§4.4.1).
     pub conflict_granularity: ConflictGranularity,
+    /// Number of catalog commit shards. Commits lock only the shards
+    /// their write-key footprint hashes to, so commits touching disjoint
+    /// tables proceed concurrently; 1 reproduces a single global commit
+    /// lock. See `polaris_catalog::MvccStore::with_shards`.
+    pub commit_shards: usize,
     /// Default isolation for new transactions (§4.4.2).
     pub default_isolation: IsolationLevel,
     /// Compaction trigger: files with fewer live rows are "small" (§5.1).
@@ -48,6 +53,7 @@ impl Default for EngineConfig {
             distributions: 8,
             writer: WriterOptions::default(),
             conflict_granularity: ConflictGranularity::Table,
+            commit_shards: polaris_catalog::DEFAULT_COMMIT_SHARDS,
             default_isolation: IsolationLevel::Snapshot,
             compact_min_rows: 1024,
             compact_max_deleted: 0.2,

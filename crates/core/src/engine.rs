@@ -68,11 +68,12 @@ impl PolarisEngine {
         let store: Arc<dyn ObjectStore> = Arc::new(stats_store);
         pool.meter().adopt_into(&metrics);
         pool.bind_tracer(&tracer);
-        let mut catalog_meter = CatalogMeter::from_registry(&metrics);
+        let commit_shards = config.commit_shards.max(1);
+        let mut catalog_meter = CatalogMeter::from_registry_sharded(&metrics, commit_shards);
         catalog_meter.tracer = tracer.clone();
         Arc::new(PolarisEngine {
             config,
-            catalog: Catalog::with_meter(catalog_meter),
+            catalog: Catalog::with_meter_sharded(catalog_meter, commit_shards),
             store,
             pool,
             caches: RwLock::new(HashMap::new()),

@@ -27,6 +27,26 @@
 //! Workload separation (§4.3) falls out of node classes: write tasks only
 //! run on `Write` nodes, so data loading never steals capacity from
 //! reporting queries — the property Figure 9 demonstrates.
+//!
+//! # Concurrency model
+//!
+//! Each compute node is a thread; [`ComputePool::run_dag`] is the only
+//! coordination point. The scheduler's mutable state (node table, ready
+//! queue, in-flight attempts) lives behind one pool mutex that is held
+//! only to *place* or *reap* tasks, never while a task body runs — task
+//! execution is fully parallel across nodes. Task bodies must be
+//! restartable: a task observed on a dead node is re-placed on a
+//! surviving node of the same class, so a body may execute more than
+//! once and must stage side effects idempotently (in this workspace,
+//! by writing uncommitted manifest blocks that only a later
+//! `commit_block_list` makes visible). DAG results are aggregated on
+//! the caller's thread after all leaves complete; callers never observe
+//! a partially-failed DAG — it either yields every task's output or one
+//! [`DcpError`]. Topology changes (`add_nodes`, `kill_node`) are safe at
+//! any time, including mid-DAG: kills surface as
+//! [`TaskError::NodeLost`] on in-flight attempts and the scheduler
+//! retries them elsewhere, which is exactly the §4.3 drill the Figure 12
+//! harness runs.
 
 mod alloc;
 mod dag;

@@ -25,6 +25,22 @@
 //! tasks), [`QueryProfile`] / [`TxnProfile`] (returned by
 //! `Session::last_profile()` in `polaris-core`), and the transaction-scoped
 //! tracing subsystem in [`trace`] ([`Tracer`] / [`TraceSink`] / renderers).
+//!
+//! # Concurrency model
+//!
+//! Every handle type here is designed to be recorded into from many
+//! threads at once with no coordination: [`Counter`]/[`Gauge`] are single
+//! relaxed atomics, [`Histogram`] records into fixed power-of-two buckets
+//! of atomics, and trace events claim ring slots with one `fetch_add`.
+//! Snapshots ([`MetricsRegistry::snapshot`]) read those atomics without
+//! stopping writers, so a snapshot is a consistent-enough point-in-time
+//! view for dashboards, not a linearizable cut. Meters that follow a
+//! sharded component shard their instruments the same way — e.g.
+//! [`CatalogMeter::from_registry_sharded`] registers one
+//! `catalog.commit_lock_hold_ns.shard{i}` histogram per commit shard, so
+//! concurrent committers on different shards record hold times with no
+//! shared cache line beyond their own shard's buckets, and the per-shard
+//! split shows *where* commit lock time is going.
 
 pub mod trace;
 
@@ -464,21 +480,45 @@ pub struct CatalogMeter {
     pub ww_conflicts: Counter,
     /// Serializable-mode read-set validation failures.
     pub serialization_failures: Counter,
-    /// Wall time the global commit lock was held, per commit attempt.
+    /// Wall time commit-shard locks were held, per commit attempt (from the
+    /// last shard acquired until release — the commit's critical section).
     pub commit_lock_hold: Histogram,
+    /// Per-shard commit-lock hold histograms, index = shard. May be shorter
+    /// than the store's shard count (e.g. the unsharded `Default` binding);
+    /// the store backfills free-standing histograms for missing shards.
+    pub commit_shard_holds: Vec<Histogram>,
+    /// Shard locks acquired, summed over all commit attempts. Divided by
+    /// `catalog.commits + catalog.ww_conflicts + …` this gives the mean
+    /// footprint width — 1.0 means commits are perfectly disjoint.
+    pub commit_shards_acquired: Counter,
     /// Trace handle; the commit protocol opens `catalog.*` spans on it.
     pub tracer: Tracer,
 }
 
 impl CatalogMeter {
-    /// Bind to the canonical `catalog.*` metric names in `registry`.
+    /// Bind to the canonical `catalog.*` metric names in `registry`,
+    /// without per-shard histograms (the store backfills unregistered
+    /// ones). Prefer [`CatalogMeter::from_registry_sharded`] when the
+    /// commit shard count is known.
     pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        Self::from_registry_sharded(registry, 0)
+    }
+
+    /// Bind to the canonical `catalog.*` metric names in `registry`,
+    /// including one `catalog.commit_lock_hold_ns.shard<i>` histogram per
+    /// commit shard, so `metrics_snapshot()` exposes where commit-lock
+    /// time concentrates.
+    pub fn from_registry_sharded(registry: &MetricsRegistry, shards: usize) -> Self {
         CatalogMeter {
             commits: registry.counter("catalog.commits"),
             aborts: registry.counter("catalog.aborts"),
             ww_conflicts: registry.counter("catalog.ww_conflicts"),
             serialization_failures: registry.counter("catalog.serialization_failures"),
             commit_lock_hold: registry.histogram("catalog.commit_lock_hold_ns"),
+            commit_shard_holds: (0..shards)
+                .map(|i| registry.histogram(&format!("catalog.commit_lock_hold_ns.shard{i}")))
+                .collect(),
+            commit_shards_acquired: registry.counter("catalog.commit_shards_acquired"),
             tracer: Tracer::default(),
         }
     }

@@ -49,7 +49,9 @@ pub use memory::MemoryStore;
 pub use path::BlobPath;
 pub use stats::{OpCounts, StatsStore};
 
-use bytes::Bytes;
+/// Re-exported so callers of [`ObjectStore::put`] need no direct `bytes`
+/// dependency.
+pub use bytes::Bytes;
 use std::ops::Range;
 use std::sync::Arc;
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, then lint-clean clippy.
+# Tier-1 gate: release build, full test suite, lint-clean clippy,
+# formatting, and warning-free rustdoc.
 # Run from the repo root before every PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -8,3 +9,4 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
