@@ -175,6 +175,29 @@ impl Catalog {
         self.store.shard_count()
     }
 
+    /// The commit shard every key of `table` hashes to under the
+    /// table-affine assignment (see [`Catalog::with_meter_sharded`]).
+    /// Stable for the catalog's lifetime; lets tests and benchmarks build
+    /// footprints that provably share or avoid commit shards instead of
+    /// hoping consecutive table ids don't collide.
+    pub fn table_commit_shard(&self, table: TableId) -> usize {
+        self.store.shard_of(&CatalogKey::Table(table))
+    }
+
+    /// Configure sequencer group commit (see
+    /// [`MvccStore::set_group_commit`]): up to `max_batch` validated
+    /// commits publish through one global section; a partial batch drains
+    /// after `window`. `max_batch <= 1` keeps the direct path.
+    pub fn set_group_commit(&self, max_batch: usize, window: std::time::Duration) {
+        self.store.set_group_commit(max_batch, window)
+    }
+
+    /// Install (or clear) the per-batch durable commit-log hook (see
+    /// [`crate::CommitLog`]).
+    pub fn set_commit_log(&self, hook: Option<crate::CommitLog>) {
+        self.store.set_commit_log(hook)
+    }
+
     /// The catalog's meter (shared counter/histogram handles).
     pub fn meter(&self) -> &polaris_obs::CatalogMeter {
         self.store.meter()
@@ -430,22 +453,39 @@ impl Catalog {
         txn: &mut CatalogTxn,
         manifests: &[(TableId, String)],
     ) -> CatalogResult<CommitOutcome> {
+        self.commit_write_prepared(txn, manifests, || Ok(()))
+    }
+
+    /// [`Catalog::commit_write`] with a *prepare* stage: `prepare` runs on
+    /// the committing thread after first-committer-wins validation passes
+    /// but before the sequencer assigns a timestamp. The engine joins its
+    /// pipelined manifest uploads there, so a slow upload never holds the
+    /// global sequencer and a validation conflict skips the join
+    /// entirely. A prepare failure aborts the transaction without
+    /// consuming a sequence number.
+    pub fn commit_write_prepared(
+        &self,
+        txn: &mut CatalogTxn,
+        manifests: &[(TableId, String)],
+        prepare: impl FnOnce() -> CatalogResult<()>,
+    ) -> CatalogResult<CommitOutcome> {
         let txn_id = txn.id;
         let rows: Vec<(TableId, String)> = manifests.to_vec();
-        self.store.commit_with(txn, move |commit_ts| {
-            let seq = SequenceId(commit_ts.0);
-            rows.into_iter()
-                .map(|(table, file)| {
-                    (
-                        CatalogKey::Manifest(table, seq),
-                        Some(CatalogValue::ManifestRow(ManifestRow {
-                            manifest_file: file,
-                            txn_id,
-                        })),
-                    )
-                })
-                .collect()
-        })
+        self.store
+            .commit_with_prepared(txn, prepare, move |commit_ts| {
+                let seq = SequenceId(commit_ts.0);
+                rows.into_iter()
+                    .map(|(table, file)| {
+                        (
+                            CatalogKey::Manifest(table, seq),
+                            Some(CatalogValue::ManifestRow(ManifestRow {
+                                manifest_file: file,
+                                txn_id,
+                            })),
+                        )
+                    })
+                    .collect()
+            })
     }
 
     // ------------------------------------------------------------------

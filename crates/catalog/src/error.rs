@@ -37,6 +37,15 @@ pub enum CatalogError {
         /// Description of the duplicate object.
         what: String,
     },
+    /// The durable commit-log write for this transaction's sequencer
+    /// batch failed (or, in the engine, a pipelined manifest upload
+    /// failed at the commit point). The transaction aborted after passing
+    /// validation but before any timestamp was consumed; the failure is
+    /// infrastructural, not a conflict, so it is not retried as one.
+    CommitLogFailure {
+        /// Human-readable description of the underlying failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CatalogError {
@@ -51,6 +60,9 @@ impl fmt::Display for CatalogError {
             CatalogError::TxnNotActive { txn } => write!(f, "transaction {txn} is not active"),
             CatalogError::NotFound { what } => write!(f, "not found: {what}"),
             CatalogError::AlreadyExists { what } => write!(f, "already exists: {what}"),
+            CatalogError::CommitLogFailure { detail } => {
+                write!(f, "commit log failure: {detail}")
+            }
         }
     }
 }

@@ -62,6 +62,6 @@ pub use catalog::{
 };
 pub use error::{CatalogError, CatalogResult};
 pub use mvcc::{
-    CommitOutcome, ConflictGranularity, IsolationLevel, MvccKey, MvccStore, Timestamp, Txn, TxnId,
-    TxnStatus, DEFAULT_COMMIT_SHARDS,
+    CommitBatch, CommitLog, CommitOutcome, ConflictGranularity, IsolationLevel, MvccKey, MvccStore,
+    Timestamp, Txn, TxnId, TxnStatus, DEFAULT_COMMIT_SHARDS,
 };

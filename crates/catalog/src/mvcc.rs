@@ -5,10 +5,19 @@ use crate::{CatalogError, CatalogResult};
 use parking_lot::{Mutex, RwLock};
 use polaris_obs::{CatalogMeter, Histogram};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Lock a std mutex, shrugging off poisoning: the group-commit monitor
+/// state stays consistent across a panicking member (entries are only
+/// mutated under the lock, never left half-edited).
+fn lock_unpoisoned<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The bounds every [`MvccStore`] key type must satisfy: totally ordered
 /// (versioned rows live in a `BTreeMap`), cloneable (buffered writes),
@@ -101,6 +110,74 @@ pub struct CommitOutcome {
     pub commit_ts: Timestamp,
 }
 
+/// One sequencer batch, as presented to the durable commit-log hook
+/// *before* any member becomes visible. Members commit at the dense
+/// timestamp run `first_ts .. first_ts + txns.len()`, in `txns` order.
+#[derive(Debug, Clone)]
+pub struct CommitBatch {
+    /// Timestamp of the batch's first member.
+    pub first_ts: Timestamp,
+    /// Member transaction ids, in commit-timestamp order.
+    pub txns: Vec<TxnId>,
+}
+
+impl CommitBatch {
+    /// Number of transactions in the batch.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the batch is empty (never true for a dispatched batch).
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+}
+
+/// Durable commit-log hook: called once per sequencer batch, under the
+/// sequencer, before any member installs. Returning `Err` aborts the
+/// whole batch *without consuming any timestamps* — the commit clock
+/// stays dense. This is the per-batch write that group commit amortizes
+/// (the paper's SQL-FE commit record; cf. LakeVilla's grouped log append).
+pub type CommitLog = Arc<dyn Fn(&CommitBatch) -> Result<(), String> + Send + Sync>;
+
+/// Extra-writes closure in boxed form (group-commit queue entries carry it
+/// across threads to whichever committer ends up leading their batch).
+type ExtraFn<K, V> = Box<dyn FnOnce(Timestamp) -> Vec<(K, Option<V>)> + Send>;
+
+/// Where a queued committer's outcome lands. The leader fills it after
+/// publishing the batch; the owning committer parks on the group condvar,
+/// not on this mutex, so the fill is uncontended in practice.
+struct CommitSlot(StdMutex<Option<CatalogResult<Timestamp>>>);
+
+/// A validated commit parked in the group-commit queue. Its shard locks
+/// remain held by the enqueuing thread, so no conflicting commit can
+/// validate (let alone enqueue) until this entry publishes — which is why
+/// batch members never conflict pairwise and the leader can install them
+/// without revalidation.
+struct BatchEntry<K: 'static, V: 'static> {
+    txn: TxnId,
+    writes: BTreeMap<K, Option<V>>,
+    extra: ExtraFn<K, V>,
+    slot: Arc<CommitSlot>,
+}
+
+/// Group-commit queue state, guarded by [`GroupCommit::state`].
+struct GroupQueue<K: 'static, V: 'static> {
+    pending: VecDeque<BatchEntry<K, V>>,
+    /// Whether some committer is currently draining a batch through the
+    /// sequencer. At most one leader exists at a time; everyone else
+    /// waits on the condvar.
+    leader_active: bool,
+}
+
+/// The group-commit monitor: queue + condvar. The condvar is notified on
+/// enqueue (a window-waiting leader counts pending entries) and when a
+/// leader finishes (parked followers re-check their slots and leadership).
+struct GroupCommit<K: 'static, V: 'static> {
+    state: StdMutex<GroupQueue<K, V>>,
+    cv: Condvar,
+}
+
 /// One version of a key: installed at `ts` by `txn`; `value == None` is a
 /// tombstone (delete).
 #[derive(Debug, Clone)]
@@ -161,13 +238,14 @@ impl<K: Ord + Clone, V> Txn<K, V> {
 /// numbers* (snapshot reconstruction, checkpoints, GC retention) depend
 /// on that contiguity — a snapshot must never observe sequence `t` while
 /// a hole below `t` is still installing.
-pub struct MvccStore<K, V> {
+pub struct MvccStore<K: 'static, V: 'static> {
     /// Visible commit watermark: every commit with `ts <= committed` is
     /// fully installed, and nothing above it is visible. New snapshots
     /// read this.
     committed: AtomicU64,
-    /// The commit sequencer: draws the next timestamp, installs under it
-    /// and publishes it as one atomic step (see [`MvccStore::commit_with`]).
+    /// The commit sequencer: draws the next timestamp(s), installs under
+    /// them and publishes as one atomic step (see
+    /// [`MvccStore::commit_with`]).
     sequencer: Mutex<()>,
     /// Next transaction id.
     next_txn: AtomicU64,
@@ -177,18 +255,29 @@ pub struct MvccStore<K, V> {
     shard_hash: fn(&K) -> u64,
     /// Active transactions: id -> snapshot ts (for GC watermarks, §5.3).
     active: Mutex<HashMap<TxnId, Timestamp>>,
+    /// Group-commit queue (used only when `group_max_batch > 1`).
+    group: GroupCommit<K, V>,
+    /// Max transactions batched through one sequencer section. 1 (the
+    /// default) takes the direct path — today's one-commit-per-section
+    /// behaviour, byte for byte.
+    group_max_batch: AtomicUsize,
+    /// How long a batch leader waits for the queue to fill before
+    /// draining a partial batch.
+    group_window_us: AtomicU64,
+    /// Optional durable commit-log hook, invoked once per batch.
+    commit_log: RwLock<Option<CommitLog>>,
     /// Commit/abort/conflict accounting (lock-free handles, shareable with
     /// an engine-wide metrics registry).
     meter: CatalogMeter,
 }
 
-impl<K: MvccKey, V: Clone> Default for MvccStore<K, V> {
+impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> Default for MvccStore<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: MvccKey, V: Clone> MvccStore<K, V> {
+impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     /// An empty store at timestamp 0 with [`DEFAULT_COMMIT_SHARDS`].
     pub fn new() -> Self {
         Self::with_meter(CatalogMeter::default())
@@ -240,8 +329,40 @@ impl<K: MvccKey, V: Clone> MvccStore<K, V> {
             shards,
             shard_hash,
             active: Mutex::new(HashMap::new()),
+            group: GroupCommit {
+                state: StdMutex::new(GroupQueue {
+                    pending: VecDeque::new(),
+                    leader_active: false,
+                }),
+                cv: Condvar::new(),
+            },
+            group_max_batch: AtomicUsize::new(1),
+            group_window_us: AtomicU64::new(0),
+            commit_log: RwLock::new(None),
             meter,
         }
+    }
+
+    /// Configure group commit: up to `max_batch` validated transactions
+    /// share one sequencer section, and a batch leader waits up to
+    /// `window` for the queue to fill before draining a partial batch.
+    /// `max_batch <= 1` disables batching (the direct sequencer path).
+    /// Safe to call at runtime; new commits observe the new setting.
+    pub fn set_group_commit(&self, max_batch: usize, window: Duration) {
+        self.group_max_batch
+            .store(max_batch.max(1), Ordering::SeqCst);
+        self.group_window_us
+            .store(window.as_micros() as u64, Ordering::SeqCst);
+    }
+
+    /// Current group-commit batch cap (1 = batching disabled).
+    pub fn group_commit_max_batch(&self) -> usize {
+        self.group_max_batch.load(Ordering::SeqCst).max(1)
+    }
+
+    /// Install (or clear) the durable commit-log hook. See [`CommitLog`].
+    pub fn set_commit_log(&self, hook: Option<CommitLog>) {
+        *self.commit_log.write() = hook;
     }
 
     /// The store's meter (shared counter/histogram handles).
@@ -434,7 +555,24 @@ impl<K: MvccKey, V: Clone> MvccStore<K, V> {
     pub fn commit_with(
         &self,
         txn: &mut Txn<K, V>,
-        extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)>,
+        extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)> + Send + 'static,
+    ) -> CatalogResult<CommitOutcome> {
+        self.commit_with_prepared(txn, || Ok(()), extra)
+    }
+
+    /// [`MvccStore::commit_with`] with a *prepare* stage between validation
+    /// and sequencing: `prepare` runs on the committing thread, under the
+    /// transaction's shard locks, after first-committer-wins validation
+    /// has passed but before a commit timestamp exists. Polaris joins its
+    /// pipelined manifest uploads here — a validation conflict skips the
+    /// join (the upload is discarded instead), and a prepare failure
+    /// aborts without consuming a timestamp, so the commit clock stays
+    /// dense either way.
+    pub fn commit_with_prepared(
+        &self,
+        txn: &mut Txn<K, V>,
+        prepare: impl FnOnce() -> CatalogResult<()>,
+        extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)> + Send + 'static,
     ) -> CatalogResult<CommitOutcome> {
         self.ensure_active(txn)?;
         // The validated footprint, as a sorted, deduplicated shard set.
@@ -500,51 +638,219 @@ impl<K: MvccKey, V: Clone> MvccStore<K, V> {
             }
             validate_span.attr("outcome", "ok");
         }
-        // The sequencer: draw, install and publish as one atomic step.
-        // This short section is the protocol's serial tail — the per-key
-        // validation above ran under shard locks only. Holding it across
-        // install and publish keeps commit timestamps dense and
-        // publication-ordered, so a snapshot can never observe timestamp
-        // `t` while a commit below `t` is still installing (subsystems
-        // keyed by manifest sequence — snapshot caches, checkpoints, GC —
-        // rely on that contiguity), and a committer's next snapshot always
-        // covers its own commit. Lock order shard -> sequencer is uniform,
-        // so no deadlock.
-        let _sequencer = self.sequencer.lock();
-        let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
-        let extra_writes = extra(commit_ts);
-        {
-            let mut install_span = self.meter.tracer.span("catalog.install");
-            install_span.attr("commit_ts", commit_ts.0);
-            install_span.attr("extra_writes", extra_writes.len());
-            // Install shard by shard, write-locking one shard's rows at a
-            // time (never two — no lock-order concerns). The commit stays
-            // invisible while partially installed: `commit_ts` is above
-            // the watermark until the store below publishes it.
-            let mut by_shard: BTreeMap<usize, Vec<(K, Option<V>)>> = BTreeMap::new();
-            for (key, value) in std::mem::take(&mut txn.writes) {
-                let idx = self.shard_of(&key);
-                by_shard.entry(idx).or_default().push((key, value));
+        // The prepare stage: validation has passed (no conflicting commit
+        // can slip in — our shard locks are held), but no timestamp is
+        // drawn yet, so failing here leaves the commit clock untouched.
+        if let Err(e) = prepare() {
+            txn.status = TxnStatus::Aborted;
+            self.active.lock().remove(&txn.id);
+            self.meter.aborts.inc();
+            return Err(e);
+        }
+        // The sequencer stage: draw, install and publish as one atomic
+        // step — directly, or through the group-commit queue when
+        // batching is enabled. Either way commit timestamps stay dense,
+        // allocation-ordered and publication-ordered: a snapshot can
+        // never observe timestamp `t` while a commit below `t` is still
+        // installing (subsystems keyed by manifest sequence — snapshot
+        // caches, checkpoints, GC — rely on that contiguity), and a
+        // committer's next snapshot always covers its own commit. Lock
+        // order shard -> (queue |) sequencer is uniform, so no deadlock;
+        // queued entries keep their shard locks held, so batch members
+        // are pairwise disjoint by construction.
+        let sequencer_entered = Instant::now();
+        let max_batch = self.group_commit_max_batch();
+        let sequenced = if max_batch <= 1 {
+            self.sequence_direct(txn, extra)
+        } else {
+            self.sequence_grouped(txn, Box::new(extra), max_batch)
+        };
+        self.meter
+            .sequencer_wait
+            .record_ns(sequencer_entered.elapsed().as_nanos() as u64);
+        match sequenced {
+            Ok(commit_ts) => {
+                txn.status = TxnStatus::Committed;
+                self.active.lock().remove(&txn.id);
+                self.meter.commits.inc();
+                Ok(CommitOutcome { commit_ts })
             }
-            for (key, value) in extra_writes {
-                let idx = self.shard_of(&key);
-                by_shard.entry(idx).or_default().push((key, value));
-            }
-            for (idx, writes) in by_shard {
-                let mut rows = self.shards[idx].rows.write();
-                for (key, value) in writes {
-                    rows.entry(key).or_default().push(Version {
-                        ts: commit_ts,
-                        value,
-                    });
-                }
+            Err(e) => {
+                // Commit-log failure: the batch (this commit included)
+                // aborted wholesale before anything became visible.
+                txn.writes.clear();
+                txn.status = TxnStatus::Aborted;
+                self.active.lock().remove(&txn.id);
+                self.meter.commit_log_failures.inc();
+                Err(e)
             }
         }
+    }
+
+    /// The direct (unbatched) sequencer path: one commit per global
+    /// section. With no commit-log hook installed this is exactly the
+    /// pre-group-commit protocol.
+    fn sequence_direct(
+        &self,
+        txn: &mut Txn<K, V>,
+        extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)>,
+    ) -> CatalogResult<Timestamp> {
+        let _sequencer = self.sequencer.lock();
+        let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
+        self.meter.group_batch_size.record_ns(1);
+        if let Some(hook) = self.commit_log.read().clone() {
+            let batch = CommitBatch {
+                first_ts: commit_ts,
+                txns: vec![txn.id],
+            };
+            if let Err(detail) = hook(&batch) {
+                return Err(CatalogError::CommitLogFailure { detail });
+            }
+        }
+        let extra_writes = extra(commit_ts);
+        self.install_at(commit_ts, std::mem::take(&mut txn.writes), extra_writes);
         self.committed.store(commit_ts.0, Ordering::SeqCst);
-        txn.status = TxnStatus::Committed;
-        self.active.lock().remove(&txn.id);
-        self.meter.commits.inc();
-        Ok(CommitOutcome { commit_ts })
+        Ok(commit_ts)
+    }
+
+    /// The grouped sequencer path: enqueue the validated commit, then
+    /// either lead (drain a batch through one sequencer section) or
+    /// follow (park on the group condvar until a leader publishes us).
+    /// Shard locks stay held by the enqueuing thread throughout, so no
+    /// conflicting transaction can validate while we're queued.
+    fn sequence_grouped(
+        &self,
+        txn: &mut Txn<K, V>,
+        extra: ExtraFn<K, V>,
+        max_batch: usize,
+    ) -> CatalogResult<Timestamp> {
+        let slot = Arc::new(CommitSlot(StdMutex::new(None)));
+        let window = Duration::from_micros(self.group_window_us.load(Ordering::SeqCst));
+        let mut state = lock_unpoisoned(&self.group.state);
+        state.pending.push_back(BatchEntry {
+            txn: txn.id,
+            writes: std::mem::take(&mut txn.writes),
+            extra,
+            slot: Arc::clone(&slot),
+        });
+        // A leader may be window-waiting for the queue to fill.
+        self.group.cv.notify_all();
+        loop {
+            if let Some(outcome) = lock_unpoisoned(&slot.0).take() {
+                return outcome;
+            }
+            if !state.leader_active && !state.pending.is_empty() {
+                // Become the leader. Wait out the batching window (unless
+                // the batch is already full), then drain FIFO.
+                state.leader_active = true;
+                if state.pending.len() < max_batch && !window.is_zero() {
+                    let deadline = Instant::now() + window;
+                    while state.pending.len() < max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, timeout) = self
+                            .group
+                            .cv
+                            .wait_timeout(state, deadline - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        state = guard;
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                let n = state.pending.len().min(max_batch);
+                let batch: Vec<BatchEntry<K, V>> = state.pending.drain(..n).collect();
+                drop(state);
+                self.sequence_batch(batch);
+                state = lock_unpoisoned(&self.group.state);
+                state.leader_active = false;
+                // Wake followers to collect their outcomes (and the next
+                // leader, if the queue refilled while we sequenced).
+                self.group.cv.notify_all();
+            } else {
+                state = self
+                    .group
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Drain one batch through the global sequencer section: one
+    /// commit-log write for the whole batch, then one dense run of
+    /// timestamps drawn, installed and published together. Outcome slots
+    /// fill only *after* the watermark publishes, so by the time a
+    /// follower observes its timestamp the commit is fully visible.
+    fn sequence_batch(&self, batch: Vec<BatchEntry<K, V>>) {
+        let _sequencer = self.sequencer.lock();
+        let base = self.committed.load(Ordering::SeqCst);
+        self.meter.group_batch_size.record_ns(batch.len() as u64);
+        if let Some(hook) = self.commit_log.read().clone() {
+            let descriptor = CommitBatch {
+                first_ts: Timestamp(base + 1),
+                txns: batch.iter().map(|e| e.txn).collect(),
+            };
+            if let Err(detail) = hook(&descriptor) {
+                // The whole batch aborts; no timestamp was consumed, so
+                // the clock stays dense for the next batch.
+                for entry in batch {
+                    *lock_unpoisoned(&entry.slot.0) = Some(Err(CatalogError::CommitLogFailure {
+                        detail: detail.clone(),
+                    }));
+                }
+                return;
+            }
+        }
+        let count = batch.len() as u64;
+        let mut published = Vec::with_capacity(batch.len());
+        for (i, entry) in batch.into_iter().enumerate() {
+            let commit_ts = Timestamp(base + 1 + i as u64);
+            let extra_writes = (entry.extra)(commit_ts);
+            self.install_at(commit_ts, entry.writes, extra_writes);
+            published.push((entry.slot, commit_ts));
+        }
+        self.committed.store(base + count, Ordering::SeqCst);
+        for (slot, commit_ts) in published {
+            *lock_unpoisoned(&slot.0) = Some(Ok(commit_ts));
+        }
+    }
+
+    /// Install one commit's writes under `commit_ts`, shard by shard,
+    /// write-locking one shard's rows at a time (never two — no
+    /// lock-order concerns). The commit stays invisible while partially
+    /// installed: `commit_ts` is above the watermark until the caller
+    /// publishes it.
+    fn install_at(
+        &self,
+        commit_ts: Timestamp,
+        writes: BTreeMap<K, Option<V>>,
+        extra_writes: Vec<(K, Option<V>)>,
+    ) {
+        let mut install_span = self.meter.tracer.span("catalog.install");
+        install_span.attr("commit_ts", commit_ts.0);
+        install_span.attr("extra_writes", extra_writes.len());
+        let mut by_shard: BTreeMap<usize, Vec<(K, Option<V>)>> = BTreeMap::new();
+        for (key, value) in writes {
+            let idx = self.shard_of(&key);
+            by_shard.entry(idx).or_default().push((key, value));
+        }
+        for (key, value) in extra_writes {
+            let idx = self.shard_of(&key);
+            by_shard.entry(idx).or_default().push((key, value));
+        }
+        for (idx, writes) in by_shard {
+            let mut rows = self.shards[idx].rows.write();
+            for (key, value) in writes {
+                rows.entry(key).or_default().push(Version {
+                    ts: commit_ts,
+                    value,
+                });
+            }
+        }
     }
 
     /// Commit without extra writes.

@@ -14,7 +14,7 @@
 //! * **Cross-shard atomicity** — transfer transactions whose two keys hash
 //!   to different shards never unbalance the invariant sum.
 
-use polaris_catalog::{CatalogError, IsolationLevel, MvccStore, Timestamp};
+use polaris_catalog::{CatalogError, CommitBatch, IsolationLevel, MvccStore, Timestamp};
 use polaris_obs::{CatalogMeter, MetricsRegistry};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Barrier, Mutex};
@@ -354,4 +354,194 @@ fn read_only_commits_advance_clock_without_locking() {
     s.commit(&mut t).unwrap();
     assert_eq!(s.now(), Timestamp(before.0 + 1));
     assert_eq!(s.meter().commit_shards_acquired.get(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Group commit through the sequencer
+// ----------------------------------------------------------------------
+
+/// Disjoint multi-writer commits through the group-commit sequencer:
+/// batching must not lose or duplicate a member, and the commit clock
+/// must stay exactly as dense as the one-commit-per-section protocol's.
+/// The commit-log hook observes every batch; its dense timestamp runs
+/// must partition the clock.
+#[test]
+fn group_commit_batches_preserve_dense_unique_clock() {
+    for shards in SHARD_COUNTS {
+        let s = Arc::new(sharded(shards));
+        s.set_group_commit(8, std::time::Duration::from_micros(200));
+        let batches: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let batches = Arc::clone(&batches);
+            s.set_commit_log(Some(Arc::new(move |b: &CommitBatch| {
+                batches.lock().unwrap().push((b.first_ts.0, b.len()));
+                Ok(())
+            })));
+        }
+        let writers = 8;
+        let commits_per_writer = 25;
+        let ts_log = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(writers));
+        let threads: Vec<_> = (0..writers)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                let ts_log = Arc::clone(&ts_log);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..commits_per_writer {
+                        let mut t = s.begin(IsolationLevel::Snapshot);
+                        s.write(&mut t, format!("w{w}/k{i}"), i as i64).unwrap();
+                        let outcome = s.commit(&mut t).expect("disjoint commit must succeed");
+                        ts_log.lock().unwrap().push(outcome.commit_ts.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = (writers * commits_per_writer) as u64;
+        let log = ts_log.lock().unwrap();
+        let unique: BTreeSet<u64> = log.iter().copied().collect();
+        assert_eq!(unique.len() as u64, total, "timestamps unique");
+        assert_eq!(*unique.iter().next().unwrap(), 1, "clock dense from 1");
+        assert_eq!(*unique.iter().last().unwrap(), total, "clock dense to N");
+        assert_eq!(s.now(), Timestamp(total), "watermark caught up");
+        assert_eq!(s.meter().commits.get(), total);
+        // The batch-size histogram records one sample per sequencer
+        // section whose value is the batch size, so the sum counts every
+        // member exactly once.
+        assert_eq!(s.meter().group_batch_size.sum_ns(), total);
+        assert!(s.meter().group_batch_size.count() <= total);
+        // The commit log saw every member exactly once, in dense,
+        // non-overlapping timestamp runs that partition [1, total].
+        let mut seen = batches.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen.iter().map(|(_, n)| *n as u64).sum::<u64>(), total);
+        let mut next = 1u64;
+        for (first, n) in seen {
+            assert_eq!(first, next, "batch timestamp runs must be contiguous");
+            next += n as u64;
+        }
+        assert_eq!(next, total + 1);
+    }
+}
+
+/// A failing commit-log write aborts every member of its batch with
+/// [`CatalogError::CommitLogFailure`] and consumes no timestamps: the
+/// survivors' clock stays dense, aborted writes are invisible, and the
+/// failure counter matches exactly.
+#[test]
+fn commit_log_failure_aborts_whole_batch_without_consuming_timestamps() {
+    let s = Arc::new(sharded(16));
+    s.set_group_commit(8, std::time::Duration::from_micros(200));
+    let calls = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    {
+        let calls = Arc::clone(&calls);
+        s.set_commit_log(Some(Arc::new(move |_: &CommitBatch| {
+            // Every third batch's durable log write fails.
+            if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) % 3 == 2 {
+                Err("injected commit-log fault".to_owned())
+            } else {
+                Ok(())
+            }
+        })));
+    }
+    let writers = 6;
+    let commits_per_writer = 30;
+    let barrier = Arc::new(Barrier::new(writers));
+    let threads: Vec<_> = (0..writers)
+        .map(|w| {
+            let s = Arc::clone(&s);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let mut outcomes = Vec::new();
+                for i in 0..commits_per_writer {
+                    let mut t = s.begin(IsolationLevel::Snapshot);
+                    s.write(&mut t, format!("w{w}/k{i}"), i as i64).unwrap();
+                    match s.commit(&mut t) {
+                        Ok(o) => outcomes.push((format!("w{w}/k{i}"), Some(o.commit_ts.0))),
+                        Err(CatalogError::CommitLogFailure { .. }) => {
+                            outcomes.push((format!("w{w}/k{i}"), None))
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let outcomes: Vec<(String, Option<u64>)> = threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+    let total = (writers * commits_per_writer) as u64;
+    let succeeded: BTreeSet<u64> = outcomes.iter().filter_map(|(_, ts)| *ts).collect();
+    let failed = total - succeeded.len() as u64;
+    assert!(failed > 0, "some batches must have hit the injected fault");
+    assert!(!succeeded.is_empty(), "some batches must have succeeded");
+    // Aborted batches consumed no timestamps: the survivors alone form
+    // the dense clock.
+    assert_eq!(*succeeded.iter().next().unwrap(), 1);
+    assert_eq!(*succeeded.iter().last().unwrap(), succeeded.len() as u64);
+    assert_eq!(s.now(), Timestamp(succeeded.len() as u64));
+    assert_eq!(s.meter().commits.get(), succeeded.len() as u64);
+    assert_eq!(s.meter().commit_log_failures.get(), failed);
+    // Failed members' writes are invisible; successful members' persist.
+    let mut r = s.begin(IsolationLevel::Snapshot);
+    for (key, ts) in &outcomes {
+        let read = s.read(&mut r, key).unwrap();
+        match ts {
+            Some(_) => assert!(read.is_some(), "committed write {key} must be visible"),
+            None => assert_eq!(read, None, "aborted write {key} must be invisible"),
+        }
+    }
+}
+
+/// A lone committer with batching enabled must not wait for a batch that
+/// will never fill: the leader drains a partial batch after the window.
+#[test]
+fn single_committer_drains_partial_batch_after_window() {
+    let s = sharded(16);
+    s.set_group_commit(64, std::time::Duration::from_millis(5));
+    let start = std::time::Instant::now();
+    let mut t = s.begin(IsolationLevel::Snapshot);
+    s.write(&mut t, "solo".to_owned(), 1).unwrap();
+    let outcome = s.commit(&mut t).unwrap();
+    assert_eq!(outcome.commit_ts, Timestamp(1));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "partial batch must drain after the window, not hang"
+    );
+    assert_eq!(s.meter().group_batch_size.count(), 1);
+    assert_eq!(s.meter().group_batch_size.sum_ns(), 1);
+}
+
+/// `max_batch = 1` is the documented off-switch: the direct sequencer
+/// path runs, and behaviour matches the ungrouped protocol exactly.
+#[test]
+fn batch_of_one_reproduces_direct_path() {
+    let s = Arc::new(sharded(16));
+    s.set_group_commit(1, std::time::Duration::from_micros(200));
+    let threads: Vec<_> = (0..4)
+        .map(|w| {
+            let s = Arc::clone(&s);
+            thread::spawn(move || {
+                for i in 0..25 {
+                    let mut t = s.begin(IsolationLevel::Snapshot);
+                    s.write(&mut t, format!("w{w}/k{i}"), i as i64).unwrap();
+                    s.commit(&mut t).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(s.now(), Timestamp(100));
+    // Every sequencer section carried exactly one commit.
+    assert_eq!(s.meter().group_batch_size.count(), 100);
+    assert_eq!(s.meter().group_batch_size.sum_ns(), 100);
 }

@@ -71,9 +71,14 @@ impl PolarisEngine {
         let commit_shards = config.commit_shards.max(1);
         let mut catalog_meter = CatalogMeter::from_registry_sharded(&metrics, commit_shards);
         catalog_meter.tracer = tracer.clone();
+        let catalog = Catalog::with_meter_sharded(catalog_meter, commit_shards);
+        catalog.set_group_commit(
+            config.group_commit_max_batch,
+            std::time::Duration::from_micros(config.group_commit_window_us),
+        );
         Arc::new(PolarisEngine {
             config,
-            catalog: Catalog::with_meter_sharded(catalog_meter, commit_shards),
+            catalog,
             store,
             pool,
             caches: RwLock::new(HashMap::new()),

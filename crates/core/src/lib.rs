@@ -13,9 +13,10 @@
 //!   physical metadata, BEs hold only caches.
 //! * [`Session`] / [`Transaction`] — the user surface. Every statement —
 //!   read or write — compiles in the FE to a task DAG and executes on the
-//!   pool; writes stage manifest blocks that the FE commits atomically
-//!   per statement (§3.2), and the transaction commits through the
-//!   optimistic validation protocol of §4.1.2.
+//!   pool; writes stage manifest blocks (invisible until listed, §3.2),
+//!   and commit publishes each dirty table's block list in one atomic
+//!   `commit_block_list` — pipelined with the optimistic validation
+//!   protocol of §4.1.2 and sequenced through the group-commit batcher.
 //! * [`sto`] — the System Task Orchestrator: compaction (§5.1), manifest
 //!   checkpointing (§5.2), garbage collection (§5.3) and async Delta
 //!   publishing (§5.4).

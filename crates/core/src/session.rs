@@ -117,10 +117,20 @@ impl Session {
             Err(e) => conflict_outcome(e),
         };
         txn_profile.validation = validation;
+        // Blocks are published at commit time (pipelined with validation),
+        // so the committed count only exists now — patch it into the
+        // transaction profile and attribute it to the statement that
+        // triggered the commit.
+        if let Ok(info) = &result {
+            txn_profile.blocks_committed = info.blocks_committed;
+        }
         if let Some(p) = profile.as_mut() {
             p.validation = validation;
             p.phase("commit", txn_profile.commit_wall_ns);
             p.wall_ns += txn_profile.commit_wall_ns;
+            if let Ok(info) = &result {
+                p.blocks_committed = info.blocks_committed;
+            }
         }
         if result.is_err() && self.engine.tracer().is_enabled() {
             self.last_post_mortem = Some(self.engine.tracer().post_mortem(POST_MORTEM_EVENTS));

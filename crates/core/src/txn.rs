@@ -4,7 +4,7 @@ use crate::read::execute_select;
 use crate::{PolarisEngine, PolarisError, PolarisResult, QueryResult};
 use polaris_catalog::{CatalogTxn, IsolationLevel, TableId, TableMeta};
 use polaris_columnar::{ColumnVector, DataType, RecordBatch, Schema, Value};
-use polaris_dcp::{TaskError, WorkflowDag, WorkloadClass};
+use polaris_dcp::{DagHandle, TaskError, WorkflowDag, WorkloadClass};
 use polaris_exec::{cell::partition_cells, cells_of_snapshot, write as bewrite, Expr};
 use polaris_lst::{Manifest, ManifestAction, SequenceId, TableSnapshot, TxnDelta};
 use polaris_obs::{QueryProfile, ScanMeter, Tracer, TxnProfile, ValidationOutcome};
@@ -24,8 +24,15 @@ pub(crate) struct TxnTable {
     pub(crate) delta: TxnDelta,
     /// The transaction-manifest blob for this table.
     manifest_path: BlobPath,
-    /// Currently committed block list of the manifest blob.
+    /// The block list the final commit will publish. Statements only
+    /// *stage* blocks; nothing becomes visible until
+    /// [`Transaction::commit`] issues the one `commit_block_list` per
+    /// table (pipelined with validation).
     blocks: Vec<BlockId>,
+    /// Blocks staged into the manifest blob so far — non-zero means the
+    /// blob physically exists and must be discarded if this table's
+    /// changes are never published.
+    staged_blocks: u64,
 }
 
 impl TxnTable {
@@ -42,6 +49,10 @@ pub struct CommitInfo {
     /// Sequence number assigned to the transaction's manifests; `None` for
     /// read-only transactions (nothing entered the Manifests table).
     pub sequence: Option<SequenceId>,
+    /// Manifest blocks published by this commit — the blocks listed in the
+    /// final `commit_block_list` of every dirty table. Always 0 for
+    /// read-only transactions.
+    pub blocks_committed: u64,
 }
 
 /// An explicit multi-statement, multi-table user transaction.
@@ -60,9 +71,10 @@ pub struct Transaction {
     pub(crate) scan_meter: Arc<ScanMeter>,
     /// Profile of the most recently executed statement.
     last_profile: Option<QueryProfile>,
-    /// Manifest blocks staged / committed across the whole transaction.
+    /// Manifest blocks staged across the whole transaction. Blocks
+    /// *committed* are known only at commit time and travel in
+    /// [`CommitInfo::blocks_committed`].
     blocks_staged: u64,
-    blocks_committed: u64,
     /// Engine tracer handle (disabled when the engine has no ring).
     tracer: Tracer,
     /// The transaction's root trace span; 0 once closed (commit, rollback
@@ -91,7 +103,6 @@ impl Transaction {
             scan_meter: Arc::new(ScanMeter::with_tracer(tracer.clone())),
             last_profile: None,
             blocks_staged: 0,
-            blocks_committed: 0,
             tracer,
             root_span,
         }
@@ -122,7 +133,9 @@ impl Transaction {
         TxnProfile {
             statements: self.stmt,
             blocks_staged: self.blocks_staged,
-            blocks_committed: self.blocks_committed,
+            // Statements only stage; the session patches the commit-time
+            // count from [`CommitInfo::blocks_committed`].
+            blocks_committed: 0,
             tables_written: self.tables.values().filter(|t| !t.delta.is_empty()).count() as u64,
             validation: ValidationOutcome::Pending,
             commit_wall_ns: 0,
@@ -147,7 +160,7 @@ impl Transaction {
         let misses = registry.counter("lst.cache.misses");
         let (hits0, misses0) = (hits.get(), misses.get());
         let pool0 = self.engine.pool().stats();
-        let (staged0, committed0) = (self.blocks_staged, self.blocks_committed);
+        let staged0 = self.blocks_staged;
         // Statement span: explicit parent (the root span is manual), but on
         // the thread-local stack so every span opened while `f` runs —
         // snapshot replay, DCP attempts, store commits — nests under it.
@@ -171,7 +184,6 @@ impl Transaction {
         profile.task_attempts = pool1.attempts.saturating_sub(pool0.attempts);
         profile.task_retries = pool1.retries.saturating_sub(pool0.retries);
         profile.blocks_staged = self.blocks_staged - staged0;
-        profile.blocks_committed = self.blocks_committed - committed0;
         profile.wall_ns = wall_ns;
         profile.phase("execute", wall_ns);
         profile.trace_span = trace_span;
@@ -233,6 +245,7 @@ impl Transaction {
                 delta: TxnDelta::new(),
                 manifest_path,
                 blocks: Vec::new(),
+                staged_blocks: 0,
             },
         );
         Ok(id)
@@ -360,9 +373,9 @@ impl Transaction {
             }
             let staged = new_blocks.len() as u64;
             t.blocks.extend(new_blocks);
+            t.staged_blocks += staged;
             self.blocks_staged += staged;
         }
-        self.commit_manifest_blocks(tid)?;
         Ok(inserted)
     }
 
@@ -471,6 +484,7 @@ impl Transaction {
                     t.delta.apply(&t.base, action)?;
                 }
             }
+            t.staged_blocks += staged;
         }
         self.blocks_staged += staged;
         // Updates/deletes trigger the reconciling manifest rewrite
@@ -613,6 +627,7 @@ impl Transaction {
                     t.delta.apply(&t.base, action)?;
                 }
             }
+            t.staged_blocks += staged;
         }
         self.blocks_staged += staged;
         self.rewrite_manifest(tid)?;
@@ -715,21 +730,12 @@ impl Transaction {
     // Manifest plumbing
     // ------------------------------------------------------------------
 
-    /// Append path: re-commit the manifest blob with the accumulated block
-    /// list (insert statements, §3.2.3).
-    fn commit_manifest_blocks(&mut self, tid: TableId) -> PolarisResult<()> {
-        let stamp = self.stamp();
-        let t = self.tables.get_mut(&tid).expect("state loaded");
-        self.engine
-            .store()
-            .commit_block_list(&t.manifest_path, &t.blocks, stamp)?;
-        self.blocks_committed += t.blocks.len() as u64;
-        Ok(())
-    }
-
-    /// Rewrite path: serialize the reconciled delta into fresh blocks and
-    /// commit only those — obsolete blocks from earlier statements are
-    /// discarded by storage (update/delete statements, §3.2.3).
+    /// Rewrite path: serialize the reconciled delta into fresh staged
+    /// blocks and make them the table's to-be-published list
+    /// (update/delete statements, §3.2.3). Nothing is committed here;
+    /// obsolete blocks from earlier statements simply stay staged and are
+    /// discarded when the final `commit_block_list` publishes only the
+    /// current list (Block-Blob semantics).
     fn rewrite_manifest(&mut self, tid: TableId) -> PolarisResult<()> {
         let stamp = self.stamp();
         let max_tasks = self.engine.config().max_write_tasks;
@@ -749,11 +755,10 @@ impl Transaction {
             )?;
             ids.push(id);
         }
-        store.commit_block_list(&t.manifest_path, &ids, stamp)?;
         let n = ids.len() as u64;
         t.blocks = ids;
+        t.staged_blocks += n;
         self.blocks_staged += n;
-        self.blocks_committed += n;
         Ok(())
     }
 
@@ -763,11 +768,17 @@ impl Transaction {
 
     /// Validate and commit.
     ///
-    /// For each modified table the write set is recorded (step 1), then
-    /// the catalog transaction commits under the commit lock (steps 2–4):
-    /// first-committer-wins on the WriteSets rows resolves write-write
-    /// conflicts; the Manifests rows are inserted with the assigned
-    /// sequence. On conflict everything rolls back and
+    /// The final `commit_block_list` publication of every dirty table's
+    /// manifest blob is kicked off on Write-class DCP nodes *first*, then
+    /// overlapped with the catalog work: the write sets are recorded
+    /// (step 1) and first-committer-wins validation runs (step 2) while
+    /// the uploads are in flight. The uploads are joined in the commit
+    /// protocol's *prepare* stage — after validation passes, before the
+    /// sequencer assigns a timestamp — so a published sequence always
+    /// points at fully-committed manifest blobs, a slow store round-trip
+    /// never holds the global sequencer, and a validation conflict skips
+    /// the join and discards the blobs instead (Block-Blob staged blocks
+    /// were never visible). On conflict everything rolls back and
     /// [`PolarisError::Conflict`] is returned — the transaction can be
     /// retried from scratch.
     pub fn commit(mut self) -> PolarisResult<CommitInfo> {
@@ -789,7 +800,11 @@ impl Transaction {
         }
         if manifests.is_empty() {
             // Read-only (or DDL-only): plain catalog commit, no sequence.
+            // Statements may still have staged manifest blocks (e.g. a
+            // DELETE that matched nothing) — those blobs will never be
+            // published, so discard them here.
             let result = self.engine.catalog().commit(&mut self.ctxn);
+            self.discard_staged_manifests(&[]);
             drop(commit_span);
             self.end_root(if result.is_ok() {
                 "committed"
@@ -797,41 +812,140 @@ impl Transaction {
                 "aborted"
             });
             result?;
-            return Ok(CommitInfo { sequence: None });
+            return Ok(CommitInfo {
+                sequence: None,
+                blocks_committed: 0,
+            });
         }
+        // Start the manifest publications now; validation runs while the
+        // store round-trips are in flight.
+        let mut uploads = Some(self.spawn_manifest_uploads(&manifests));
+        let mut upload_span = Some(
+            self.tracer
+                .span_at("txn.commit.upload_overlap", self.root_span),
+        );
         for (tid, modified) in &write_sets {
             if let Err(e) =
                 self.engine
                     .catalog()
                     .record_write_set(&mut self.ctxn, *tid, modified, granularity)
             {
+                let _ = join_uploads(&mut uploads);
+                drop(upload_span.take());
+                self.discard_staged_manifests(&[]);
                 drop(commit_span);
                 self.end_root("aborted");
                 return Err(e.into());
             }
         }
-        let outcome = self
-            .engine
-            .catalog()
-            .commit_write(&mut self.ctxn, &manifests);
-        drop(commit_span);
+        let mut blocks_committed = 0u64;
+        let mut upload_err: Option<PolarisError> = None;
+        let outcome = {
+            let uploads = &mut uploads;
+            let upload_span = &mut upload_span;
+            let blocks_committed = &mut blocks_committed;
+            let upload_err = &mut upload_err;
+            self.engine
+                .catalog()
+                .commit_write_prepared(&mut self.ctxn, &manifests, move || {
+                    let joined = join_uploads(uploads);
+                    drop(upload_span.take());
+                    match joined {
+                        Some(Ok(n)) => {
+                            *blocks_committed = n;
+                            Ok(())
+                        }
+                        Some(Err(e)) => {
+                            *upload_err = Some(e);
+                            Err(polaris_catalog::CatalogError::CommitLogFailure {
+                                detail: "pipelined manifest upload failed".to_owned(),
+                            })
+                        }
+                        // The handle is always live when prepare runs; the
+                        // abort paths are the only other joiners.
+                        None => Ok(()),
+                    }
+                })
+        };
         match outcome {
             Ok(outcome) => {
+                // Tables the statements touched but the commit did not
+                // publish (empty net delta) leave staged-only blobs behind.
+                self.discard_staged_manifests(&manifests);
+                drop(commit_span);
                 self.end_root("committed");
                 Ok(CommitInfo {
                     sequence: Some(SequenceId(outcome.commit_ts.0)),
+                    blocks_committed,
                 })
             }
             Err(e) => {
+                // Validation conflict (prepare never ran) or upload
+                // failure: join whatever is still in flight before
+                // discarding the blobs, so a retried task cannot re-create
+                // one after the delete.
+                let _ = join_uploads(&mut uploads);
+                drop(upload_span.take());
+                self.discard_staged_manifests(&[]);
+                drop(commit_span);
                 self.end_root("aborted");
-                Err(e.into())
+                match upload_err.take() {
+                    Some(ue) => Err(ue),
+                    None => Err(e.into()),
+                }
             }
         }
     }
 
-    /// Roll back: private changes vanish; files are reclaimed by GC.
+    /// Start the final `commit_block_list` of every dirty table as a
+    /// Write-class DAG running concurrently with commit validation. Each
+    /// task publishes one table's accumulated block list and reports how
+    /// many blocks it committed; `commit_block_list` is idempotent, so
+    /// retried attempts after a transient store fault are safe.
+    fn spawn_manifest_uploads(&self, manifests: &[(TableId, String)]) -> DagHandle<u64> {
+        let stamp = self.stamp();
+        let mut dag: WorkflowDag<u64> = WorkflowDag::new();
+        for (tid, _) in manifests {
+            let t = &self.tables[tid];
+            let store = Arc::clone(self.engine.store());
+            let path = t.manifest_path.clone();
+            let blocks = t.blocks.clone();
+            dag.add_task(move |_ctx| {
+                store
+                    .commit_block_list(&path, &blocks, stamp)
+                    .map_err(store_to_task)?;
+                Ok(blocks.len() as u64)
+            });
+        }
+        self.engine.pool().run_dag_async(dag, WorkloadClass::Write)
+    }
+
+    /// Delete per-transaction manifest blobs that will never be
+    /// published: every table with staged blocks not listed in `keep`.
+    /// Deleting the blob drops its staged block set too (Block-Blob
+    /// semantics), so aborted and rolled-back transactions stop leaving
+    /// orphaned manifests for GC to chase; each discarded blob counts
+    /// into the engine-wide `store.orphaned_manifests` counter.
+    fn discard_staged_manifests(&mut self, keep: &[(TableId, String)]) {
+        let store = Arc::clone(self.engine.store());
+        let orphaned = self.engine.metrics().counter("store.orphaned_manifests");
+        for (tid, t) in &mut self.tables {
+            if t.staged_blocks == 0 || keep.iter().any(|(k, _)| k == tid) {
+                continue;
+            }
+            t.staged_blocks = 0;
+            t.blocks.clear();
+            if store.delete(&t.manifest_path).is_ok() {
+                orphaned.inc();
+            }
+        }
+    }
+
+    /// Roll back: private changes vanish; staged manifest blobs are
+    /// discarded eagerly (data files are reclaimed by GC).
     pub fn rollback(mut self) {
         if !self.finished {
+            self.discard_staged_manifests(&[]);
             self.engine.catalog().abort(&mut self.ctxn);
             self.finished = true;
             self.end_root("rolled_back");
@@ -842,12 +956,25 @@ impl Transaction {
 impl Drop for Transaction {
     fn drop(&mut self) {
         if !self.finished {
+            self.discard_staged_manifests(&[]);
             self.engine.catalog().abort(&mut self.ctxn);
         }
         // Commit / rollback already closed the root span; this is the
         // abandoned-drop path (and a no-op when root_span is 0).
         self.end_root("aborted");
     }
+}
+
+/// Join the pipelined upload DAG if still in flight, returning the total
+/// number of blocks published (or the first task failure). `None` when
+/// another path already joined it.
+fn join_uploads(handle: &mut Option<DagHandle<u64>>) -> Option<PolarisResult<u64>> {
+    let h = handle.take()?;
+    Some(
+        h.join()
+            .map(|counts| counts.into_iter().sum())
+            .map_err(PolarisError::from),
+    )
 }
 
 /// Group `items` into at most `max` chunks of near-equal size.

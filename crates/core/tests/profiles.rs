@@ -53,6 +53,35 @@ fn dml_profile_is_populated_and_committed() {
     assert_eq!(tp.blocks_staged, p.blocks_staged);
 }
 
+/// Regression: the commit path used to add the table's *cumulative* block
+/// list to `blocks_committed` on every insert statement, so a transaction
+/// with two inserts of s1 and s2 blocks reported 2·s1 + s2 committed.
+/// Every staged block is published exactly once, so the committed count
+/// must equal the staged count.
+#[test]
+fn multi_insert_txn_commits_each_block_exactly_once() {
+    let engine = clustered_engine();
+    let mut s = engine.session();
+    s.execute("BEGIN").unwrap();
+    s.insert_batch("t", &shuffled_rows(256)).unwrap();
+    let s1 = s.last_profile().unwrap().blocks_staged;
+    s.insert_batch("t", &shuffled_rows(512)).unwrap();
+    let s2 = s.last_profile().unwrap().blocks_staged;
+    assert!(s1 > 0 && s2 > 0, "both inserts stage manifest blocks");
+    s.execute("COMMIT").unwrap();
+
+    let tp = s.last_txn_profile().expect("commit resolves a txn");
+    assert_eq!(tp.validation, ValidationOutcome::Committed);
+    assert_eq!(tp.blocks_staged, s1 + s2);
+    assert_eq!(
+        tp.blocks_committed,
+        s1 + s2,
+        "each staged block is committed exactly once, not cumulatively"
+    );
+    // The committing statement's profile carries the same commit-time count.
+    assert_eq!(s.last_profile().unwrap().blocks_committed, s1 + s2);
+}
+
 #[test]
 fn clustered_range_query_prunes_files_and_reads_less() {
     let engine = clustered_engine();

@@ -56,4 +56,4 @@ mod pool;
 pub use alloc::{CostEstimate, ElasticAllocator, FixedAllocator, ResourceAllocator};
 pub use dag::{TaskCtx, TaskFn, WorkflowDag};
 pub use error::{DcpError, DcpResult, TaskError};
-pub use pool::{ComputePool, NodeId, PoolStats, WorkloadClass};
+pub use pool::{ComputePool, DagHandle, NodeId, PoolStats, WorkloadClass};

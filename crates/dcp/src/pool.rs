@@ -8,8 +8,60 @@ use parking_lot::RwLock;
 use polaris_obs::{PoolMeter, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Slot-release event: wakes DAG schedulers that stalled because every
+/// slot of their class was held by other DAGs sharing the pool. `gen`
+/// counts topology/slot changes; a waiter captures it *before* trying to
+/// dispatch and parks only while it is unchanged, so a release landing
+/// between the failed dispatch and the park is never missed.
+struct SlotEvent {
+    gen: AtomicU64,
+    lock: StdMutex<()>,
+    cv: Condvar,
+}
+
+impl SlotEvent {
+    fn new() -> Self {
+        SlotEvent {
+            gen: AtomicU64::new(0),
+            lock: StdMutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.gen.load(Ordering::SeqCst)
+    }
+
+    fn signal(&self) {
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        // Taking the lock orders the bump against any waiter's check —
+        // the waiter either sees the new generation or is already parked
+        // when the notify fires.
+        let _guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        self.cv.notify_all();
+    }
+
+    /// Park until the generation moves past `seen`. The safety timeout
+    /// bounds the cost of any edge this reasoning missed to one re-check,
+    /// never a stall.
+    fn wait_past(&self, seen: u64) {
+        let mut guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        while self.gen.load(Ordering::SeqCst) == seen {
+            let (g, timeout) = self
+                .cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+            if timeout.timed_out() {
+                return;
+            }
+        }
+    }
+}
 
 /// Identifier of a compute node within the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,6 +126,29 @@ pub struct PoolStats {
     pub retries: u64,
     /// Tasks whose attempt was lost to a node failure.
     pub node_losses: u64,
+    /// Times a DAG scheduler parked waiting for another DAG to release a
+    /// slot (each park ends on the release event, not a spin).
+    pub slot_waits: u64,
+}
+
+/// Handle to a DAG started with [`ComputePool::run_dag_async`]. The DAG's
+/// scheduling runs on its own coordinator thread; [`DagHandle::join`]
+/// blocks until it finishes and returns the per-task results.
+pub struct DagHandle<T> {
+    rx: Receiver<DcpResult<Vec<T>>>,
+}
+
+impl<T> DagHandle<T> {
+    /// Wait for the DAG to finish; results come back in task order, or
+    /// the first error that failed the DAG.
+    pub fn join(self) -> DcpResult<Vec<T>> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(DcpError::TaskFailed {
+                task: 0,
+                error: TaskError::fatal("async DAG coordinator terminated"),
+            })
+        })
+    }
 }
 
 /// A dynamic topology of compute nodes executing task DAGs.
@@ -94,6 +169,8 @@ pub struct ComputePool {
     /// executing node's lane. The lock is read once per `run_dag`, never
     /// per attempt. Disabled (no-op) until an engine binds its tracer.
     tracer: RwLock<Tracer>,
+    /// Wakes schedulers stalled on a fully busy class (see [`SlotEvent`]).
+    slot_event: Arc<SlotEvent>,
     /// Default retry budget per task.
     max_attempts: u32,
 }
@@ -112,6 +189,7 @@ impl ComputePool {
             next_node: AtomicU64::new(1),
             meter: PoolMeter::default(),
             tracer: RwLock::new(Tracer::default()),
+            slot_event: Arc::new(SlotEvent::new()),
             max_attempts: 4,
         }
     }
@@ -164,6 +242,9 @@ impl ComputePool {
             );
             out.push(id);
         }
+        drop(nodes);
+        // Fresh capacity: wake any scheduler parked on a full class.
+        self.slot_event.signal();
         out
     }
 
@@ -172,10 +253,15 @@ impl ComputePool {
     /// if the node is unknown or already dead.
     pub fn kill_node(&self, id: NodeId) -> bool {
         let nodes = self.nodes.read();
-        match nodes.get(&id) {
+        let was_alive = match nodes.get(&id) {
             Some(h) => h.alive.swap(false, Ordering::SeqCst),
             None => false,
-        }
+        };
+        drop(nodes);
+        // Wake parked schedulers so they can re-evaluate (and observe
+        // NoCapacity if this was the class's last node).
+        self.slot_event.signal();
+        was_alive
     }
 
     /// Remove dead nodes from the topology entirely.
@@ -213,6 +299,7 @@ impl ComputePool {
             attempts: self.meter.attempts.get(),
             retries: self.meter.retries.get(),
             node_losses: self.meter.node_losses.get(),
+            slot_waits: self.meter.slot_waits.get(),
         }
     }
 
@@ -262,6 +349,10 @@ impl ComputePool {
         let mut in_flight = 0usize;
 
         while completed < n {
+            // Captured before dispatch: a slot released after this point
+            // bumps the generation, so a failed dispatch below never
+            // parks past it.
+            let slot_gen = self.slot_event.generation();
             // Dispatch as many ready tasks as capacity allows.
             let mut defer = Vec::new();
             while let Some((task, attempt)) = ready.pop() {
@@ -288,8 +379,10 @@ impl ComputePool {
                     });
                 }
                 // Alive nodes exist but all slots are held by other DAGs
-                // sharing the pool: back off briefly and retry dispatch.
-                std::thread::sleep(std::time::Duration::from_micros(200));
+                // sharing the pool: park until the next slot release (or
+                // topology change) instead of spinning.
+                self.meter.slot_waits.inc();
+                self.slot_event.wait_past(slot_gen);
                 continue;
             }
             // Collect one completion (blocking), then loop to dispatch more.
@@ -331,6 +424,28 @@ impl ComputePool {
             .into_iter()
             .map(|r| r.expect("all tasks completed"))
             .collect())
+    }
+
+    /// Start `dag` on nodes of `class` without blocking the caller:
+    /// scheduling, retries and completion collection run on a detached
+    /// coordinator thread. The engine overlaps its final manifest uploads
+    /// with commit validation this way. Join the returned handle for the
+    /// results; dropping it detaches the DAG (it still runs to
+    /// completion, its results discarded).
+    pub fn run_dag_async<T: Send + 'static>(
+        self: &Arc<Self>,
+        dag: WorkflowDag<T>,
+        class: WorkloadClass,
+    ) -> DagHandle<T> {
+        let pool = Arc::clone(self);
+        let (tx, rx) = unbounded();
+        std::thread::Builder::new()
+            .name("polaris-dag-coord".to_owned())
+            .spawn(move || {
+                let _ = tx.send(pool.run_dag(dag, class));
+            })
+            .expect("spawning an async DAG coordinator");
+        DagHandle { rx }
     }
 
     /// Convenience: run independent tasks (a flat DAG) and collect results.
@@ -379,6 +494,7 @@ impl ComputePool {
         let run = Arc::clone(run);
         let tx = result_tx.clone();
         let job_tracer = tracer.clone();
+        let slot_event = Arc::clone(&self.slot_event);
         let job: Job = Box::new(move |alive_at_dequeue| {
             // One span per attempt, on the node's trace lane; spans inside
             // the task body (exec.scan, exec.write_*) nest under it via the
@@ -408,6 +524,9 @@ impl ComputePool {
             span.attr("outcome", outcome_label(&outcome));
             drop(span);
             busy.fetch_sub(1, Ordering::SeqCst);
+            // The freed slot may unblock a scheduler parked on a full
+            // class.
+            slot_event.signal();
             let _ = tx.send((task, attempt, outcome));
         });
         if handle.sender.send(job).is_err() {
@@ -415,6 +534,7 @@ impl ComputePool {
             // the attempt's span manually so trace attempt counts still
             // equal the meter's.
             handle.busy.fetch_sub(1, Ordering::SeqCst);
+            self.slot_event.signal();
             let span = tracer.begin_manual(
                 "dcp.task",
                 trace_parent,
@@ -680,6 +800,64 @@ mod tests {
         assert_eq!(s.retries, 20);
         assert_eq!(s.attempts, 120);
         assert_eq!(s.node_losses, 0);
+    }
+
+    #[test]
+    fn stalled_dag_parks_until_slot_release() {
+        // One single-slot node shared by two DAGs: A holds the slot for
+        // ~120ms, so B's scheduler stalls with alive capacity — the case
+        // that used to spin in a 200µs sleep loop. B must park (counted
+        // in dcp.slot_waits), wake on A's slot release, and finish with
+        // exactly one attempt per task — no spin-born extras.
+        let pool = Arc::new(ComputePool::with_topology(1, 0, 1));
+        let p = Arc::clone(&pool);
+        let a = std::thread::spawn(move || {
+            let mut dag = WorkflowDag::new();
+            dag.add_task(|_| {
+                std::thread::sleep(Duration::from_millis(120));
+                Ok(())
+            });
+            p.run_dag(dag, WorkloadClass::Read).unwrap();
+        });
+        // Give A time to occupy the slot before B arrives.
+        std::thread::sleep(Duration::from_millis(30));
+        let mut dag = WorkflowDag::new();
+        dag.add_task(|_| Ok(()));
+        let start = std::time::Instant::now();
+        pool.run_dag(dag, WorkloadClass::Read).unwrap();
+        let waited = start.elapsed();
+        a.join().unwrap();
+        assert!(
+            waited >= Duration::from_millis(50),
+            "B must actually wait out A's task, got {waited:?}"
+        );
+        let s = pool.stats();
+        assert_eq!(s.attempts, 2, "one attempt per task — no duplicates");
+        assert_eq!(s.retries, 0);
+        assert!(
+            s.slot_waits >= 1,
+            "the stall must park on the slot event, not spin"
+        );
+    }
+
+    #[test]
+    fn async_dag_overlaps_with_caller_work() {
+        let pool = Arc::new(ComputePool::with_topology(2, 0, 2));
+        let mut dag = WorkflowDag::new();
+        for i in 0..4i64 {
+            dag.add_task(move |_| {
+                std::thread::sleep(Duration::from_millis(10));
+                Ok(i)
+            });
+        }
+        let handle = pool.run_dag_async(dag, WorkloadClass::Read);
+        // Caller-side work proceeds while the DAG runs.
+        let mut own = 0u64;
+        for i in 0..1000u64 {
+            own += i;
+        }
+        assert_eq!(own, 499_500);
+        assert_eq!(handle.join().unwrap(), vec![0, 1, 2, 3]);
     }
 
     #[test]

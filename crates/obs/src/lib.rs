@@ -491,6 +491,18 @@ pub struct CatalogMeter {
     /// `catalog.commits + catalog.ww_conflicts + …` this gives the mean
     /// footprint width — 1.0 means commits are perfectly disjoint.
     pub commit_shards_acquired: Counter,
+    /// Group-commit batch sizes, one sample per sequencer batch. Samples
+    /// are *counts*, not nanoseconds, so the exponential ns buckets are
+    /// meaningless here — but `sum / count` is the exact mean batch size,
+    /// which is the statistic batching tuning needs.
+    pub group_batch_size: Histogram,
+    /// Wall time a committer spends in the sequencer stage: from passing
+    /// validation to its commit timestamp being published (includes group
+    /// queue wait, the batch's commit-log write, install and publish).
+    pub sequencer_wait: Histogram,
+    /// Commit batches aborted because the durable commit-log hook failed;
+    /// counted once per transaction in the failed batch.
+    pub commit_log_failures: Counter,
     /// Trace handle; the commit protocol opens `catalog.*` spans on it.
     pub tracer: Tracer,
 }
@@ -519,6 +531,9 @@ impl CatalogMeter {
                 .map(|i| registry.histogram(&format!("catalog.commit_lock_hold_ns.shard{i}")))
                 .collect(),
             commit_shards_acquired: registry.counter("catalog.commit_shards_acquired"),
+            group_batch_size: registry.histogram("catalog.group_commit.batch_size"),
+            sequencer_wait: registry.histogram("catalog.sequencer_wait_ns"),
+            commit_log_failures: registry.counter("catalog.commit_log_failures"),
             tracer: Tracer::default(),
         }
     }
@@ -535,6 +550,10 @@ pub struct PoolMeter {
     pub retries: Counter,
     /// Attempts lost to simulated node failure.
     pub node_losses: Counter,
+    /// Times a DAG scheduler parked because every slot of its workload
+    /// class was held by other DAGs sharing the pool (woken by the next
+    /// slot release — not a spin).
+    pub slot_waits: Counter,
 }
 
 impl PoolMeter {
@@ -544,6 +563,7 @@ impl PoolMeter {
             attempts: registry.counter("dcp.task_attempts"),
             retries: registry.counter("dcp.task_retries"),
             node_losses: registry.counter("dcp.node_losses"),
+            slot_waits: registry.counter("dcp.slot_waits"),
         }
     }
 
@@ -553,6 +573,7 @@ impl PoolMeter {
         registry.adopt_counter("dcp.task_attempts", &self.attempts);
         registry.adopt_counter("dcp.task_retries", &self.retries);
         registry.adopt_counter("dcp.node_losses", &self.node_losses);
+        registry.adopt_counter("dcp.slot_waits", &self.slot_waits);
     }
 }
 
