@@ -9,12 +9,12 @@
 //! to re-read.
 
 use polaris_bench::{
-    bench_config, cloud_model, dump_chrome_trace, dump_metrics_snapshot, engine_with_latency,
-    header, ms,
+    bench_config, cloud_model, dump_chrome_trace, dump_metrics_snapshot, dump_time_series,
+    engine_with_latency, header, ms,
 };
 use polaris_catalog::{Catalog, ConflictGranularity, IsolationLevel};
 use polaris_dcp::WorkloadClass;
-use polaris_obs::{CatalogMeter, MetricsRegistry};
+use polaris_obs::{http_get, CatalogMeter, Harvester, HealthFn, MetricsRegistry, TelemetryServer};
 use polaris_store::{BlobPath, Bytes, LatencyStore, MemoryStore, ObjectStore, Stamp};
 use polaris_workloads::lstbench;
 use std::sync::{Arc, Barrier};
@@ -32,6 +32,13 @@ fn main() {
     // `--group-commit` runs just the group-commit batch-size sweep.
     if std::env::args().any(|a| a == "--group-commit") {
         group_commit_sweep();
+        return;
+    }
+    // `--telemetry` runs the disjoint-writer commit workload while serving
+    // the registry over HTTP and self-scrapes `/metrics`, asserting the
+    // exposition agrees with the in-process snapshot.
+    if std::env::args().any(|a| a == "--telemetry") {
+        telemetry_selfscrape();
         return;
     }
     header(
@@ -349,6 +356,115 @@ fn group_commit_sweep() {
         snap.counter("catalog.ww_conflicts"),
     );
     dump_metrics_snapshot("fig12_group_commit", &registry.snapshot());
+}
+
+/// The telemetry mode: the group-commit disjoint-writer workload with a
+/// [`Harvester`] sampling the registry and a [`TelemetryServer`] exposing
+/// it, scraped concurrently over real HTTP. Asserts every mid-run scrape
+/// is valid Prometheus text, and that after the workload quiesces the
+/// scraped `catalog_commits_total` equals the in-process snapshot exactly
+/// (the endpoint encodes a fresh snapshot per scrape, so agreement is
+/// immediate, not delayed by a harvester tick).
+fn telemetry_selfscrape() {
+    const WRITERS: usize = 8;
+    const COMMITS: usize = 60;
+    const FILES: usize = 16;
+    println!();
+    println!("--- telemetry self-scrape mode ---");
+    let registry = MetricsRegistry::new();
+    let meter = CatalogMeter::from_registry_sharded(&registry, 16);
+    let catalog = Arc::new(Catalog::with_meter_sharded(meter, 16));
+    let store = Arc::new(LatencyStore::new(MemoryStore::new(), cloud_model()));
+    catalog.set_group_commit(8, Duration::from_micros(1000));
+
+    let harvester = Harvester::start(Arc::clone(&registry), Duration::from_millis(25), 512);
+    let health: HealthFn = {
+        let registry = Arc::clone(&registry);
+        Arc::new(move || {
+            format!(
+                "{{\"status\":\"ok\",\"commits\":{}}}",
+                registry.snapshot().counter("catalog.commits")
+            )
+        })
+    };
+    let server = TelemetryServer::start(
+        "127.0.0.1:0".parse().unwrap(),
+        Arc::clone(&registry),
+        health,
+    )
+    .expect("bind telemetry endpoint");
+    let addr = server.local_addr();
+    println!("serving http://{addr}/metrics while {WRITERS} writers commit");
+
+    // Concurrent scraper: hammers the endpoint over real HTTP while the
+    // commit workload runs; every response must be well-formed.
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                let (status, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+                assert_eq!(status, 200, "mid-run scrape failed");
+                assert!(
+                    body.lines()
+                        .any(|l| l == "# TYPE catalog_commits_total counter"),
+                    "exposition must declare the commits counter"
+                );
+                let (status, health) = http_get(addr, "/health").expect("scrape /health");
+                assert_eq!(status, 200);
+                assert!(health.contains("\"status\""));
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            scrapes
+        })
+    };
+
+    let thr = commit_throughput(&catalog, &store, WRITERS, COMMITS, FILES);
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+
+    // Quiesced: the scraped counter must equal the in-process snapshot.
+    let (status, body) = http_get(addr, "/metrics").expect("final scrape");
+    assert_eq!(status, 200);
+    let scraped: u64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("catalog_commits_total "))
+        .expect("catalog_commits_total exposed")
+        .trim()
+        .parse()
+        .expect("counter value parses");
+    let in_process = registry.snapshot().counter("catalog.commits");
+    assert_eq!(
+        scraped, in_process,
+        "exposition must agree with metrics_snapshot() once quiesced"
+    );
+
+    // The harvester saw the run too: the commit-rate ring must contain a
+    // non-zero sample.
+    let series = harvester.time_series();
+    let peak_rate = series
+        .rates
+        .get("catalog.commits")
+        .map(|r| r.iter().map(|p| p.value).fold(0.0, f64::max))
+        .unwrap_or(0.0);
+    assert!(
+        peak_rate > 0.0,
+        "harvester must have sampled a non-zero commit rate"
+    );
+
+    println!(
+        "{} commits at {thr:.0} commits/s; {scrapes} concurrent scrapes, all valid",
+        in_process
+    );
+    println!(
+        "self-scrape check: catalog_commits_total = {scraped} over HTTP == {in_process} \
+         in-process; peak harvested rate {peak_rate:.0} commits/s over {} ticks",
+        series.ticks
+    );
+    dump_metrics_snapshot("fig12_telemetry", &registry.snapshot());
+    dump_time_series("fig12_telemetry", &series);
 }
 
 /// The disjoint-table concurrent-writer mode: commit throughput vs writer

@@ -129,6 +129,17 @@ pub fn dump_metrics_snapshot(figure: &str, snapshot: &polaris_obs::MetricsSnapsh
     );
 }
 
+/// Dump a harvester time-series export to
+/// `target/bench/<figure>_timeseries.json` — per-tick counter rates and
+/// histogram quantiles over the run.
+pub fn dump_time_series(figure: &str, series: &polaris_obs::TimeSeriesSnapshot) {
+    write_artifact(
+        &format!("{figure}_timeseries.json"),
+        &series.to_json_pretty(),
+        "time series",
+    );
+}
+
 /// Dump the engine's trace ring as Chrome `trace_event` JSON to
 /// `target/bench/<figure>_trace.json` — load it in Perfetto or
 /// `chrome://tracing` to see per-node task lanes.

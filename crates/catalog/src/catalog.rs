@@ -235,6 +235,17 @@ impl Catalog {
         self.store.active_count()
     }
 
+    /// The longest-running active transaction: `(id, wall-clock age)` —
+    /// the watchdog's GC-watermark pinning probe.
+    pub fn oldest_active(&self) -> Option<(TxnId, std::time::Duration)> {
+        self.store.oldest_active()
+    }
+
+    /// Validated commits currently parked in the group-commit queue.
+    pub fn group_queue_depth(&self) -> usize {
+        self.store.group_queue_depth()
+    }
+
     /// Abort a transaction, discarding its buffered writes.
     pub fn abort(&self, txn: &mut CatalogTxn) {
         self.store.abort(txn)

@@ -48,7 +48,7 @@
 //!
 //! `MvccStore::with_shards(meter, 1)` collapses the protocol back to a
 //! single global commit lock (the pre-sharding behaviour) for A/B runs.
-//! Per-shard lock-hold histograms (`catalog.commit_lock_hold_ns.shard{i}`)
+//! Per-shard lock-hold histograms (`catalog.commit_lock_hold_ns{shard="i"}`)
 //! and the `catalog.commit_shards_acquired` counter expose the footprint
 //! behaviour at runtime.
 

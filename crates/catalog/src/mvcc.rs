@@ -178,6 +178,15 @@ struct GroupCommit<K: 'static, V: 'static> {
     cv: Condvar,
 }
 
+/// Bookkeeping for one in-flight transaction: its snapshot pins the GC
+/// watermark; its begin instant lets the stall watchdog age the oldest
+/// holder without scanning transaction handles.
+#[derive(Clone, Copy, Debug)]
+struct ActiveTxn {
+    snapshot: Timestamp,
+    since: Instant,
+}
+
 /// One version of a key: installed at `ts` by `txn`; `value == None` is a
 /// tombstone (delete).
 #[derive(Debug, Clone)]
@@ -253,8 +262,9 @@ pub struct MvccStore<K: 'static, V: 'static> {
     shards: Vec<CommitShard<K, V>>,
     /// Key -> shard hash (deterministic; see [`MvccStore::with_shards_by`]).
     shard_hash: fn(&K) -> u64,
-    /// Active transactions: id -> snapshot ts (for GC watermarks, §5.3).
-    active: Mutex<HashMap<TxnId, Timestamp>>,
+    /// Active transactions: id -> snapshot ts + begin instant (GC
+    /// watermarks per §5.3, plus the watchdog's oldest-transaction age).
+    active: Mutex<HashMap<TxnId, ActiveTxn>>,
     /// Group-commit queue (used only when `group_max_batch > 1`).
     group: GroupCommit<K, V>,
     /// Max transactions batched through one sequencer section. 1 (the
@@ -403,7 +413,13 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     pub fn begin(&self, isolation: IsolationLevel) -> Txn<K, V> {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
         let snapshot = self.now();
-        self.active.lock().insert(id, snapshot);
+        self.active.lock().insert(
+            id,
+            ActiveTxn {
+                snapshot,
+                since: Instant::now(),
+            },
+        );
         Txn {
             id,
             snapshot,
@@ -419,7 +435,13 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     /// writes would fail validation against everything committed since.
     pub fn begin_at(&self, snapshot: Timestamp) -> Txn<K, V> {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
-        self.active.lock().insert(id, snapshot);
+        self.active.lock().insert(
+            id,
+            ActiveTxn {
+                snapshot,
+                since: Instant::now(),
+            },
+        );
         Txn {
             id,
             snapshot,
@@ -882,7 +904,27 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     /// Smallest snapshot timestamp among active transactions, if any — the
     /// GC watermark of §5.3.
     pub fn min_active_snapshot(&self) -> Option<Timestamp> {
-        self.active.lock().values().min().copied()
+        self.active.lock().values().map(|a| a.snapshot).min()
+    }
+
+    /// The longest-running active transaction: `(id, wall-clock age)`.
+    /// This is the stall watchdog's GC-watermark probe — a transaction
+    /// that has been active past the deadline is pinning `vacuum` and
+    /// snapshot retention for the whole engine.
+    pub fn oldest_active(&self) -> Option<(TxnId, Duration)> {
+        self.active
+            .lock()
+            .iter()
+            .map(|(id, a)| (*id, a.since.elapsed()))
+            .max_by_key(|(_, age)| *age)
+    }
+
+    /// Entries parked in the group-commit queue right now (validated
+    /// commits waiting for a leader to drain them through the sequencer).
+    /// A depth that stays positive across watchdog ticks means the leader
+    /// is stuck — e.g. a commit-log hook that blocks or fails forever.
+    pub fn group_queue_depth(&self) -> usize {
+        lock_unpoisoned(&self.group.state).pending.len()
     }
 
     /// Smallest id among active transactions. Files are stamped with their

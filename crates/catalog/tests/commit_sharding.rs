@@ -15,7 +15,7 @@
 //!   to different shards never unbalance the invariant sum.
 
 use polaris_catalog::{CatalogError, CommitBatch, IsolationLevel, MvccStore, Timestamp};
-use polaris_obs::{CatalogMeter, MetricsRegistry};
+use polaris_obs::{CatalogMeter, MetricName, MetricsRegistry};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
@@ -295,7 +295,7 @@ fn per_shard_metrics_surface_in_registry() {
     let per_shard_samples: u64 = (0..4)
         .map(|i| {
             snap.histograms
-                .get(&format!("catalog.commit_lock_hold_ns.shard{i}"))
+                .get(&MetricName::sharded("catalog.commit_lock_hold_ns", i).registry_key())
                 .expect("per-shard histogram registered")
                 .count
         })

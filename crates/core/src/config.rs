@@ -55,6 +55,29 @@ pub struct EngineConfig {
     /// Capacity of the engine's trace flight recorder, in events. The ring
     /// keeps the most recent `trace_capacity` events; 0 disables tracing.
     pub trace_capacity: usize,
+    /// Address for the Prometheus/health HTTP endpoint (`GET /metrics`,
+    /// `GET /health`). `None` (the default) serves nothing; use port 0 to
+    /// let the OS pick (see `PolarisEngine::telemetry_addr`).
+    pub telemetry_listen: Option<std::net::SocketAddr>,
+    /// Harvester tick in milliseconds: how often the continuous-telemetry
+    /// thread samples the metrics registry and evaluates watchdog rules.
+    /// 0 spawns no background thread — ticks then only happen through
+    /// `PolarisEngine::telemetry_tick_once` (deterministic tests,
+    /// single-shot tools).
+    pub telemetry_tick_ms: u64,
+    /// Time-series ring length per metric, in ticks.
+    pub telemetry_window: usize,
+    /// Statements / transactions slower than this land in the slow log.
+    pub slow_statement_ms: u64,
+    /// Watchdog: an active transaction older than this is flagged as
+    /// pinning the GC watermark.
+    pub watchdog_txn_deadline_ms: u64,
+    /// Watchdog: a per-tick p99 commit-shard lock hold above this is
+    /// flagged as lock pressure.
+    pub watchdog_lock_hold_ms: u64,
+    /// Watchdog: consecutive harvester ticks the group-commit queue may
+    /// stay non-empty without draining before the stall rule fires.
+    pub watchdog_queue_stall_ticks: u64,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +99,13 @@ impl Default for EngineConfig {
             group_commit_max_batch: 1,
             group_commit_window_us: 200,
             trace_capacity: 8192,
+            telemetry_listen: None,
+            telemetry_tick_ms: 100,
+            telemetry_window: 120,
+            slow_statement_ms: 100,
+            watchdog_txn_deadline_ms: 10_000,
+            watchdog_lock_hold_ms: 1_000,
+            watchdog_queue_stall_ticks: 3,
         }
     }
 }
@@ -93,6 +123,9 @@ impl EngineConfig {
             checkpoint_every: 4,
             retention_seqs: 2,
             trace_capacity: 1 << 16,
+            // No harvester thread in unit tests; tick manually via
+            // `PolarisEngine::telemetry_tick_once`.
+            telemetry_tick_ms: 0,
             ..Default::default()
         }
     }

@@ -2,13 +2,14 @@
 //! per-table BE snapshot caches.
 
 use crate::schema_json::{schema_from_json, schema_to_json};
+use crate::telemetry::EngineTelemetry;
 use crate::{EngineConfig, PolarisError, PolarisResult, Session, Transaction};
 use parking_lot::{Mutex, RwLock};
 use polaris_catalog::{Catalog, CatalogTxn, TableId, TableMeta};
 use polaris_columnar::Schema;
 use polaris_dcp::ComputePool;
 use polaris_lst::{Checkpoint, Manifest, SequenceId, SnapshotCache, TableSnapshot};
-use polaris_obs::{CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, Tracer};
+use polaris_obs::{CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, SlowLog, Tracer};
 use polaris_store::{BlobPath, MemoryStore, ObjectStore, StatsStore};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,6 +46,12 @@ pub struct PolarisEngine {
     /// Engine-wide trace flight recorder; every layer opens spans on
     /// cloned handles of this tracer.
     tracer: Tracer,
+    /// Bounded ring of statements/transactions over the slow threshold.
+    slow_log: Arc<SlowLog>,
+    /// Continuous-telemetry runtime (harvester + watchdog + endpoint),
+    /// installed right after construction — `None` only during `new`
+    /// itself and after engine teardown.
+    telemetry: Mutex<Option<EngineTelemetry>>,
 }
 
 impl PolarisEngine {
@@ -76,7 +83,11 @@ impl PolarisEngine {
             config.group_commit_max_batch,
             std::time::Duration::from_micros(config.group_commit_window_us),
         );
-        Arc::new(PolarisEngine {
+        let slow_log = Arc::new(SlowLog::new(
+            crate::telemetry::SLOW_LOG_CAPACITY,
+            config.slow_statement_ms.saturating_mul(1_000_000),
+        ));
+        let engine = Arc::new(PolarisEngine {
             config,
             catalog,
             store,
@@ -85,7 +96,12 @@ impl PolarisEngine {
             publish_watermarks: Mutex::new(HashMap::new()),
             metrics,
             tracer,
-        })
+            slow_log,
+            telemetry: Mutex::new(None),
+        });
+        let telemetry = crate::telemetry::start(&engine);
+        *engine.telemetry.lock() = Some(telemetry);
+        engine
     }
 
     /// All-in-memory engine with a small default topology — the quickest
@@ -143,6 +159,17 @@ impl PolarisEngine {
     /// The engine-wide trace flight recorder.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The engine's slow statement/transaction log.
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.slow_log
+    }
+
+    /// Run `f` against the telemetry runtime; `None` only in the narrow
+    /// window before `new` installs it (a scrape racing construction).
+    pub(crate) fn with_telemetry<R>(&self, f: impl FnOnce(&EngineTelemetry) -> R) -> Option<R> {
+        self.telemetry.lock().as_ref().map(f)
     }
 
     /// Chrome `trace_event` JSON of the retained trace ring — loadable in

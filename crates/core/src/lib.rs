@@ -31,6 +31,7 @@ mod read;
 mod schema_json;
 mod session;
 pub mod sto;
+mod telemetry;
 mod txn;
 
 pub use config::EngineConfig;
@@ -38,6 +39,7 @@ pub use engine::PolarisEngine;
 pub use error::{PolarisError, PolarisResult};
 pub use read::QueryResult;
 pub use session::{Session, StatementOutcome};
+pub use telemetry::{HealthEventSummary, HealthReport, LaneDepth, ShardPressure, SlowSummary};
 pub use txn::Transaction;
 
 // Re-export the vocabulary types users need at the API boundary.
@@ -45,5 +47,6 @@ pub use polaris_catalog::{ConflictGranularity, IsolationLevel, TableId};
 pub use polaris_columnar::{DataType, Field, RecordBatch, Schema, Value};
 pub use polaris_lst::SequenceId;
 pub use polaris_obs::{
-    MetricsRegistry, MetricsSnapshot, QueryProfile, TxnProfile, ValidationOutcome,
+    HealthEvent, MetricsRegistry, MetricsSnapshot, QueryProfile, SlowLog, SlowRecord,
+    TimeSeriesSnapshot, TxnProfile, ValidationOutcome,
 };

@@ -92,13 +92,23 @@ impl Session {
     }
 
     /// Record a statement profile as both `last_profile` and an entry in
-    /// the bounded history ring.
-    fn record_profile(&mut self, profile: Option<QueryProfile>) {
+    /// the bounded history ring; statements over the engine's slow
+    /// threshold also land in the shared slow log with their span tree.
+    fn record_profile(&mut self, profile: Option<QueryProfile>, txn_id: u64) {
         if let Some(p) = &profile {
             if self.profile_history.len() == PROFILE_HISTORY_CAP {
                 self.profile_history.pop_front();
             }
             self.profile_history.push_back(p.clone());
+            if self.engine.slow_log().is_slow(p.wall_ns) {
+                self.engine
+                    .slow_log()
+                    .record_if_slow(crate::telemetry::slow_statement_record(
+                        &self.engine,
+                        p,
+                        txn_id,
+                    ));
+            }
         }
         self.last_profile = profile;
     }
@@ -106,6 +116,7 @@ impl Session {
     /// Commit `txn`, timing the commit protocol and recording both the
     /// statement and transaction profiles with the validation outcome.
     fn commit_recorded(&mut self, txn: Transaction) -> PolarisResult<Option<SequenceId>> {
+        let txn_id = txn.id();
         let mut profile = txn.last_profile().cloned();
         let mut txn_profile = txn.txn_profile_snapshot();
         let start = std::time::Instant::now();
@@ -135,7 +146,23 @@ impl Session {
         if result.is_err() && self.engine.tracer().is_enabled() {
             self.last_post_mortem = Some(self.engine.tracer().post_mortem(POST_MORTEM_EVENTS));
         }
-        self.record_profile(profile);
+        if self.engine.slow_log().is_slow(txn_profile.commit_wall_ns) {
+            self.engine
+                .slow_log()
+                .record_if_slow(polaris_obs::SlowRecord {
+                    kind: "transaction".to_owned(),
+                    txn: txn_id,
+                    statement: format!(
+                        "commit of {} statements ({} blocks staged)",
+                        txn_profile.statements, txn_profile.blocks_staged
+                    ),
+                    wall_ns: txn_profile.commit_wall_ns,
+                    phases_ns: vec![("commit".to_owned(), txn_profile.commit_wall_ns)],
+                    validation: format!("{:?}", txn_profile.validation),
+                    span_tree: String::new(),
+                });
+        }
+        self.record_profile(profile, txn_id);
         self.last_txn_profile = Some(txn_profile);
         result.map(|info| info.sequence)
     }
@@ -231,11 +258,13 @@ impl Session {
                 Ok(StatementOutcome::Ddl)
             }
             Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
+            Statement::ShowEngineHealth => self.show_engine_health(),
             dml => {
                 if let Some(txn) = self.current.as_mut() {
                     let result = txn.execute_statement(dml);
+                    let txn_id = txn.id();
                     let profile = txn.last_profile().cloned();
-                    self.record_profile(profile);
+                    self.record_profile(profile, txn_id);
                     return Ok(outcome_of(result?));
                 }
                 // Auto-commit with conflict retries.
@@ -252,8 +281,9 @@ impl Session {
                             Err(e) => return Err(e),
                         },
                         Err(e) => {
+                            let txn_id = txn.id();
                             let profile = txn.last_profile().cloned();
-                            self.record_profile(profile);
+                            self.record_profile(profile, txn_id);
                             if e.is_retryable_conflict() && attempt < retries {
                                 attempt += 1;
                                 continue;
@@ -345,6 +375,89 @@ impl Session {
         Ok(StatementOutcome::Rows(batch))
     }
 
+    /// Render the engine's continuous-telemetry view — status, firing
+    /// watchdogs, recent health events, slow-log top entries, shard lock
+    /// pressure and lane occupancy — as a single-column result set.
+    fn show_engine_health(&mut self) -> PolarisResult<StatementOutcome> {
+        let report = self.engine.health_report();
+        let mut lines = Vec::new();
+        lines.push(format!("status: {}", report.status));
+        lines.push(format!(
+            "harvester: {} ticks @ {} ms{}",
+            report.harvester_ticks,
+            report.tick_ms,
+            if report.tick_ms == 0 { " (manual)" } else { "" }
+        ));
+        lines.push(format!(
+            "endpoint: {}",
+            report.listen.as_deref().unwrap_or("none")
+        ));
+        lines.push(format!(
+            "active txns: {} (oldest txn {}, {} ms); group-commit queue: {}",
+            report.active_txns,
+            report.oldest_txn_id,
+            report.oldest_txn_ms,
+            report.group_queue_depth
+        ));
+        if report.firing.is_empty() {
+            lines.push("firing: none".to_owned());
+        } else {
+            lines.push(format!("firing: {}", report.firing.join(", ")));
+        }
+        if !report.events.is_empty() {
+            lines.push(String::new());
+            lines.push(format!("health events ({}):", report.events.len()));
+            for e in &report.events {
+                lines.push(format!(
+                    "  [tick {} +{} ms] {}: {}",
+                    e.tick, e.at_ms, e.rule, e.detail
+                ));
+            }
+        }
+        if !report.slow.is_empty() {
+            lines.push(String::new());
+            lines.push(format!(
+                "slow log (threshold {} ms, {} retained):",
+                self.engine.slow_log().threshold_ns() / 1_000_000,
+                self.engine.slow_log().len()
+            ));
+            for s in &report.slow {
+                lines.push(format!(
+                    "  {:.3} ms {} txn {} [{}]: {}",
+                    s.wall_ms, s.kind, s.txn, s.validation, s.statement
+                ));
+            }
+        }
+        if !report.shard_pressure.is_empty() {
+            lines.push(String::new());
+            lines.push("commit-shard lock pressure:".to_owned());
+            for p in &report.shard_pressure {
+                lines.push(format!(
+                    "  shard {}: {} holds, p99 {:.3} ms",
+                    p.shard,
+                    p.holds,
+                    p.p99_ns as f64 / 1e6
+                ));
+            }
+        }
+        lines.push(String::new());
+        lines.push("compute lanes:".to_owned());
+        for lane in &report.lanes {
+            lines.push(format!(
+                "  {}: {}/{} busy",
+                lane.class, lane.busy, lane.capacity
+            ));
+        }
+        let schema = Schema::new(vec![Field {
+            name: "health".to_owned(),
+            data_type: DataType::Utf8,
+            nullable: false,
+        }]);
+        let rows: Vec<Vec<Value>> = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(StatementOutcome::Rows(batch))
+    }
+
     /// Create a table from a programmatic schema (bypasses SQL).
     pub fn create_table(&self, name: &str, schema: &Schema) -> PolarisResult<()> {
         self.engine.create_table(name, schema)?;
@@ -355,8 +468,9 @@ impl Session {
     pub fn insert_batch(&mut self, table: &str, batch: &RecordBatch) -> PolarisResult<u64> {
         if let Some(txn) = self.current.as_mut() {
             let result = txn.insert(table, batch);
+            let txn_id = txn.id();
             let profile = txn.last_profile().cloned();
-            self.record_profile(profile);
+            self.record_profile(profile, txn_id);
             return result;
         }
         let retries = self.engine.config().auto_retries;
@@ -370,8 +484,9 @@ impl Session {
                     Err(e) => return Err(e),
                 },
                 Err(e) => {
+                    let txn_id = txn.id();
                     let profile = txn.last_profile().cloned();
-                    self.record_profile(profile);
+                    self.record_profile(profile, txn_id);
                     if e.is_retryable_conflict() && attempt < retries {
                         attempt += 1;
                         continue;

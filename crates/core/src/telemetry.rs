@@ -1,0 +1,411 @@
+//! Continuous-telemetry wiring: harvester thread, stall watchdog rules,
+//! the HTTP exposition endpoint and the engine health report.
+//!
+//! The obs crate provides the mechanisms ([`Harvester`], [`Watchdog`],
+//! [`SlowLog`], [`TelemetryServer`]); this module binds them to a running
+//! [`PolarisEngine`]: which registry to sample, which stall rules to
+//! evaluate against which probes, and what `/health` should say. Rules
+//! hold `Weak` engine references (the engine owns its telemetry, so an
+//! `Arc` here would be a cycle) or cloned lock-free metric handles, which
+//! need no engine at all.
+//!
+//! Four stall rules ship by default, all edge-triggered (one
+//! [`HealthEvent`] per episode):
+//!
+//! | rule | fires when |
+//! |------|------------|
+//! | `gc-watermark` | the oldest active transaction exceeds `watchdog_txn_deadline_ms`, pinning vacuum + snapshot retention |
+//! | `group-commit-stall` | the group-commit queue stays non-empty for `watchdog_queue_stall_ticks` consecutive ticks |
+//! | `commit-lock-hold` | any commit shard's per-tick p99 lock hold exceeds `watchdog_lock_hold_ms` |
+//! | `sto-stalled` | `sto.ticks` stops advancing for a deadline's worth of harvester ticks after the STO has started |
+
+use crate::PolarisEngine;
+use polaris_dcp::WorkloadClass;
+use polaris_obs::{
+    quantile_from_counts, Harvester, HealthEvent, HealthFn, SlowRecord, TelemetryServer, Watchdog,
+};
+use serde::Serialize;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Health events retained by the engine watchdog.
+const EVENT_CAPACITY: usize = 64;
+
+/// Slow records retained by the engine slow log.
+pub(crate) const SLOW_LOG_CAPACITY: usize = 128;
+
+/// The engine's continuous-telemetry runtime: harvester (threaded when
+/// `telemetry_tick_ms > 0`, manual otherwise), watchdog, and the optional
+/// HTTP endpoint.
+pub(crate) struct EngineTelemetry {
+    pub(crate) harvester: Harvester,
+    pub(crate) watchdog: Arc<Watchdog>,
+    pub(crate) server: Option<TelemetryServer>,
+}
+
+/// Build and start telemetry for a freshly constructed engine. Called
+/// once from `PolarisEngine::new` after the `Arc` exists (the rules and
+/// the `/health` endpoint hold `Weak` references).
+pub(crate) fn start(engine: &Arc<PolarisEngine>) -> EngineTelemetry {
+    let config = *engine.config();
+    let watchdog = Arc::new(Watchdog::new(engine.tracer().clone(), EVENT_CAPACITY));
+    install_rules(engine, &watchdog);
+
+    let tick = Duration::from_millis(config.telemetry_tick_ms.max(1));
+    let window = config.telemetry_window.max(1);
+    let harvester = if config.telemetry_tick_ms > 0 {
+        Harvester::start(Arc::clone(engine.metrics()), tick, window)
+    } else {
+        // No background thread; `PolarisEngine::telemetry_tick_once`
+        // advances deterministically (tests, single-shot tools).
+        Harvester::detached(Arc::clone(engine.metrics()), tick, window)
+    };
+    harvester.attach_watchdog(Arc::clone(&watchdog));
+
+    let server = config.telemetry_listen.and_then(|addr| {
+        let weak = Arc::downgrade(engine);
+        let health: HealthFn = Arc::new(move || match weak.upgrade() {
+            Some(engine) => engine.health_report().to_json_pretty(),
+            None => "{\"status\":\"shutting down\"}".to_owned(),
+        });
+        match TelemetryServer::start(addr, Arc::clone(engine.metrics()), health) {
+            Ok(server) => Some(server),
+            Err(_) => {
+                // An unusable endpoint must not take the engine down;
+                // surface it as a counter instead.
+                engine
+                    .metrics()
+                    .counter("obs.telemetry_bind_failures")
+                    .inc();
+                None
+            }
+        }
+    });
+
+    EngineTelemetry {
+        harvester,
+        watchdog,
+        server,
+    }
+}
+
+/// Register the four standard stall rules.
+fn install_rules(engine: &Arc<PolarisEngine>, watchdog: &Watchdog) {
+    let config = *engine.config();
+
+    // Oldest active transaction pinning the GC watermark.
+    let weak: Weak<PolarisEngine> = Arc::downgrade(engine);
+    let deadline = Duration::from_millis(config.watchdog_txn_deadline_ms.max(1));
+    watchdog.add_rule("gc-watermark", move |_tick| {
+        let engine = weak.upgrade()?;
+        let (id, age) = engine.catalog().oldest_active()?;
+        (age > deadline).then(|| {
+            format!(
+                "txn {} active for {}ms (deadline {}ms) — pinning the GC watermark",
+                id.0,
+                age.as_millis(),
+                deadline.as_millis()
+            )
+        })
+    });
+
+    // Group-commit queue occupancy not draining.
+    let weak: Weak<PolarisEngine> = Arc::downgrade(engine);
+    let need = config.watchdog_queue_stall_ticks.max(1);
+    let mut stuck = 0u64;
+    watchdog.add_rule("group-commit-stall", move |_tick| {
+        let engine = weak.upgrade()?;
+        let depth = engine.catalog().group_queue_depth();
+        if depth == 0 {
+            stuck = 0;
+            return None;
+        }
+        stuck += 1;
+        (stuck >= need)
+            .then(|| format!("group-commit queue depth {depth} not draining for {stuck} ticks"))
+    });
+
+    // Per-tick p99 shard lock hold above threshold. Cloned histogram
+    // handles — no engine reference needed.
+    let holds = engine.catalog().meter().commit_shard_holds.clone();
+    let threshold_ns = config
+        .watchdog_lock_hold_ms
+        .max(1)
+        .saturating_mul(1_000_000);
+    let mut prev: Vec<Vec<u64>> = holds.iter().map(|h| h.bucket_counts()).collect();
+    watchdog.add_rule("commit-lock-hold", move |_tick| {
+        let mut worst: Option<(usize, u64)> = None;
+        for (i, hold) in holds.iter().enumerate() {
+            let now = hold.bucket_counts();
+            let delta: Vec<u64> = now
+                .iter()
+                .zip(prev[i].iter())
+                .map(|(n, p)| n.saturating_sub(*p))
+                .collect();
+            prev[i] = now;
+            if delta.iter().sum::<u64>() == 0 {
+                continue;
+            }
+            let p99 = quantile_from_counts(&delta, 0.99);
+            if p99 > threshold_ns && worst.map(|(_, w)| p99 > w).unwrap_or(true) {
+                worst = Some((i, p99));
+            }
+        }
+        worst.map(|(shard, p99)| {
+            format!(
+                "commit shard {shard} lock-hold p99 {:.1}ms this tick (threshold {}ms)",
+                p99 as f64 / 1e6,
+                threshold_ns / 1_000_000
+            )
+        })
+    });
+
+    // STO heartbeat: once the orchestrator has ticked, it must keep
+    // ticking. Cloned counter handle — no engine reference needed.
+    let sto_ticks = engine.metrics().counter("sto.ticks");
+    let stale_limit = (config.watchdog_txn_deadline_ms / config.telemetry_tick_ms.max(1)).max(3);
+    let mut last = 0u64;
+    let mut stale = 0u64;
+    watchdog.add_rule("sto-stalled", move |_tick| {
+        let now = sto_ticks.get();
+        if now == 0 {
+            return None; // never started — nothing to watch
+        }
+        if now != last {
+            last = now;
+            stale = 0;
+            return None;
+        }
+        stale += 1;
+        (stale >= stale_limit)
+            .then(|| format!("sto.ticks stuck at {now} for {stale} harvester ticks"))
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Health report
+// ---------------------------------------------------------------------------
+
+/// One fired watchdog event, without the (large) trace dump — the full
+/// [`HealthEvent`] stays available via `PolarisEngine::watchdog_events`.
+#[derive(Clone, Debug, Serialize)]
+pub struct HealthEventSummary {
+    /// Rule name.
+    pub rule: String,
+    /// Diagnosis at firing time.
+    pub detail: String,
+    /// Harvester tick of the firing.
+    pub tick: u64,
+    /// Milliseconds since watchdog creation.
+    pub at_ms: u64,
+}
+
+/// One slow-log entry, without phases / span tree.
+#[derive(Clone, Debug, Serialize)]
+pub struct SlowSummary {
+    /// `statement` or `transaction`.
+    pub kind: String,
+    /// Transaction id.
+    pub txn: u64,
+    /// Statement kind or commit summary.
+    pub statement: String,
+    /// Wall milliseconds.
+    pub wall_ms: f64,
+    /// Validation outcome.
+    pub validation: String,
+}
+
+/// Lock pressure of one commit shard (lifetime totals).
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardPressure {
+    /// Shard index.
+    pub shard: usize,
+    /// Commit-lock holds recorded.
+    pub holds: u64,
+    /// Approximate p99 hold, ns.
+    pub p99_ns: u64,
+}
+
+/// Occupancy of one DCP workload class.
+#[derive(Clone, Debug, Serialize)]
+pub struct LaneDepth {
+    /// Workload class (`read` / `write` / `system`).
+    pub class: String,
+    /// Slots occupied right now.
+    pub busy: usize,
+    /// Slots across alive nodes.
+    pub capacity: usize,
+}
+
+/// The `/health` + `SHOW ENGINE HEALTH` view: current status, firing
+/// watchdogs, recent events, slow-log top entries, shard lock pressure
+/// and lane occupancy.
+#[derive(Clone, Debug, Serialize)]
+pub struct HealthReport {
+    /// `"ok"`, or `"degraded"` while any watchdog rule is firing.
+    pub status: String,
+    /// Harvester ticks completed.
+    pub harvester_ticks: u64,
+    /// Harvester tick length (ms); 0 means manual ticking.
+    pub tick_ms: u64,
+    /// Exposition endpoint address, if serving.
+    pub listen: Option<String>,
+    /// Rules whose condition is true right now.
+    pub firing: Vec<String>,
+    /// Recent watchdog firings, oldest first.
+    pub events: Vec<HealthEventSummary>,
+    /// Validated commits parked in the group-commit queue.
+    pub group_queue_depth: usize,
+    /// Active transactions.
+    pub active_txns: usize,
+    /// Oldest active transaction id (0 when none).
+    pub oldest_txn_id: u64,
+    /// Oldest active transaction age in ms (0 when none).
+    pub oldest_txn_ms: u64,
+    /// Slowest retained statements/transactions, slowest first.
+    pub slow: Vec<SlowSummary>,
+    /// Per-shard commit-lock pressure.
+    pub shard_pressure: Vec<ShardPressure>,
+    /// Per-class compute-lane occupancy.
+    pub lanes: Vec<LaneDepth>,
+}
+
+impl HealthReport {
+    /// Pretty-printed JSON (the `/health` response body).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("health report serializes")
+    }
+}
+
+impl PolarisEngine {
+    /// Assemble the current [`HealthReport`] from the watchdog, slow log
+    /// and live probes. Cheap enough to call per scrape.
+    pub fn health_report(&self) -> HealthReport {
+        let (harvester_ticks, firing, events, listen) = self
+            .with_telemetry(|t| {
+                (
+                    t.harvester.ticks(),
+                    t.watchdog.firing(),
+                    t.watchdog.events(),
+                    t.server.as_ref().map(|s| s.local_addr().to_string()),
+                )
+            })
+            .unwrap_or((0, Vec::new(), Vec::new(), None));
+        let oldest = self.catalog().oldest_active();
+        let meter = self.catalog().meter();
+        let shard_pressure = meter
+            .commit_shard_holds
+            .iter()
+            .enumerate()
+            .map(|(shard, hold)| {
+                let snap = hold.snapshot();
+                ShardPressure {
+                    shard,
+                    holds: snap.count,
+                    p99_ns: snap.p99_ns,
+                }
+            })
+            .filter(|p| p.holds > 0)
+            .collect();
+        let lanes = [
+            WorkloadClass::Read,
+            WorkloadClass::Write,
+            WorkloadClass::System,
+        ]
+        .into_iter()
+        .map(|class| LaneDepth {
+            class: format!("{class:?}").to_ascii_lowercase(),
+            busy: self.pool().busy(class),
+            capacity: self.pool().capacity(class),
+        })
+        .collect();
+        HealthReport {
+            status: if firing.is_empty() {
+                "ok".to_owned()
+            } else {
+                "degraded".to_owned()
+            },
+            harvester_ticks,
+            tick_ms: self.config().telemetry_tick_ms,
+            listen,
+            firing,
+            events: events
+                .iter()
+                .map(|e| HealthEventSummary {
+                    rule: e.rule.clone(),
+                    detail: e.detail.clone(),
+                    tick: e.tick,
+                    at_ms: e.at_ms,
+                })
+                .collect(),
+            group_queue_depth: self.catalog().group_queue_depth(),
+            active_txns: self.catalog().active_count(),
+            oldest_txn_id: oldest.map(|(id, _)| id.0).unwrap_or(0),
+            oldest_txn_ms: oldest.map(|(_, age)| age.as_millis() as u64).unwrap_or(0),
+            slow: self
+                .slow_log()
+                .top(5)
+                .into_iter()
+                .map(|r| SlowSummary {
+                    kind: r.kind,
+                    txn: r.txn,
+                    statement: r.statement,
+                    wall_ms: r.wall_ns as f64 / 1e6,
+                    validation: r.validation,
+                })
+                .collect(),
+            shard_pressure,
+            lanes,
+        }
+    }
+
+    /// All retained watchdog firings (with trace dumps), oldest first.
+    pub fn watchdog_events(&self) -> Vec<HealthEvent> {
+        self.with_telemetry(|t| t.watchdog.events())
+            .unwrap_or_default()
+    }
+
+    /// Export the harvester's time-series rings.
+    pub fn time_series_snapshot(&self) -> polaris_obs::TimeSeriesSnapshot {
+        self.with_telemetry(|t| t.harvester.time_series())
+            .unwrap_or_default()
+    }
+
+    /// The bound telemetry endpoint address, when
+    /// `EngineConfig::telemetry_listen` was set and the bind succeeded.
+    /// With port 0 this reports the OS-assigned port.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.with_telemetry(|t| t.server.as_ref().map(|s| s.local_addr()))
+            .flatten()
+    }
+
+    /// Run one harvester tick (sampling + watchdog evaluation)
+    /// synchronously — the deterministic driver for tests and single-shot
+    /// tools running with `telemetry_tick_ms = 0`.
+    pub fn telemetry_tick_once(&self) {
+        let _ = self.with_telemetry(|t| t.harvester.run_once());
+    }
+}
+
+/// Build a slow-log record for a finished statement (phase timings from
+/// the profile, span tree from the tracer when enabled).
+pub(crate) fn slow_statement_record(
+    engine: &PolarisEngine,
+    profile: &polaris_obs::QueryProfile,
+    txn_id: u64,
+) -> SlowRecord {
+    let span_tree = if engine.tracer().is_enabled() && profile.trace_span != 0 {
+        engine.tracer().render_span_tree(profile.trace_span)
+    } else {
+        String::new()
+    };
+    SlowRecord {
+        kind: "statement".to_owned(),
+        txn: txn_id,
+        statement: profile.statement.clone(),
+        wall_ns: profile.wall_ns,
+        phases_ns: profile.phases_ns.clone(),
+        validation: format!("{:?}", profile.validation),
+        span_tree,
+    }
+}

@@ -720,8 +720,9 @@ impl Transaction {
             | Statement::Begin
             | Statement::Commit
             | Statement::Rollback
-            | Statement::ExplainAnalyze(_) => Err(PolarisError::invalid(
-                "DDL, EXPLAIN ANALYZE, and transaction control are handled by the session",
+            | Statement::ExplainAnalyze(_)
+            | Statement::ShowEngineHealth => Err(PolarisError::invalid(
+                "DDL, EXPLAIN ANALYZE, SHOW, and transaction control are handled by the session",
             )),
         }
     }

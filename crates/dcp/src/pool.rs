@@ -291,6 +291,18 @@ impl ComputePool {
             .sum()
     }
 
+    /// Task slots of a class occupied *right now* across alive nodes —
+    /// the lane-depth probe continuous telemetry samples against
+    /// [`ComputePool::capacity`] to expose per-class saturation.
+    pub fn busy(&self, class: WorkloadClass) -> usize {
+        self.nodes
+            .read()
+            .values()
+            .filter(|h| h.class == class && h.alive.load(Ordering::SeqCst))
+            .map(|h| h.busy.load(Ordering::SeqCst))
+            .sum()
+    }
+
     /// Cumulative statistics — a lock-free snapshot of the meter's
     /// counters. Reads of the three counters are not mutually atomic, but
     /// each is monotonic, so a snapshot is always a valid recent state.

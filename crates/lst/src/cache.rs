@@ -136,6 +136,13 @@ impl SnapshotCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.meter.hits.get(), self.meter.misses.get())
     }
+
+    /// `(resident snapshots, capacity)` — the cache-pressure probe
+    /// continuous telemetry samples per table. A cache pinned at capacity
+    /// with a high miss rate means reconstruction is thrashing.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.entries.lock().len(), self.capacity)
+    }
 }
 
 #[cfg(test)]

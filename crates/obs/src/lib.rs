@@ -37,19 +37,37 @@
 //! view for dashboards, not a linearizable cut. Meters that follow a
 //! sharded component shard their instruments the same way — e.g.
 //! [`CatalogMeter::from_registry_sharded`] registers one
-//! `catalog.commit_lock_hold_ns.shard{i}` histogram per commit shard, so
-//! concurrent committers on different shards record hold times with no
-//! shared cache line beyond their own shard's buckets, and the per-shard
-//! split shows *where* commit lock time is going.
+//! `catalog.commit_lock_hold_ns{shard="i"}` histogram per commit shard
+//! (labeled names built by [`MetricName`]), so concurrent committers on
+//! different shards record hold times with no shared cache line beyond
+//! their own shard's buckets, and the per-shard split shows *where*
+//! commit lock time is going.
+//!
+//! # Continuous telemetry
+//!
+//! Point-in-time snapshots miss rates, trends and stalls. Three modules
+//! turn the registry into an always-on service surface: [`ts`] (a
+//! [`Harvester`] thread sampling the registry into bounded time-series
+//! rings), [`health`] (a [`Watchdog`] evaluating stall rules each tick
+//! plus a bounded [`SlowLog`]), and [`prom`] (zero-dependency Prometheus
+//! text exposition over `std::net::TcpListener`).
 
+pub mod health;
+pub mod name;
+pub mod prom;
 pub mod trace;
+pub mod ts;
 
+pub use health::{HealthEvent, SlowLog, SlowRecord, Watchdog};
+pub use name::{MetricName, NameError};
+pub use prom::{encode_prometheus, http_get, HealthFn, TelemetryServer};
 pub use trace::{
     build_spans, chrome_trace_json, post_mortem_dump, render_span_tree, AttrValue, SpanGuard,
     SpanRecord, TraceEvent, TraceEventKind, TraceSink, Tracer,
 };
+pub use ts::{Harvester, QuantilePoint, TimeSeriesSnapshot, TsPoint};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -133,7 +151,7 @@ impl Gauge {
 
 /// Number of exponential buckets; bucket `i` covers values
 /// `< 1_000 << i` nanoseconds (1 µs · 2^i), the last bucket is overflow.
-const HIST_BUCKETS: usize = 28;
+pub const HIST_BUCKETS: usize = 28;
 
 #[derive(Debug)]
 struct HistogramInner {
@@ -173,13 +191,25 @@ impl Histogram {
         i
     }
 
-    /// Upper bound (exclusive, in ns) of bucket `i`; `None` for overflow.
-    fn bucket_bound(i: usize) -> Option<u64> {
+    /// Upper bound (exclusive, in ns) of bucket `i`; `None` for the
+    /// overflow bucket. Public so exposition formats can render
+    /// `le="<bound>"` boundaries that match recording exactly.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
         if i + 1 < HIST_BUCKETS {
             Some(1_000u64 << i)
         } else {
             None
         }
+    }
+
+    /// Relaxed load of every bucket's count, index-aligned with
+    /// [`Histogram::bucket_bound`]. Length is always [`HIST_BUCKETS`].
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Record one sample in nanoseconds.
@@ -215,45 +245,46 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
-    /// Snapshot with approximate quantiles (upper bucket bounds).
+    /// Snapshot with bucket counts and approximate quantiles (upper
+    /// bucket bounds).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self
-            .0
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let target = ((count as f64) * q).ceil() as u64;
-            let mut seen = 0u64;
-            for (i, c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    // report the bucket's upper bound; overflow reports the
-                    // last finite bound
-                    return Self::bucket_bound(i)
-                        .or_else(|| Self::bucket_bound(HIST_BUCKETS - 2))
-                        .unwrap_or(u64::MAX);
-                }
-            }
-            u64::MAX
-        };
+        let buckets = self.bucket_counts();
         HistogramSnapshot {
-            count,
+            count: buckets.iter().sum(),
             sum_ns: self.0.sum.load(Ordering::Relaxed),
-            p50_ns: quantile(0.50),
-            p95_ns: quantile(0.95),
-            p99_ns: quantile(0.99),
+            p50_ns: quantile_from_counts(&buckets, 0.50),
+            p95_ns: quantile_from_counts(&buckets, 0.95),
+            p99_ns: quantile_from_counts(&buckets, 0.99),
+            buckets,
         }
     }
 }
 
+/// Approximate quantile `q` over an index-aligned bucket-count slice
+/// (the shape [`Histogram::bucket_counts`] returns). Reports the bucket's
+/// upper bound in ns; samples landing in the overflow bucket report the
+/// last finite bound. Shared by [`Histogram::snapshot`] and the
+/// harvester's per-tick delta quantiles in [`ts`].
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    let count: u64 = counts.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let target = ((count as f64) * q).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return Histogram::bucket_bound(i)
+                .or_else(|| Histogram::bucket_bound(HIST_BUCKETS - 2))
+                .unwrap_or(u64::MAX);
+        }
+    }
+    u64::MAX
+}
+
 /// Point-in-time summary of a [`Histogram`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of samples.
     pub count: u64,
@@ -265,6 +296,11 @@ pub struct HistogramSnapshot {
     pub p95_ns: u64,
     /// Approximate 99th percentile, ns.
     pub p99_ns: u64,
+    /// Per-bucket sample counts, index-aligned with
+    /// [`Histogram::bucket_bound`]; the last entry is the overflow bucket.
+    /// Empty in snapshots predating bucket export.
+    #[serde(default)]
+    pub buckets: Vec<u64>,
 }
 
 /// Scoped timer: records the elapsed wall time into its histogram on drop.
@@ -317,28 +353,46 @@ impl MetricsRegistry {
 
     /// Get or create the counter registered under `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        if let Some(c) = self.inner.read().unwrap().counters.get(name) {
+        if let Some(c) = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .counters
+            .get(name)
+        {
             return c.clone();
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         inner.counters.entry(name.to_owned()).or_default().clone()
     }
 
     /// Get or create the gauge registered under `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        if let Some(g) = self.inner.read().unwrap().gauges.get(name) {
+        if let Some(g) = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .gauges
+            .get(name)
+        {
             return g.clone();
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         inner.gauges.entry(name.to_owned()).or_default().clone()
     }
 
     /// Get or create the histogram registered under `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        if let Some(h) = self.inner.read().unwrap().histograms.get(name) {
+        if let Some(h) = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .histograms
+            .get(name)
+        {
             return h.clone();
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         inner.histograms.entry(name.to_owned()).or_default().clone()
     }
 
@@ -349,7 +403,7 @@ impl MetricsRegistry {
     pub fn adopt_counter(&self, name: &str, counter: &Counter) {
         self.inner
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .counters
             .insert(name.to_owned(), counter.clone());
     }
@@ -358,7 +412,7 @@ impl MetricsRegistry {
     pub fn adopt_gauge(&self, name: &str, gauge: &Gauge) {
         self.inner
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .gauges
             .insert(name.to_owned(), gauge.clone());
     }
@@ -367,7 +421,7 @@ impl MetricsRegistry {
     pub fn adopt_histogram(&self, name: &str, histogram: &Histogram) {
         self.inner
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .histograms
             .insert(name.to_owned(), histogram.clone());
     }
@@ -379,7 +433,7 @@ impl MetricsRegistry {
 
     /// Point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -402,7 +456,7 @@ impl MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
         f.debug_struct("MetricsRegistry")
             .field("counters", &inner.counters.len())
             .field("gauges", &inner.gauges.len())
@@ -414,7 +468,7 @@ impl std::fmt::Debug for MetricsRegistry {
 /// Serializable point-in-time copy of a [`MetricsRegistry`]. Benches dump
 /// this as JSON next to their figure output so perf PRs can diff storage
 /// requests / retries / cache behavior instead of eyeballing logs.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter values by metric name.
     pub counters: BTreeMap<String, u64>,
@@ -517,9 +571,9 @@ impl CatalogMeter {
     }
 
     /// Bind to the canonical `catalog.*` metric names in `registry`,
-    /// including one `catalog.commit_lock_hold_ns.shard<i>` histogram per
-    /// commit shard, so `metrics_snapshot()` exposes where commit-lock
-    /// time concentrates.
+    /// including one `catalog.commit_lock_hold_ns{shard="i"}` histogram
+    /// per commit shard (labeled via [`MetricName::sharded`]), so
+    /// `metrics_snapshot()` exposes where commit-lock time concentrates.
     pub fn from_registry_sharded(registry: &MetricsRegistry, shards: usize) -> Self {
         CatalogMeter {
             commits: registry.counter("catalog.commits"),
@@ -528,7 +582,11 @@ impl CatalogMeter {
             serialization_failures: registry.counter("catalog.serialization_failures"),
             commit_lock_hold: registry.histogram("catalog.commit_lock_hold_ns"),
             commit_shard_holds: (0..shards)
-                .map(|i| registry.histogram(&format!("catalog.commit_lock_hold_ns.shard{i}")))
+                .map(|i| {
+                    registry.histogram(
+                        &MetricName::sharded("catalog.commit_lock_hold_ns", i).registry_key(),
+                    )
+                })
                 .collect(),
             commit_shards_acquired: registry.counter("catalog.commit_shards_acquired"),
             group_batch_size: registry.histogram("catalog.group_commit.batch_size"),

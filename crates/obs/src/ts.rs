@@ -1,0 +1,373 @@
+//! Continuous time-series harvesting over a [`MetricsRegistry`].
+//!
+//! `metrics_snapshot()` is pull-on-demand: it tells you *where the engine
+//! is*, never *how fast it is moving* or *whether it has stopped*. The
+//! [`Harvester`] closes that gap — a background thread samples the
+//! registry on a fixed tick and folds each sample into bounded per-metric
+//! rings:
+//!
+//! * **counters** become derived rates (delta / tick seconds),
+//! * **gauges** are sampled as-is,
+//! * **histograms** keep per-tick delta quantiles: the bucket counts that
+//!   arrived *during the tick* run through
+//!   [`quantile_from_counts`](crate::quantile_from_counts), so a
+//!   latency regression shows up in the tick it happens instead of being
+//!   averaged into the lifetime distribution.
+//!
+//! The rings are fixed-size (`window` ticks), so memory is bounded no
+//! matter how long the engine runs. [`Harvester::time_series`] exports a
+//! serializable [`TimeSeriesSnapshot`]; an attached
+//! [`Watchdog`](crate::health::Watchdog) is evaluated on the same tick so
+//! stall rules observe exactly the cadence the rings record.
+
+use crate::health::Watchdog;
+use crate::{quantile_from_counts, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One sampled point of a rate or gauge series.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TsPoint {
+    /// Milliseconds since the harvester started.
+    pub t_ms: u64,
+    /// Counter rate (events/second over the tick) or gauge level.
+    pub value: f64,
+}
+
+/// One per-tick quantile sample of a histogram series. Quantiles are
+/// computed over the samples that arrived during this tick only.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantilePoint {
+    /// Milliseconds since the harvester started.
+    pub t_ms: u64,
+    /// Samples recorded during this tick.
+    pub count: u64,
+    /// Approximate median of this tick's samples, ns.
+    pub p50_ns: u64,
+    /// Approximate 95th percentile of this tick's samples, ns.
+    pub p95_ns: u64,
+    /// Approximate 99th percentile of this tick's samples, ns.
+    pub p99_ns: u64,
+}
+
+/// Serializable export of every time-series ring, the continuous
+/// counterpart of [`MetricsSnapshot`]. Keys are registry metric names.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeriesSnapshot {
+    /// Harvester tick length in milliseconds.
+    pub tick_ms: u64,
+    /// Ticks completed since the harvester started.
+    pub ticks: u64,
+    /// Counter rates (events/second per tick), newest last.
+    pub rates: BTreeMap<String, Vec<TsPoint>>,
+    /// Gauge levels per tick, newest last.
+    pub gauges: BTreeMap<String, Vec<TsPoint>>,
+    /// Histogram per-tick delta quantiles, newest last.
+    pub quantiles: BTreeMap<String, Vec<QuantilePoint>>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Pretty-printed JSON (the shape `snapshot_schema.rs` pins).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("time-series snapshot serializes")
+    }
+}
+
+fn push_bounded<T>(ring: &mut VecDeque<T>, window: usize, point: T) {
+    if ring.len() == window {
+        ring.pop_front();
+    }
+    ring.push_back(point);
+}
+
+#[derive(Default)]
+struct Rings {
+    /// Previous tick's raw snapshot, for deltas.
+    prev: Option<MetricsSnapshot>,
+    rates: BTreeMap<String, VecDeque<TsPoint>>,
+    gauges: BTreeMap<String, VecDeque<TsPoint>>,
+    quantiles: BTreeMap<String, VecDeque<QuantilePoint>>,
+}
+
+struct HarvesterShared {
+    registry: Arc<MetricsRegistry>,
+    rings: Mutex<Rings>,
+    watchdog: Mutex<Option<Arc<Watchdog>>>,
+    ticks: AtomicU64,
+    tick: Duration,
+    window: usize,
+    started: Instant,
+    stop: AtomicBool,
+}
+
+/// Background sampler: one named thread (`polaris-harvester`) snapshots
+/// the registry every `tick` and maintains `window`-sized rings per
+/// metric. Dropping (or [`Harvester::stop`]) joins the thread.
+///
+/// Deterministic tests and single-shot tools can skip the thread entirely:
+/// [`Harvester::detached`] plus explicit [`Harvester::run_once`] calls
+/// advance the rings without any timing dependence.
+pub struct Harvester {
+    shared: Arc<HarvesterShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Harvester {
+    /// A harvester with no background thread; call
+    /// [`Harvester::run_once`] to advance it manually.
+    pub fn detached(registry: Arc<MetricsRegistry>, tick: Duration, window: usize) -> Self {
+        Harvester {
+            shared: Arc::new(HarvesterShared {
+                registry,
+                rings: Mutex::new(Rings::default()),
+                watchdog: Mutex::new(None),
+                ticks: AtomicU64::new(0),
+                tick,
+                window: window.max(1),
+                started: Instant::now(),
+                stop: AtomicBool::new(false),
+            }),
+            handle: None,
+        }
+    }
+
+    /// Start the background sampling thread.
+    pub fn start(registry: Arc<MetricsRegistry>, tick: Duration, window: usize) -> Self {
+        let mut h = Harvester::detached(registry, tick, window);
+        let shared = Arc::clone(&h.shared);
+        let handle = std::thread::Builder::new()
+            .name("polaris-harvester".into())
+            .spawn(move || {
+                while !shared.stop.load(Ordering::Relaxed) {
+                    HarvesterShared::run_once(&shared);
+                    std::thread::sleep(shared.tick);
+                }
+            })
+            .expect("spawn polaris-harvester thread");
+        h.handle = Some(handle);
+        h
+    }
+
+    /// Attach a watchdog; it is evaluated at the end of every tick
+    /// (including manual [`Harvester::run_once`] calls).
+    pub fn attach_watchdog(&self, watchdog: Arc<Watchdog>) {
+        *self
+            .shared
+            .watchdog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(watchdog);
+    }
+
+    /// Run exactly one tick synchronously on the calling thread.
+    pub fn run_once(&self) {
+        HarvesterShared::run_once(&self.shared);
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Configured tick length.
+    pub fn tick(&self) -> Duration {
+        self.shared.tick
+    }
+
+    /// Export every ring as a serializable snapshot.
+    pub fn time_series(&self) -> TimeSeriesSnapshot {
+        let rings = self.shared.rings.lock().unwrap_or_else(|e| e.into_inner());
+        TimeSeriesSnapshot {
+            tick_ms: self.shared.tick.as_millis() as u64,
+            ticks: self.ticks(),
+            rates: rings
+                .rates
+                .iter()
+                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+                .collect(),
+            gauges: rings
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+                .collect(),
+            quantiles: rings
+                .quantiles
+                .iter()
+                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+                .collect(),
+        }
+    }
+
+    /// Stop and join the background thread (idempotent).
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Harvester {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Harvester {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harvester")
+            .field("tick", &self.shared.tick)
+            .field("window", &self.shared.window)
+            .field("ticks", &self.ticks())
+            .field("threaded", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl HarvesterShared {
+    fn run_once(shared: &Arc<HarvesterShared>) {
+        let snap = shared.registry.snapshot();
+        let t_ms = shared.started.elapsed().as_millis() as u64;
+        // Rates divide by the *configured* tick so manual run_once calls in
+        // tests produce deterministic values; the sampling jitter of the
+        // real thread is well under a tick.
+        let secs = shared.tick.as_secs_f64().max(1e-9);
+        {
+            let mut rings = shared.rings.lock().unwrap_or_else(|e| e.into_inner());
+            let prev = rings.prev.take();
+            for (name, value) in &snap.counters {
+                let before = prev.as_ref().map(|p| p.counter(name)).unwrap_or(0);
+                let rate = value.saturating_sub(before) as f64 / secs;
+                let ring = rings.rates.entry(name.clone()).or_default();
+                push_bounded(ring, shared.window, TsPoint { t_ms, value: rate });
+            }
+            for (name, value) in &snap.gauges {
+                let ring = rings.gauges.entry(name.clone()).or_default();
+                push_bounded(
+                    ring,
+                    shared.window,
+                    TsPoint {
+                        t_ms,
+                        value: *value as f64,
+                    },
+                );
+            }
+            let empty = HistogramSnapshot::default();
+            for (name, hist) in &snap.histograms {
+                let before = prev
+                    .as_ref()
+                    .and_then(|p| p.histograms.get(name))
+                    .unwrap_or(&empty);
+                let delta: Vec<u64> = hist
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| c.saturating_sub(before.buckets.get(i).copied().unwrap_or(0)))
+                    .collect();
+                let count: u64 = delta.iter().sum();
+                let ring = rings.quantiles.entry(name.clone()).or_default();
+                push_bounded(
+                    ring,
+                    shared.window,
+                    QuantilePoint {
+                        t_ms,
+                        count,
+                        p50_ns: quantile_from_counts(&delta, 0.50),
+                        p95_ns: quantile_from_counts(&delta, 0.95),
+                        p99_ns: quantile_from_counts(&delta, 0.99),
+                    },
+                );
+            }
+            rings.prev = Some(snap);
+        }
+        let tick = shared.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        let watchdog = shared
+            .watchdog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(watchdog) = watchdog {
+            watchdog.evaluate_once(tick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rates_are_per_tick_deltas() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("catalog.commits");
+        let h = Harvester::detached(Arc::clone(&reg), Duration::from_millis(100), 8);
+        c.add(5);
+        h.run_once(); // first tick: delta from 0 -> 5 over 0.1s = 50/s
+        c.add(10);
+        h.run_once(); // second tick: delta 10 -> 100/s
+        let ts = h.time_series();
+        let rates = &ts.rates["catalog.commits"];
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0].value - 50.0).abs() < 1e-9);
+        assert!((rates[1].value - 100.0).abs() < 1e-9);
+        assert_eq!(ts.ticks, 2);
+        assert_eq!(ts.tick_ms, 100);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_delta_not_lifetime() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("catalog.commit_lock_hold_ns");
+        let harv = Harvester::detached(Arc::clone(&reg), Duration::from_millis(50), 8);
+        for _ in 0..100 {
+            h.record_ns(500); // sub-µs tick 1
+        }
+        harv.run_once();
+        for _ in 0..10 {
+            h.record_ns(2_000_000); // ~2ms tick 2
+        }
+        harv.run_once();
+        let ts = harv.time_series();
+        let q = &ts.quantiles["catalog.commit_lock_hold_ns"];
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].count, 100);
+        assert_eq!(q[0].p99_ns, 1_000);
+        // tick 2's p50 reflects only the slow samples, not the lifetime mix
+        assert_eq!(q[1].count, 10);
+        assert!(q[1].p50_ns >= 2_000_000);
+    }
+
+    #[test]
+    fn rings_are_bounded_by_window() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x.events").inc();
+        reg.gauge("x.level").set(1);
+        let h = Harvester::detached(Arc::clone(&reg), Duration::from_millis(10), 3);
+        for _ in 0..10 {
+            h.run_once();
+        }
+        let ts = h.time_series();
+        assert_eq!(ts.rates["x.events"].len(), 3);
+        assert_eq!(ts.gauges["x.level"].len(), 3);
+        assert_eq!(ts.ticks, 10);
+    }
+
+    #[test]
+    fn threaded_harvester_ticks_and_stops() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x.events").add(3);
+        let mut h = Harvester::start(Arc::clone(&reg), Duration::from_millis(5), 16);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while h.ticks() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(h.ticks() >= 3, "harvester thread never ticked");
+        h.stop();
+        let after = h.ticks();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(h.ticks(), after, "ticks advanced after stop");
+    }
+}

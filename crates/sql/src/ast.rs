@@ -185,4 +185,8 @@ pub enum Statement {
     /// EXPLAIN ANALYZE <stmt>: execute the inner statement and render its
     /// trace span tree with per-phase timings and pruning statistics.
     ExplainAnalyze(Box<Statement>),
+    /// SHOW ENGINE HEALTH: render the continuous-telemetry view — current
+    /// health status, firing watchdogs, recent health events, top slow
+    /// transactions/statements and per-shard commit-lock pressure.
+    ShowEngineHealth,
 }

@@ -159,6 +159,11 @@ impl Parser {
             let name = self.identifier()?;
             return Ok(Statement::DropTable { name });
         }
+        if self.eat_keyword("SHOW") {
+            self.expect_keyword("ENGINE")?;
+            self.expect_keyword("HEALTH")?;
+            return Ok(Statement::ShowEngineHealth);
+        }
         if self.eat_keyword("BEGIN") {
             let _ = self.eat_keyword("TRAN") || self.eat_keyword("TRANSACTION");
             return Ok(Statement::Begin);
@@ -828,6 +833,22 @@ mod tests {
         assert_eq!(parse("BEGIN TRANSACTION").unwrap(), Statement::Begin);
         assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
         assert_eq!(parse("ROLLBACK;").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn parses_show_engine_health() {
+        assert_eq!(
+            parse("SHOW ENGINE HEALTH").unwrap(),
+            Statement::ShowEngineHealth
+        );
+        assert_eq!(
+            parse("show engine health;").unwrap(),
+            Statement::ShowEngineHealth
+        );
+        assert!(parse("SHOW ENGINE").is_err());
+        assert!(parse("SHOW TABLES").is_err());
+        // SHOW/ENGINE/HEALTH stay usable as identifiers.
+        assert!(parse("SELECT health FROM engine").is_ok());
     }
 
     #[test]

@@ -8,5 +8,32 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+# The telemetry endpoint is infrastructure other tooling scrapes: hold
+# the obs crate to no-unwrap discipline on top of the workspace lints.
+cargo clippy -p polaris-obs -- -D warnings -D clippy::unwrap_used
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+# Telemetry smoke: serve a real engine on a fixed port, scrape /metrics
+# and /health over plain HTTP, and check a known counter is exposed.
+if command -v curl >/dev/null; then
+  port=9184
+  cargo run --release --example telemetry "127.0.0.1:${port}" 10000 \
+    >/dev/null 2>&1 &
+  telemetry_pid=$!
+  trap 'kill "$telemetry_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:${port}/metrics" >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.2
+  done
+  curl -sf "http://127.0.0.1:${port}/metrics" | grep -q '^catalog_commits_total '
+  curl -sf "http://127.0.0.1:${port}/health" | grep -q '"status"'
+  kill "$telemetry_pid" 2>/dev/null || true
+  wait "$telemetry_pid" 2>/dev/null || true
+  trap - EXIT
+  echo "telemetry smoke: ok"
+else
+  echo "telemetry smoke: skipped (no curl)"
+fi

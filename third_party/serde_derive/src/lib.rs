@@ -32,7 +32,7 @@ fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
     code.parse().unwrap_or_else(|e| {
         format!("compile_error!(\"serde_derive stub generated invalid code: {e}\");")
             .parse()
-            .unwrap()
+            .expect("compile_error! invocation tokenizes")
     })
 }
 
