@@ -2,7 +2,7 @@
 //! queries, and the optimistic commit protocol round trip.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use polaris_core::{DataType, Field};
+use polaris_core::{DataType, EngineConfig, Field};
 use polaris_core::{PolarisEngine, RecordBatch, Schema, Value};
 use std::sync::Arc;
 
@@ -81,6 +81,46 @@ fn bench_queries(c: &mut Criterion) {
     });
 }
 
+fn bench_morsel_scan(c: &mut Criterion) {
+    // Exactly 4 files × 8 row groups: distributions=4 makes one
+    // 4096-row insert land as four 1024-row files, and the testing
+    // config's 128-row groups cut each file into 8 groups. The query
+    // projects 2 of 3 columns behind a selective predicate, so the
+    // morsel pipeline's splitting, stealing, and late materialization
+    // are all on the measured path.
+    let config = EngineConfig {
+        distributions: 4,
+        ..EngineConfig::for_testing()
+    };
+    let engine = polaris_bench::engine_with_topology(4, 2, 2, config);
+    let mut s = engine.session();
+    s.execute("CREATE TABLE t (id BIGINT, grp VARCHAR, v FLOAT)")
+        .unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("grp", DataType::Utf8),
+        Field::new("v", DataType::Float64),
+    ]);
+    let data: Vec<Vec<Value>> = (0..4096)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("g{}", i % 10)),
+                Value::Float(i as f64),
+            ]
+        })
+        .collect();
+    let batch = RecordBatch::from_rows(schema, &data).unwrap();
+    s.insert_batch("t", &batch).unwrap();
+    s.query("SELECT COUNT(*) AS n FROM t").unwrap(); // warm caches
+    c.bench_function("scan_morsel_4files_8groups", |b| {
+        b.iter(|| s.query("SELECT id, v FROM t WHERE id >= 3584").unwrap())
+    });
+    // Diffable run-to-run artifact: store traffic, morsel counters, task
+    // counts for this bench's engine.
+    polaris_bench::dump_metrics_snapshot("scan_morsel_4files_8groups", &engine.metrics_snapshot());
+}
+
 fn bench_readonly_txn(c: &mut Criterion) {
     let engine = loaded_engine(1_000);
     c.bench_function("engine_readonly_txn_roundtrip", |b| {
@@ -96,6 +136,7 @@ criterion_group!(
     benches,
     bench_insert_commit,
     bench_queries,
+    bench_morsel_scan,
     bench_readonly_txn
 );
 criterion_main!(benches);

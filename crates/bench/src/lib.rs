@@ -9,6 +9,7 @@
 //! | `fig7_ingestion_scaling` | Fig 7 — lineitem load time vs scale, elastic |
 //! | `fig8_fixed_vs_elastic` | Fig 8 — fixed-capacity vs elastic load |
 //! | `fig9_query_isolation` | Fig 9 — TPC-H queries ± concurrent load |
+//! | `fig9_morsel_lane_sweep` | Fig 9 addendum — scan wall clock vs Read lanes |
 //! | `fig10_compaction_health` | Fig 10 — compaction restoring health |
 //! | `fig11_checkpoint_lifetimes` | Fig 11 — checkpoint lifetimes per table |
 //! | `fig12_wp3_concurrency` | Fig 12 — WP3 concurrency phases |
@@ -60,6 +61,26 @@ pub fn engine_with_latency(
         LatencyStore::new(MemoryStore::new(), model),
         256 * 1024 * 1024,
     );
+    PolarisEngine::new(Arc::new(store), pool, config)
+}
+
+/// Build an engine over *uncached* simulated cloud storage: every chunk
+/// fetch pays the latency model, with no BE data cache in front.
+///
+/// The lane-sweep figure needs this: with a cache, warm scans become
+/// CPU-bound and lane count stops mattering on a small host. Raw latency
+/// keeps scans I/O-bound, so wall clock tracks how many lanes overlap
+/// storage stalls — the quantity the morsel scheduler controls.
+pub fn engine_with_raw_latency(
+    read_nodes: usize,
+    write_nodes: usize,
+    slots: usize,
+    config: EngineConfig,
+    model: LatencyModel,
+) -> Arc<PolarisEngine> {
+    let pool = Arc::new(ComputePool::with_topology(read_nodes, write_nodes, slots));
+    pool.add_nodes(WorkloadClass::System, 2, 2);
+    let store = LatencyStore::new(MemoryStore::new(), model);
     PolarisEngine::new(Arc::new(store), pool, config)
 }
 

@@ -487,6 +487,38 @@ impl ColumnarFooter {
         self.groups.iter().map(|g| g.rows).sum()
     }
 
+    /// Byte range of one column chunk — the exact range a lazy reader
+    /// hands to `ObjectStore::get_range` before
+    /// [`decode_chunk_payload`](ColumnarFooter::decode_chunk_payload).
+    pub fn chunk_range(&self, group: usize, col: usize) -> ColumnarResult<std::ops::Range<u64>> {
+        let g = self
+            .groups
+            .get(group)
+            .ok_or_else(|| ColumnarError::corrupt(format!("row group {group} out of range")))?;
+        let c = g
+            .chunks
+            .get(col)
+            .ok_or_else(|| ColumnarError::corrupt(format!("column {col} out of range")))?;
+        if c.offset + c.length > self.file_len {
+            return Err(ColumnarError::corrupt("chunk extends past end of file"));
+        }
+        Ok(c.offset..c.offset + c.length)
+    }
+
+    /// Payload bytes a scan of `cols` would fetch for one row group —
+    /// the scheduling weight of a row-group-aligned morsel.
+    pub fn group_chunk_bytes(&self, group: usize, cols: &[usize]) -> u64 {
+        self.groups
+            .get(group)
+            .map(|g| {
+                cols.iter()
+                    .filter_map(|&c| g.chunks.get(c))
+                    .map(|c| c.length)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
     /// Decode one column chunk from its raw payload bytes (as fetched by a
     /// range read of `[chunk.offset, chunk.offset + chunk.length)`).
     pub fn decode_chunk_payload(
@@ -518,6 +550,7 @@ pub struct ColumnarFile {
     data: Bytes,
     schema: Schema,
     groups: Vec<RowGroupMeta>,
+    footer_len: usize,
 }
 
 impl ColumnarFile {
@@ -538,7 +571,16 @@ impl ColumnarFile {
             data,
             schema,
             groups,
+            footer_len,
         })
+    }
+
+    /// Metadata bytes a lazy reader transfers to learn this file's layout:
+    /// the 8-byte tail probe plus the footer tail (`footer_len + 8`).
+    /// Eager scans charge this to `ScanMeter::bytes_read` so eager and
+    /// lazy byte accounting stay comparable.
+    pub fn footer_overhead_bytes(&self) -> u64 {
+        self.footer_len as u64 + 16
     }
 
     /// The file schema.

@@ -1,22 +1,28 @@
 //! Distributed read execution: scans, partial aggregation, joins.
 //!
-//! The FE compiles a SELECT into a DAG whose leaf tasks scan disjoint cell
-//! sets (with predicate pushdown and partial aggregation) on Read-class
-//! nodes; the FE merges partials and applies presentation (final
-//! projection, ORDER BY, LIMIT). Reads are indistinguishable from writes
-//! to the DCP — both are just task DAGs (§3.3).
+//! The FE compiles a SELECT into two DCP phases. A **plan DAG** first fans
+//! cell metadata work (manifest pruning, footer fetch, delete-vector
+//! fetch) across Read-class nodes; the surviving per-file plans are then
+//! split into row-group-aligned **morsels** and drained by the DCP's
+//! work-stealing morsel scheduler ([`polaris_dcp::Morsel`]) with adaptive
+//! sizing, chunk prefetch, and late materialization. The FE merges
+//! partials and applies presentation (final projection, ORDER BY, LIMIT).
+//! Reads are indistinguishable from writes to the DCP — both are just
+//! task DAGs (§3.3).
 
 use crate::txn::Transaction;
 use crate::{PolarisError, PolarisResult};
-use polaris_columnar::{DataType, Field, RecordBatch, Schema};
-use polaris_dcp::{TaskError, WorkflowDag, WorkloadClass};
+use polaris_columnar::{ColumnarError, DataType, Field, RecordBatch, Schema};
+use polaris_dcp::{Morsel, MorselCtx, TaskError, WorkflowDag, WorkloadClass};
 use polaris_exec::{
-    cell::partition_cells, cells_of_snapshot, ops, scan::scan_cell_lazy_metered, AggExpr, AggFunc,
-    BinOp, Expr,
+    cells_of_snapshot, ops, plan_file_scan, AggExpr, AggFunc, BinOp, Expr, FileScanPlan,
+    MorselScanOutput, PrefetchCache, ScanMorsel,
 };
 use polaris_lst::{SequenceId, TableSnapshot};
 use polaris_obs::ScanMeter;
 use polaris_sql::{AggPlan, SelectPlan};
+use polaris_store::ObjectStore;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Result of a statement: rows for SELECTs, an affected-count for DML.
@@ -159,10 +165,13 @@ fn source_snapshot(
     Ok((schema, snap))
 }
 
-/// Distributed scan: cells fan out over Read nodes; the FE concatenates.
+/// Distributed scan: surviving file plans fan out as row-group-aligned
+/// morsels over Read lanes; the FE restores snapshot order and
+/// concatenates.
 ///
-/// Column pushdown: tasks range-read only the chunks that the predicate
-/// and projection expressions reference (lazy footer-first scans).
+/// Column pushdown: morsels range-read only the chunks the predicate and
+/// projection expressions reference, and late-materialize non-predicate
+/// columns (fetched only for row groups with surviving rows).
 fn distributed_scan(
     engine: &Arc<crate::PolarisEngine>,
     schema: &Schema,
@@ -172,54 +181,251 @@ fn distributed_scan(
     meter: &Arc<ScanMeter>,
 ) -> PolarisResult<RecordBatch> {
     let needed = needed_columns(predicate, projections.map(|p| p.iter().map(|(e, _)| e)));
-    let cells = cells_of_snapshot(snapshot);
+    let plans = plan_snapshot_scan(engine, snapshot, needed, predicate, meter)?;
     let mut batches = Vec::new();
-    if !cells.is_empty() {
-        let tasks = engine.config().max_read_tasks.min(cells.len());
-        let groups = partition_cells(cells, tasks);
-        let mut dag: WorkflowDag<Vec<RecordBatch>> = WorkflowDag::new();
-        let needed = Arc::new(needed);
-        for group in groups.into_iter().filter(|g| !g.is_empty()) {
-            let store = Arc::clone(engine.store());
-            let predicate = predicate.cloned();
-            let projections: Option<Vec<(Expr, String)>> = projections.map(<[_]>::to_vec);
-            let group = Arc::new(group);
-            let needed = Arc::clone(&needed);
-            let meter = Arc::clone(meter);
-            dag.add_task(move |_ctx| {
-                let mut out = Vec::new();
-                for cell in group.iter() {
-                    let Some(batch) = scan_cell_lazy_metered(
-                        &*store,
-                        cell,
-                        needed.as_ref().as_ref(),
-                        predicate.as_ref(),
-                        Some(&meter),
-                    )
-                    .map_err(exec_to_task)?
-                    else {
-                        continue;
-                    };
-                    let batch = match &projections {
-                        Some(projs) => ops::project(&batch, projs).map_err(exec_to_task)?,
-                        None => batch,
-                    };
-                    out.push(batch);
-                }
-                Ok(out)
-            });
-        }
-        batches = engine
-            .pool()
-            .run_dag(dag, WorkloadClass::Read)?
-            .into_iter()
-            .flatten()
+    if !plans.is_empty() {
+        let cache = Arc::new(PrefetchCache::new());
+        let projs: Option<Arc<Vec<(Expr, String)>>> = projections.map(|p| Arc::new(p.to_vec()));
+        let morsels: Vec<ScanMorselJob> = plans
+            .iter()
+            .map(|plan| ScanMorselJob {
+                morsel: plan.whole_file_morsel(),
+                store: Arc::clone(engine.store()),
+                cache: Arc::clone(&cache),
+                meter: Arc::clone(meter),
+                projections: projs.clone(),
+                trace_parent: meter.tracer.current(),
+            })
             .collect();
+        let mut outputs = run_scan_morsels(engine, morsels, meter, &cache)?;
+        // Morsels complete in steal order; snapshot order is (file, group).
+        outputs.sort_by_key(|o| (o.file_index, o.group_lo));
+        batches = outputs.into_iter().flat_map(|o| o.batches).collect();
     }
     if batches.is_empty() {
         return Ok(RecordBatch::empty(output_schema(schema, projections)?));
     }
     Ok(RecordBatch::concat(&batches)?)
+}
+
+/// Phase 1 of a read: plan every cell (manifest pruning, footer fetch,
+/// file-level stats pruning, delete-vector fetch) as a task DAG over Read
+/// lanes. Returns the surviving per-file plans in snapshot order.
+fn plan_snapshot_scan(
+    engine: &Arc<crate::PolarisEngine>,
+    snapshot: &TableSnapshot,
+    needed: Option<BTreeSet<String>>,
+    predicate: Option<&Expr>,
+    meter: &Arc<ScanMeter>,
+) -> PolarisResult<Vec<Arc<FileScanPlan>>> {
+    let cells = cells_of_snapshot(snapshot);
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let tasks = engine.config().max_read_tasks.min(cells.len());
+    // Group whole distributions per task (as `partition_cells` does), but
+    // keep each cell's snapshot ordinal: it becomes the `file_index` that
+    // restores deterministic output order after out-of-order morsel
+    // completion.
+    let mut groups: Vec<Vec<(usize, polaris_exec::Cell)>> =
+        (0..tasks).map(|_| Vec::new()).collect();
+    for (index, cell) in cells.into_iter().enumerate() {
+        groups[(cell.distribution as usize) % tasks].push((index, cell));
+    }
+    let needed = Arc::new(needed);
+    let mut dag: WorkflowDag<Vec<Arc<FileScanPlan>>> = WorkflowDag::new();
+    for group in groups.into_iter().filter(|g| !g.is_empty()) {
+        let store = Arc::clone(engine.store());
+        let predicate = predicate.cloned();
+        let needed = Arc::clone(&needed);
+        let meter = Arc::clone(meter);
+        dag.add_task(move |_ctx| {
+            let mut plans = Vec::new();
+            for (index, cell) in &group {
+                if let Some(plan) = plan_file_scan(
+                    &*store,
+                    cell,
+                    *index,
+                    needed.as_ref().as_ref(),
+                    predicate.as_ref(),
+                    Some(&meter),
+                )
+                .map_err(exec_to_task)?
+                {
+                    plans.push(plan);
+                }
+            }
+            Ok(plans)
+        });
+    }
+    let mut plans: Vec<Arc<FileScanPlan>> = engine
+        .pool()
+        .run_dag(dag, WorkloadClass::Read)?
+        .into_iter()
+        .flatten()
+        .collect();
+    plans.sort_by_key(|p| p.file_index);
+    Ok(plans)
+}
+
+/// Phase 2 of a read: drain morsels through the DCP work-stealing
+/// scheduler with the engine's adaptive-sizing and prefetch knobs, then
+/// fold the run's counters into the statement's [`ScanMeter`].
+fn run_scan_morsels<M: Morsel>(
+    engine: &Arc<crate::PolarisEngine>,
+    morsels: Vec<M>,
+    meter: &Arc<ScanMeter>,
+    cache: &PrefetchCache,
+) -> PolarisResult<Vec<M::Output>> {
+    let cfg = engine.config();
+    let (outputs, stats) = engine.pool().run_morsels(
+        WorkloadClass::Read,
+        morsels,
+        cfg.scan_morsel_target_bytes,
+        cfg.scan_prefetch_depth,
+    )?;
+    ScanMeter::bump(&meter.morsels_scheduled, stats.scheduled);
+    ScanMeter::bump(&meter.morsels_stolen, stats.stolen);
+    ScanMeter::bump(&meter.prefetch_wasted_bytes, cache.wasted_bytes());
+    Ok(outputs)
+}
+
+/// Core-side adapter: one [`ScanMorsel`] plus everything its execution
+/// needs, shaped as a [`polaris_dcp::Morsel`]. `exec` stays independent of
+/// `dcp`; this struct is the bridge between the two.
+#[derive(Clone)]
+struct ScanMorselJob {
+    morsel: ScanMorsel,
+    store: Arc<dyn ObjectStore>,
+    cache: Arc<PrefetchCache>,
+    meter: Arc<ScanMeter>,
+    /// FE projection applied morsel-side so compute stays distributed.
+    projections: Option<Arc<Vec<(Expr, String)>>>,
+    /// Statement span captured on the submitting thread: morsel spans
+    /// attach here, not to the driver thread's (empty) span stack.
+    trace_parent: u64,
+}
+
+impl ScanMorselJob {
+    fn with_morsel(&self, morsel: ScanMorsel) -> Self {
+        let mut job = self.clone();
+        job.morsel = morsel;
+        job
+    }
+
+    fn run_traced(&self, ctx: &MorselCtx) -> Result<MorselScanOutput, TaskError> {
+        let mut span = self
+            .meter
+            .tracer
+            .span_on_lane("exec.morsel", self.trace_parent, ctx.node);
+        span.attr("file", self.morsel.plan.path.clone());
+        span.attr(
+            "groups",
+            format!("{}..{}", self.morsel.group_lo, self.morsel.group_hi),
+        );
+        span.attr("stolen", ctx.stolen);
+        let mut out = self
+            .morsel
+            .run(&*self.store, Some(&self.cache), Some(&self.meter))
+            .map_err(exec_to_task)?;
+        if let Some(projs) = &self.projections {
+            for batch in &mut out.batches {
+                *batch = ops::project(batch, projs).map_err(exec_to_task)?;
+            }
+        }
+        span.attr(
+            "rows",
+            out.batches.iter().map(|b| b.num_rows() as u64).sum::<u64>(),
+        );
+        Ok(out)
+    }
+}
+
+impl Morsel for ScanMorselJob {
+    type Output = MorselScanOutput;
+
+    fn weight(&self) -> u64 {
+        self.morsel.weight()
+    }
+
+    fn split(&self) -> Option<(Self, Self)> {
+        let (head, tail) = self.morsel.split()?;
+        Some((self.with_morsel(head), self.with_morsel(tail)))
+    }
+
+    fn prefetch(&self) {
+        self.morsel
+            .prefetch(&*self.store, &self.cache, Some(&self.meter));
+    }
+
+    fn execute(&self, ctx: &MorselCtx) -> Result<MorselScanOutput, TaskError> {
+        self.run_traced(ctx)
+    }
+}
+
+/// Partial aggregates produced by one morsel: one batch per surviving row
+/// group, in group order. Partials are per *row group* — not per morsel —
+/// so float accumulation order is independent of where the adaptive
+/// scheduler happened to split, and merging the sorted partials is
+/// bit-identical across runs.
+struct AggPartial {
+    file_index: usize,
+    group_lo: usize,
+    partials: Vec<RecordBatch>,
+}
+
+/// Morsel adapter for aggregations: scan the morsel, then fold each row
+/// group into a partial aggregate so only group rows travel back to the
+/// FE.
+#[derive(Clone)]
+struct AggMorselJob {
+    scan: ScanMorselJob,
+    group_by: Arc<Vec<(Expr, String)>>,
+    partial_aggs: Arc<Vec<AggExpr>>,
+}
+
+impl Morsel for AggMorselJob {
+    type Output = AggPartial;
+
+    fn weight(&self) -> u64 {
+        self.scan.morsel.weight()
+    }
+
+    fn split(&self) -> Option<(Self, Self)> {
+        let (head, tail) = self.scan.morsel.split()?;
+        Some((
+            AggMorselJob {
+                scan: self.scan.with_morsel(head),
+                group_by: Arc::clone(&self.group_by),
+                partial_aggs: Arc::clone(&self.partial_aggs),
+            },
+            AggMorselJob {
+                scan: self.scan.with_morsel(tail),
+                group_by: Arc::clone(&self.group_by),
+                partial_aggs: Arc::clone(&self.partial_aggs),
+            },
+        ))
+    }
+
+    fn prefetch(&self) {
+        Morsel::prefetch(&self.scan);
+    }
+
+    fn execute(&self, ctx: &MorselCtx) -> Result<AggPartial, TaskError> {
+        let out = self.scan.run_traced(ctx)?;
+        let mut partials = Vec::with_capacity(out.batches.len());
+        for batch in &out.batches {
+            partials.push(
+                ops::hash_aggregate(batch, &self.group_by, &self.partial_aggs)
+                    .map_err(exec_to_task)?,
+            );
+        }
+        Ok(AggPartial {
+            file_index: out.file_index,
+            group_lo: out.group_lo,
+            partials,
+        })
+    }
 }
 
 /// Column set a scan must materialize; `None` means "all columns"
@@ -260,54 +466,32 @@ fn distributed_aggregate(
                 .chain(partial_aggs.iter().map(|a| &a.input)),
         ),
     );
-    let cells = cells_of_snapshot(snapshot);
+    let plans = plan_snapshot_scan(engine, snapshot, needed, predicate, meter)?;
     let mut partials: Vec<RecordBatch> = Vec::new();
-    if !cells.is_empty() {
-        let tasks = engine.config().max_read_tasks.min(cells.len());
-        let groups = partition_cells(cells, tasks);
-        let mut dag: WorkflowDag<Option<RecordBatch>> = WorkflowDag::new();
-        let partial_aggs = Arc::new(partial_aggs.clone());
+    if !plans.is_empty() {
+        let cache = Arc::new(PrefetchCache::new());
         let group_by_arc = Arc::new(group_by.clone());
-        let needed = Arc::new(needed);
-        for group in groups.into_iter().filter(|g| !g.is_empty()) {
-            let store = Arc::clone(engine.store());
-            let predicate = predicate.cloned();
-            let partial_aggs = Arc::clone(&partial_aggs);
-            let group_by = Arc::clone(&group_by_arc);
-            let group = Arc::new(group);
-            let needed = Arc::clone(&needed);
-            let meter = Arc::clone(meter);
-            dag.add_task(move |_ctx| {
-                let mut scanned = Vec::new();
-                for cell in group.iter() {
-                    if let Some(batch) = scan_cell_lazy_metered(
-                        &*store,
-                        cell,
-                        needed.as_ref().as_ref(),
-                        predicate.as_ref(),
-                        Some(&meter),
-                    )
-                    .map_err(exec_to_task)?
-                    {
-                        scanned.push(batch);
-                    }
-                }
-                if scanned.is_empty() {
-                    return Ok(None);
-                }
-                let input =
-                    RecordBatch::concat(&scanned).map_err(|e| TaskError::fatal(e.to_string()))?;
-                let partial =
-                    ops::hash_aggregate(&input, &group_by, &partial_aggs).map_err(exec_to_task)?;
-                Ok(Some(partial))
-            });
-        }
-        partials = engine
-            .pool()
-            .run_dag(dag, WorkloadClass::Read)?
-            .into_iter()
-            .flatten()
+        let partial_aggs_arc = Arc::new(partial_aggs.clone());
+        let morsels: Vec<AggMorselJob> = plans
+            .iter()
+            .map(|plan| AggMorselJob {
+                scan: ScanMorselJob {
+                    morsel: plan.whole_file_morsel(),
+                    store: Arc::clone(engine.store()),
+                    cache: Arc::clone(&cache),
+                    meter: Arc::clone(meter),
+                    projections: None,
+                    trace_parent: meter.tracer.current(),
+                },
+                group_by: Arc::clone(&group_by_arc),
+                partial_aggs: Arc::clone(&partial_aggs_arc),
+            })
             .collect();
+        let mut outs = run_scan_morsels(engine, morsels, meter, &cache)?;
+        // Restore (file, group) order so partial merge — and its float
+        // rounding — is deterministic across runs.
+        outs.sort_by_key(|o| (o.file_index, o.group_lo));
+        partials = outs.into_iter().flat_map(|o| o.partials).collect();
     }
     // Always contribute one FE-local partial over an empty input so scalar
     // aggregates return their SQL-mandated single row even on empty scans.
@@ -412,9 +596,17 @@ fn output_schema(base: &Schema, projections: Option<&[(Expr, String)]>) -> Polar
 }
 
 fn exec_to_task(e: polaris_exec::ExecError) -> TaskError {
-    match e {
+    match &e {
+        // Storage faults are transient by definition — retry elsewhere.
         polaris_exec::ExecError::Store(_) => TaskError::transient(e.to_string()),
-        other => TaskError::fatal(other.to_string()),
+        // A truncated or garbled column-chunk range read surfaces as a
+        // length/corruption decode error, not a StoreError. Retrying on
+        // another lane distinguishes a flaky transfer from genuinely
+        // corrupt bytes; the DCP retry budget bounds the latter.
+        polaris_exec::ExecError::Columnar(
+            ColumnarError::LengthMismatch { .. } | ColumnarError::Corrupt { .. },
+        ) => TaskError::transient(e.to_string()),
+        _ => TaskError::fatal(e.to_string()),
     }
 }
 

@@ -361,6 +361,13 @@ impl Session {
             profile.rows_in, profile.rows_out, profile.bytes_read
         ));
         lines.push(format!(
+            "morsels: {} scheduled, {} stolen; prefetch hits: {}; late-mat chunks skipped: {}",
+            profile.morsels_scheduled,
+            profile.morsels_stolen,
+            profile.prefetch_hits,
+            profile.late_materialized_chunks_skipped
+        ));
+        lines.push(format!(
             "cache: {} hits, {} misses; tasks: {} attempts, {} retries",
             profile.cache_hits, profile.cache_misses, profile.task_attempts, profile.task_retries
         ));

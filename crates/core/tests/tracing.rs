@@ -213,7 +213,14 @@ fn explain_analyze_renders_pruned_scan_with_phase_timings() {
     // scans, and the commit protocol.
     assert!(text.contains("txn"), "missing txn root:\n{text}");
     assert!(text.contains("select t"), "missing statement span:\n{text}");
-    assert!(text.contains("exec.scan"), "missing scan spans:\n{text}");
+    assert!(
+        text.contains("exec.morsel"),
+        "missing morsel spans:\n{text}"
+    );
+    assert!(
+        text.contains("morsels: "),
+        "missing morsel summary line:\n{text}"
+    );
     assert!(text.contains("catalog.validate"), "missing commit:\n{text}");
     assert!(
         text.contains("phase execute"),

@@ -51,9 +51,11 @@
 mod alloc;
 mod dag;
 mod error;
+mod morsel;
 mod pool;
 
 pub use alloc::{CostEstimate, ElasticAllocator, FixedAllocator, ResourceAllocator};
 pub use dag::{TaskCtx, TaskFn, WorkflowDag};
 pub use error::{DcpError, DcpResult, TaskError};
+pub use morsel::{Morsel, MorselCtx, MorselRunStats};
 pub use pool::{ComputePool, DagHandle, NodeId, PoolStats, WorkloadClass};

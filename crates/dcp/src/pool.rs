@@ -17,7 +17,7 @@ use std::time::Duration;
 /// counts topology/slot changes; a waiter captures it *before* trying to
 /// dispatch and parks only while it is unchanged, so a release landing
 /// between the failed dispatch and the park is never missed.
-struct SlotEvent {
+pub(crate) struct SlotEvent {
     gen: AtomicU64,
     lock: StdMutex<()>,
     cv: Condvar,
@@ -36,7 +36,7 @@ impl SlotEvent {
         self.gen.load(Ordering::SeqCst)
     }
 
-    fn signal(&self) {
+    pub(crate) fn signal(&self) {
         self.gen.fetch_add(1, Ordering::SeqCst);
         // Taking the lock orders the bump against any waiter's check —
         // the waiter either sees the new generation or is already parked
@@ -95,7 +95,17 @@ impl WorkloadClass {
 /// A job shipped to a worker thread. The `bool` argument tells the job
 /// whether its node was still alive when dequeued: jobs on a dead node
 /// report [`TaskError::NodeLost`] without running.
-type Job = Box<dyn FnOnce(bool) + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce(bool) + Send + 'static>;
+
+/// A borrowed view of one node used by the morsel scheduler: enough to
+/// dispatch driver jobs and observe liveness without exposing
+/// [`NodeHandle`] itself.
+pub(crate) struct LaneRef {
+    pub(crate) node: NodeId,
+    pub(crate) alive: Arc<AtomicBool>,
+    pub(crate) busy: Arc<AtomicUsize>,
+    pub(crate) sender: Sender<Job>,
+}
 
 /// Trace-attribute label for how an attempt ended.
 fn outcome_label<T>(outcome: &Result<T, TaskError>) -> &'static str {
@@ -325,6 +335,40 @@ impl ComputePool {
     /// (one per attempt, on the executing node's trace lane).
     pub fn bind_tracer(&self, tracer: &Tracer) {
         *self.tracer.write() = tracer.clone();
+    }
+
+    /// Alive nodes of `class` in id order, as lane views for the morsel
+    /// scheduler (`morsel.rs`).
+    pub(crate) fn lane_refs(&self, class: WorkloadClass) -> Vec<LaneRef> {
+        let nodes = self.nodes.read();
+        let mut lanes: Vec<LaneRef> = nodes
+            .iter()
+            .filter(|(_, h)| h.class == class && h.alive.load(Ordering::SeqCst))
+            .map(|(id, h)| LaneRef {
+                node: *id,
+                alive: Arc::clone(&h.alive),
+                busy: Arc::clone(&h.busy),
+                sender: h.sender.clone(),
+            })
+            .collect();
+        lanes.sort_by_key(|l| l.node.0);
+        lanes
+    }
+
+    /// Per-morsel retry budget — shared with the DAG scheduler's.
+    pub(crate) fn retry_budget(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Slot-release event handle so morsel drivers can signal lane
+    /// occupancy changes to parked DAG schedulers sharing the pool.
+    pub(crate) fn slot_event_ref(&self) -> Arc<SlotEvent> {
+        Arc::clone(&self.slot_event)
+    }
+
+    /// `class.name()` for error reporting outside this module.
+    pub(crate) fn class_name(class: WorkloadClass) -> &'static str {
+        class.name()
     }
 
     /// Run every task of `dag` on nodes of `class`; returns one result per

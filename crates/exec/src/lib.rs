@@ -21,6 +21,7 @@
 pub mod cell;
 mod error;
 mod expr;
+pub mod morsel;
 pub mod ops;
 pub mod scan;
 pub mod write;
@@ -28,3 +29,4 @@ pub mod write;
 pub use cell::{cells_of_snapshot, partition_cells, Cell};
 pub use error::{ExecError, ExecResult};
 pub use expr::{AggExpr, AggFunc, BinOp, Expr};
+pub use morsel::{plan_file_scan, FileScanPlan, MorselScanOutput, PrefetchCache, ScanMorsel};

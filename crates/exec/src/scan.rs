@@ -54,11 +54,16 @@ pub fn scan_cell_metered(
         }
     }
     let data = store.get(&BlobPath::new(cell.file.clone())?)?;
-    if let Some(m) = meter {
-        ScanMeter::bump(&m.bytes_read, data.len() as u64);
-    }
     span.attr("bytes", data.len());
     let file = ColumnarFile::parse(data)?;
+    // `bytes_read` counts decode-relevant bytes only (the ScanMeter
+    // invariant): footer overhead here, then per-chunk payloads of the
+    // row groups that survive pruning below. The whole-blob transfer this
+    // eager path performs is still visible in the store.* counters —
+    // charging it here made eager and lazy scans incomparable.
+    if let Some(m) = meter {
+        ScanMeter::bump(&m.bytes_read, file.footer_overhead_bytes());
+    }
     if let Some(pred) = predicate {
         let lookup = |name: &str| file.column_stats(name).ok();
         if !pred.may_match(&lookup) {
@@ -106,6 +111,10 @@ pub fn scan_cell_metered(
         if let Some(m) = meter {
             ScanMeter::bump(&m.row_groups_scanned, 1);
             ScanMeter::bump(&m.rows_in, group_rows as u64);
+            ScanMeter::bump(
+                &m.bytes_read,
+                group.chunks.iter().map(|c| c.length).sum::<u64>(),
+            );
         }
         let batch = file.read_row_group(gi)?;
         // Merge-on-read: mask deleted rows. DV indexes are file-relative.
@@ -505,6 +514,42 @@ mod tests {
         let out = scan_snapshot(&store, &snap, &schema(), Some(&["id"]), Some(&pred)).unwrap();
         assert_eq!(out.num_rows(), 0);
         assert_eq!(out.num_columns(), 1);
+    }
+
+    #[test]
+    fn eager_and_lazy_byte_accounting_agree_on_pruned_file() {
+        // Regression for the eager-path skew: scan_cell_metered used to
+        // charge the full blob before footer pruning (and the lazy path
+        // only what it range-read), making the two paths incomparable.
+        // With row-group pruning in play, both must now report the same
+        // decode-relevant volume: footer overhead + surviving groups'
+        // chunks (+ DV bytes).
+        let (store, snap) = setup();
+        // id == 9 touches one row group of f1 and prunes f2 entirely.
+        let pred = Expr::col("id").eq(Expr::lit(9i64));
+        let eager = ScanMeter::default();
+        let lazy = ScanMeter::default();
+        for state in snap.files() {
+            let cell = Cell::from_state(state);
+            scan_cell_metered(&store, &cell, None, Some(&pred), Some(&eager)).unwrap();
+            scan_cell_lazy_metered(&store, &cell, None, Some(&pred), Some(&lazy)).unwrap();
+        }
+        assert_eq!(
+            ScanMeter::read(&eager.row_groups_scanned),
+            ScanMeter::read(&lazy.row_groups_scanned)
+        );
+        assert_eq!(
+            ScanMeter::read(&eager.bytes_read),
+            ScanMeter::read(&lazy.bytes_read),
+            "eager and lazy scans must charge identical decode-relevant bytes"
+        );
+        // And pruning must actually have narrowed the count below the
+        // blob sizes the eager path transferred.
+        let full_blob_bytes: u64 = ["t/f1", "t/f2"]
+            .iter()
+            .map(|p| store.head(&BlobPath::new(*p).unwrap()).unwrap().size)
+            .sum();
+        assert!(ScanMeter::read(&eager.bytes_read) < full_blob_bytes);
     }
 
     #[test]

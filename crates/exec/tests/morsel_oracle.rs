@@ -1,0 +1,206 @@
+//! Property oracle for the morsel scan path: any partition of a file's
+//! row groups into morsels — including one group per morsel and one
+//! morsel spanning the whole file — must produce batch-for-row identical
+//! results to the single-node [`scan_snapshot`] reference, under random
+//! projections, predicates, delete vectors, and row-group sizes, with or
+//! without a prefetch cache in front of the chunk fetches.
+
+use polaris_columnar::{DataType, DeleteVector, Field, RecordBatch, Schema, Value, WriterOptions};
+use polaris_exec::scan::scan_snapshot;
+use polaris_exec::write::write_data_file;
+use polaris_exec::{cells_of_snapshot, plan_file_scan, Expr, PrefetchCache, ScanMorsel};
+use polaris_lst::{Manifest, ManifestAction, SequenceId, TableSnapshot};
+use polaris_store::{BlobPath, MemoryStore, ObjectStore, Stamp};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::nullable("v", DataType::Int64),
+    ])
+}
+
+fn batch_of(rows: &[(i64, Option<i64>)]) -> RecordBatch {
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(id, v)| vec![Value::Int(*id), v.map_or(Value::Null, Value::Int)])
+        .collect();
+    RecordBatch::from_rows(schema(), &data).unwrap()
+}
+
+/// Build a store + snapshot from per-file row sets and per-file deleted
+/// row indexes (indexes beyond the file's row count are ignored).
+fn setup(
+    files: &[Vec<(i64, Option<i64>)>],
+    deletes: &[Vec<usize>],
+    row_group_rows: usize,
+) -> (MemoryStore, TableSnapshot) {
+    let store = MemoryStore::new();
+    let opts = WriterOptions {
+        row_group_rows,
+        ..Default::default()
+    };
+    let mut actions = Vec::new();
+    for (i, rows) in files.iter().enumerate() {
+        let path = format!("t/f{i}");
+        write_data_file(&store, &path, &batch_of(rows), opts, Stamp(1)).unwrap();
+        actions.push(ManifestAction::add_file(
+            path.clone(),
+            rows.len() as u64,
+            0,
+            i as u32,
+        ));
+        let dv_rows: Vec<usize> = deletes
+            .get(i)
+            .map(|del| del.iter().filter(|&&r| r < rows.len()).copied().collect())
+            .unwrap_or_default();
+        if !dv_rows.is_empty() {
+            let dv_path = format!("{path}.dv");
+            let dv = DeleteVector::from_rows(dv_rows);
+            store
+                .put(
+                    &BlobPath::new(dv_path.clone()).unwrap(),
+                    dv.to_bytes(),
+                    Stamp(2),
+                )
+                .unwrap();
+            actions.push(ManifestAction::add_dv(path, dv_path, 2));
+        }
+    }
+    let m = Manifest::from_actions(actions);
+    let snap = TableSnapshot::from_manifests([(SequenceId(1), &m)]).unwrap();
+    (store, snap)
+}
+
+fn predicate_of(kind: u8, c: i64) -> Option<Expr> {
+    match kind % 5 {
+        0 => None,
+        1 => Some(Expr::col("id").lt(Expr::lit(c))),
+        2 => Some(Expr::col("id").gt_eq(Expr::lit(c))),
+        3 => Some(Expr::col("id").eq(Expr::lit(c))),
+        _ => Some(Expr::col("v").gt(Expr::lit(c))),
+    }
+}
+
+fn projection_of(kind: u8) -> Option<Vec<&'static str>> {
+    match kind % 4 {
+        0 => None,
+        1 => Some(vec!["id"]),
+        2 => Some(vec!["v"]),
+        _ => Some(vec!["id", "v"]),
+    }
+}
+
+fn rows_of(batch: &RecordBatch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Morsel scan ≡ scan_snapshot, for every morsel partition.
+    #[test]
+    fn morsel_scan_matches_scan_snapshot(
+        files in proptest::collection::vec(
+            proptest::collection::vec((-20i64..20, proptest::option::of(-50i64..50)), 1..40),
+            1..4,
+        ),
+        deletes in proptest::collection::vec(
+            proptest::collection::vec(0usize..40, 0..10),
+            0..4,
+        ),
+        row_group_rows in 1usize..8,
+        pred_kind in 0u8..5,
+        pred_const in -20i64..20,
+        proj_kind in 0u8..4,
+        cuts in proptest::collection::vec(1usize..64, 0..6),
+    ) {
+        let (store, snap) = setup(&files, &deletes, row_group_rows);
+        let predicate = predicate_of(pred_kind, pred_const);
+        let projection = projection_of(proj_kind);
+
+        let expected = scan_snapshot(
+            &store,
+            &snap,
+            &schema(),
+            projection.as_deref(),
+            predicate.as_ref(),
+        )
+        .unwrap();
+
+        // The scan's fetch set mirrors core::read::needed_columns: the
+        // projected columns plus whatever the predicate references.
+        let needed: Option<BTreeSet<String>> = projection.as_ref().map(|cols| {
+            let mut set: BTreeSet<String> =
+                cols.iter().map(|c| (*c).to_owned()).collect();
+            if let Some(p) = &predicate {
+                p.referenced_columns(&mut set);
+            }
+            set
+        });
+
+        let mut batches = Vec::new();
+        for (file_index, cell) in cells_of_snapshot(&snap).iter().enumerate() {
+            let Some(plan) = plan_file_scan(
+                &store,
+                cell,
+                file_index,
+                needed.as_ref(),
+                predicate.as_ref(),
+                None,
+            )
+            .unwrap() else {
+                continue;
+            };
+            // Cut the file's group range at the random boundaries. No cuts
+            // = one whole-file morsel; enough cuts = one group per morsel.
+            let n_groups = plan.footer.row_groups().len();
+            let mut bounds: Vec<usize> = cuts
+                .iter()
+                .map(|c| c % n_groups)
+                .filter(|&c| c > 0)
+                .collect();
+            bounds.push(0);
+            bounds.push(n_groups);
+            bounds.sort_unstable();
+            bounds.dedup();
+            // Alternate the prefetch-cache path across files so both the
+            // cached and direct chunk-fetch routes face the oracle.
+            let cache = (file_index % 2 == 0).then(PrefetchCache::new);
+            for pair in bounds.windows(2) {
+                let morsel = ScanMorsel {
+                    plan: std::sync::Arc::clone(&plan),
+                    group_lo: pair[0],
+                    group_hi: pair[1],
+                };
+                if let Some(c) = &cache {
+                    morsel.prefetch(&store, c, None);
+                }
+                let out = morsel.run(&store, cache.as_ref(), None).unwrap();
+                for batch in out.batches {
+                    let projected = match &projection {
+                        Some(cols) => batch.project(cols).unwrap(),
+                        None => batch,
+                    };
+                    batches.push(projected);
+                }
+            }
+        }
+
+        let got_rows: Vec<Vec<Value>> = batches.iter().flat_map(rows_of).collect();
+        prop_assert_eq!(&got_rows, &rows_of(&expected));
+        if !got_rows.is_empty() {
+            let got = RecordBatch::concat(&batches).unwrap();
+            let got_names: Vec<&str> =
+                got.schema().fields().iter().map(|f| f.name.as_str()).collect();
+            let want_names: Vec<&str> = expected
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect();
+            prop_assert_eq!(got_names, want_names);
+        }
+    }
+}

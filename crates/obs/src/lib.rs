@@ -653,9 +653,32 @@ pub struct ScanMeter {
     pub rows_in: AtomicU64,
     /// Rows surviving predicate + delete-vector masking.
     pub rows_out: AtomicU64,
-    /// Payload bytes fetched from the object store (footers + column chunks).
+    /// Payload bytes the scan *consumed* from the object store.
+    ///
+    /// Invariant: this counts footer tails, delete vectors, and the
+    /// column-chunk payloads of row groups that **survive pruning** —
+    /// nothing a pruned file or row group would have contributed. Both
+    /// the eager (whole-blob) and lazy (range-read) scan paths maintain
+    /// the same accounting, so their counts are directly comparable; the
+    /// eager path's full-blob transfer is deliberately *not* charged
+    /// here (it shows up in the store-level `store.*` op counters
+    /// instead).
     pub bytes_read: AtomicU64,
-    /// Trace handle; scan kernels open `exec.scan` spans on it.
+    /// Morsels enqueued for execution (initial units plus adaptive
+    /// splits; retries of the same morsel are not re-counted).
+    pub morsels_scheduled: AtomicU64,
+    /// Morsels executed on a lane other than the one they were queued on.
+    pub morsels_stolen: AtomicU64,
+    /// Column-chunk fetches served from the morsel prefetch cache.
+    pub prefetch_hits: AtomicU64,
+    /// Bytes prefetched but never consumed by an execution (the morsel
+    /// was pruned, re-fetched elsewhere, or the run ended first).
+    pub prefetch_wasted_bytes: AtomicU64,
+    /// Column chunks never fetched because late materialization found no
+    /// surviving rows after evaluating the predicate columns.
+    pub late_materialized_chunks_skipped: AtomicU64,
+    /// Trace handle; scan kernels open `exec.scan` / `exec.morsel` spans
+    /// on it.
     pub tracer: Tracer,
 }
 
@@ -703,6 +726,21 @@ impl ScanMeter {
         registry.counter("exec.rows_in").add(r(&self.rows_in));
         registry.counter("exec.rows_out").add(r(&self.rows_out));
         registry.counter("exec.bytes_read").add(r(&self.bytes_read));
+        registry
+            .counter("exec.morsels_scheduled")
+            .add(r(&self.morsels_scheduled));
+        registry
+            .counter("exec.morsels_stolen")
+            .add(r(&self.morsels_stolen));
+        registry
+            .counter("exec.prefetch_hits")
+            .add(r(&self.prefetch_hits));
+        registry
+            .counter("exec.prefetch_wasted_bytes")
+            .add(r(&self.prefetch_wasted_bytes));
+        registry
+            .counter("exec.late_materialized_chunks_skipped")
+            .add(r(&self.late_materialized_chunks_skipped));
     }
 }
 
@@ -748,6 +786,14 @@ pub struct QueryProfile {
     pub rows_out: u64,
     /// Payload bytes fetched from the object store by scans.
     pub bytes_read: u64,
+    /// Scan morsels enqueued (initial units plus adaptive splits).
+    pub morsels_scheduled: u64,
+    /// Scan morsels executed on a lane other than their home lane.
+    pub morsels_stolen: u64,
+    /// Chunk fetches served from the morsel prefetch cache.
+    pub prefetch_hits: u64,
+    /// Column chunks skipped by late materialization.
+    pub late_materialized_chunks_skipped: u64,
     /// Snapshot-cache hits while resolving this statement's snapshots.
     pub cache_hits: u64,
     /// Snapshot-cache misses (reconstructions) for this statement.
@@ -785,6 +831,10 @@ impl QueryProfile {
         self.row_groups_pruned += r(&meter.row_groups_pruned);
         self.rows_in += r(&meter.rows_in);
         self.bytes_read += r(&meter.bytes_read);
+        self.morsels_scheduled += r(&meter.morsels_scheduled);
+        self.morsels_stolen += r(&meter.morsels_stolen);
+        self.prefetch_hits += r(&meter.prefetch_hits);
+        self.late_materialized_chunks_skipped += r(&meter.late_materialized_chunks_skipped);
     }
 
     /// Record a named phase duration.

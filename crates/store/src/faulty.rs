@@ -70,6 +70,16 @@ impl<S: ObjectStore> FaultyStore<S> {
         *self.write_failure_rate.lock() = rate;
     }
 
+    /// Change the read failure rate mid-run, e.g. after fault-free setup
+    /// so only the scans under test face injected chunk-fetch errors.
+    pub fn set_read_failure_rate(&self, rate: f64) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "failure rate must be a probability"
+        );
+        *self.read_failure_rate.lock() = rate;
+    }
+
     /// Access the wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner

@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Morsel-scan smoke: the proptest oracle proving morsel scans are
+# row-identical to the single-node reference. The vendored proptest
+# derives a fixed seed from the test name, so this gate is deterministic.
+cargo test --release -q -p polaris-exec --test morsel_oracle
 cargo clippy --workspace --all-targets -- -D warnings
 # The telemetry endpoint is infrastructure other tooling scrapes: hold
 # the obs crate to no-unwrap discipline on top of the workspace lints.
