@@ -1,0 +1,123 @@
+//! Allocation regression gate: assert a hard heap-allocation budget on
+//! the warm commit path.
+//!
+//! Warms an in-memory engine with auto-commit INSERTs, then measures
+//! engine-wide allocations per committed transaction over several
+//! windows and compares the **median** window against the recorded
+//! baseline in `results/alloc_gate_baseline.json`. The run fails (exit 1)
+//! when the median exceeds the baseline by more than 10% — the
+//! regression gate `scripts/alloc_gate.sh` wires into tier-1.
+//!
+//! Requires the tracking allocator (`--features track-alloc`); without it
+//! the binary prints a skip notice and exits 0 so default builds stay
+//! green. `--record` rewrites the baseline from the current measurement.
+//!
+//! Determinism: no harvester thread (`telemetry_tick_ms = 0`), no tracing
+//! ring, fixed row values, and a median over windows to shrug off
+//! one-off growth events (hash-map rehashes, vector doublings).
+
+use polaris_core::EngineConfig;
+
+/// Measurement windows; the median window is the gate's statistic.
+const WINDOWS: usize = 9;
+/// Committed transactions per window.
+const COMMITS_PER_WINDOW: usize = 16;
+/// Warm-up commits before any window is measured (fills caches, grows
+/// maps and buffers to steady-state size).
+const WARMUP_COMMITS: usize = 64;
+/// Allowed growth over the recorded baseline before the gate fails.
+const TOLERANCE: f64 = 0.10;
+/// Where the baseline lives, relative to the repo root.
+const BASELINE_PATH: &str = "results/alloc_gate_baseline.json";
+
+fn main() {
+    if !polaris_obs::alloc::tracking_enabled() {
+        println!("alloc gate: skipped (build with --features track-alloc)");
+        return;
+    }
+    let record = std::env::args().any(|a| a == "--record");
+
+    let config = EngineConfig {
+        // No background harvester and no tracing ring: every allocation
+        // the windows see comes from the commit path itself.
+        telemetry_tick_ms: 0,
+        trace_capacity: 0,
+        ..EngineConfig::default()
+    };
+    let engine = polaris_bench::engine_with_topology(2, 2, 2, config);
+    let mut session = engine.session();
+    session
+        .execute("CREATE TABLE gate (id BIGINT, v BIGINT)")
+        .expect("create table");
+
+    let mut commit = |i: usize| {
+        session
+            .execute(&format!("INSERT INTO gate VALUES ({i}, {})", i * 7))
+            .expect("warm-path insert commits");
+    };
+    for i in 0..WARMUP_COMMITS {
+        commit(i);
+    }
+
+    let mut allocs_per_commit: Vec<u64> = Vec::with_capacity(WINDOWS);
+    let mut bytes_per_commit: Vec<u64> = Vec::with_capacity(WINDOWS);
+    for w in 0..WINDOWS {
+        let before = polaris_obs::alloc::totals();
+        for i in 0..COMMITS_PER_WINDOW {
+            commit(WARMUP_COMMITS + w * COMMITS_PER_WINDOW + i);
+        }
+        let after = polaris_obs::alloc::totals();
+        let n = COMMITS_PER_WINDOW as u64;
+        allocs_per_commit.push(after.allocs.saturating_sub(before.allocs) / n);
+        bytes_per_commit.push(after.alloc_bytes.saturating_sub(before.alloc_bytes) / n);
+    }
+    allocs_per_commit.sort_unstable();
+    bytes_per_commit.sort_unstable();
+    let allocs = allocs_per_commit[WINDOWS / 2];
+    let bytes = bytes_per_commit[WINDOWS / 2];
+    println!(
+        "alloc gate: median {allocs} allocs / {bytes} bytes per committed txn \
+         ({WINDOWS} windows x {COMMITS_PER_WINDOW} commits, {WARMUP_COMMITS} warm-up)"
+    );
+
+    if record {
+        let json = format!(
+            "{{\n  \"allocs_per_commit\": {allocs},\n  \"bytes_per_commit\": {bytes},\n  \
+             \"windows\": {WINDOWS},\n  \"commits_per_window\": {COMMITS_PER_WINDOW}\n}}\n"
+        );
+        std::fs::write(BASELINE_PATH, json).expect("write baseline");
+        println!("alloc gate: baseline recorded to {BASELINE_PATH}");
+        return;
+    }
+
+    let raw = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(raw) => raw,
+        Err(_) => {
+            println!("alloc gate: no baseline at {BASELINE_PATH}; run with --record first");
+            std::process::exit(1);
+        }
+    };
+    let baseline: serde_json::Value = serde_json::from_str(&raw).expect("baseline parses");
+    let base_allocs = baseline["allocs_per_commit"].as_u64().unwrap_or(0);
+    let budget = (base_allocs as f64 * (1.0 + TOLERANCE)) as u64;
+    if base_allocs == 0 {
+        println!("alloc gate: baseline has no allocs_per_commit; re-record");
+        std::process::exit(1);
+    }
+    if allocs > budget {
+        println!(
+            "alloc gate: FAIL — {allocs} allocs/commit exceeds budget {budget} \
+             (baseline {base_allocs} + {:.0}%)",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "alloc gate: ok — {allocs} allocs/commit within budget {budget} (baseline {base_allocs})"
+    );
+    if (allocs as f64) < base_allocs as f64 * 0.5 {
+        println!(
+            "alloc gate: note — commit path got >2x leaner; consider re-recording the baseline"
+        );
+    }
+}

@@ -613,7 +613,12 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 let mut lock_span = self.meter.tracer.span("catalog.lock_acquire");
                 lock_span.attr("txn", txn.id.0);
                 lock_span.attr("shard", idx as u64);
-                shard.lock.lock()
+                let blocked = Instant::now();
+                let guard = shard.lock.lock();
+                let waited_ns = blocked.elapsed().as_nanos() as u64;
+                self.meter.commit_shard_wait.record_ns(waited_ns);
+                polaris_obs::alloc::attribute_wait(waited_ns);
+                guard
             };
             guards.push((guard, shard.hold.span()));
         }
@@ -625,6 +630,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         // hold.
         let _hold = self.meter.commit_lock_hold.span();
         {
+            let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::TxnValidate);
             let mut validate_span = self.meter.tracer.span("catalog.validate");
             validate_span.attr("write_set", txn.writes.len());
             // First committer wins: any version of a written key newer
@@ -717,6 +723,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         txn: &mut Txn<K, V>,
         extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)>,
     ) -> CatalogResult<Timestamp> {
+        let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::SequencerPublish);
         let _sequencer = self.sequencer.lock();
         let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
         self.meter.group_batch_size.record_ns(1);
@@ -746,6 +753,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         extra: ExtraFn<K, V>,
         max_batch: usize,
     ) -> CatalogResult<Timestamp> {
+        let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::SequencerPublish);
         let slot = Arc::new(CommitSlot(StdMutex::new(None)));
         let window = Duration::from_micros(self.group_window_us.load(Ordering::SeqCst));
         let mut state = lock_unpoisoned(&self.group.state);
@@ -793,11 +801,15 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 // leader, if the queue refilled while we sequenced).
                 self.group.cv.notify_all();
             } else {
+                let parked = Instant::now();
                 state = self
                     .group
                     .cv
                     .wait(state)
                     .unwrap_or_else(PoisonError::into_inner);
+                let waited_ns = parked.elapsed().as_nanos() as u64;
+                self.meter.group_commit_wait.record_ns(waited_ns);
+                polaris_obs::alloc::attribute_wait(waited_ns);
             }
         }
     }
@@ -808,6 +820,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     /// fill only *after* the watermark publishes, so by the time a
     /// follower observes its timestamp the commit is fully visible.
     fn sequence_batch(&self, batch: Vec<BatchEntry<K, V>>) {
+        let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::SequencerPublish);
         let _sequencer = self.sequencer.lock();
         let base = self.committed.load(Ordering::SeqCst);
         self.meter.group_batch_size.record_ns(batch.len() as u64);

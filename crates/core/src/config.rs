@@ -88,6 +88,11 @@ pub struct EngineConfig {
     /// Watchdog: consecutive harvester ticks the group-commit queue may
     /// stay non-empty without draining before the stall rule fires.
     pub watchdog_queue_stall_ticks: u64,
+    /// Watchdog: a per-tick engine-wide allocation rate (bytes/sec, from
+    /// the tracking allocator) above this is flagged as an allocation
+    /// spike. 0 disables the rule; it never fires in builds without
+    /// `polaris-obs/track-alloc`.
+    pub watchdog_alloc_bytes_per_sec: u64,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +123,7 @@ impl Default for EngineConfig {
             watchdog_txn_deadline_ms: 10_000,
             watchdog_lock_hold_ms: 1_000,
             watchdog_queue_stall_ticks: 3,
+            watchdog_alloc_bytes_per_sec: 1 << 30,
         }
     }
 }

@@ -184,7 +184,10 @@ fn distributed_scan(
     let plans = plan_snapshot_scan(engine, snapshot, needed, predicate, meter)?;
     let mut batches = Vec::new();
     if !plans.is_empty() {
-        let cache = Arc::new(PrefetchCache::new());
+        let cache = Arc::new(
+            PrefetchCache::new()
+                .with_wait_histogram(engine.metrics().histogram("exec.prefetch_cache.wait_ns")),
+        );
         let projs: Option<Arc<Vec<(Expr, String)>>> = projections.map(|p| Arc::new(p.to_vec()));
         let morsels: Vec<ScanMorselJob> = plans
             .iter()
@@ -218,6 +221,7 @@ fn plan_snapshot_scan(
     predicate: Option<&Expr>,
     meter: &Arc<ScanMeter>,
 ) -> PolarisResult<Vec<Arc<FileScanPlan>>> {
+    let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::ScanPlanning);
     let cells = cells_of_snapshot(snapshot);
     if cells.is_empty() {
         return Ok(Vec::new());
@@ -240,6 +244,7 @@ fn plan_snapshot_scan(
         let needed = Arc::clone(&needed);
         let meter = Arc::clone(meter);
         dag.add_task(move |_ctx| {
+            let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::ScanPlanning);
             let mut plans = Vec::new();
             for (index, cell) in &group {
                 if let Some(plan) = plan_file_scan(
@@ -469,7 +474,10 @@ fn distributed_aggregate(
     let plans = plan_snapshot_scan(engine, snapshot, needed, predicate, meter)?;
     let mut partials: Vec<RecordBatch> = Vec::new();
     if !plans.is_empty() {
-        let cache = Arc::new(PrefetchCache::new());
+        let cache = Arc::new(
+            PrefetchCache::new()
+                .with_wait_histogram(engine.metrics().histogram("exec.prefetch_cache.wait_ns")),
+        );
         let group_by_arc = Arc::new(group_by.clone());
         let partial_aggs_arc = Arc::new(partial_aggs.clone());
         let morsels: Vec<AggMorselJob> = plans

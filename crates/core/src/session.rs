@@ -119,9 +119,13 @@ impl Session {
         let txn_id = txn.id();
         let mut profile = txn.last_profile().cloned();
         let mut txn_profile = txn.txn_profile_snapshot();
+        let alloc0 = polaris_obs::alloc::totals();
         let start = std::time::Instant::now();
         let result = txn.commit();
         txn_profile.commit_wall_ns = start.elapsed().as_nanos() as u64;
+        let alloc1 = polaris_obs::alloc::totals();
+        txn_profile.commit_alloc_bytes = alloc1.alloc_bytes.saturating_sub(alloc0.alloc_bytes);
+        txn_profile.commit_allocs = alloc1.allocs.saturating_sub(alloc0.allocs);
         let validation = match &result {
             Ok(info) if info.sequence.is_some() => ValidationOutcome::Committed,
             Ok(_) => ValidationOutcome::ReadOnly,
@@ -139,6 +143,8 @@ impl Session {
             p.validation = validation;
             p.phase("commit", txn_profile.commit_wall_ns);
             p.wall_ns += txn_profile.commit_wall_ns;
+            p.alloc_bytes += txn_profile.commit_alloc_bytes;
+            p.allocs += txn_profile.commit_allocs;
             if let Ok(info) = &result {
                 p.blocks_committed = info.blocks_committed;
             }
@@ -159,6 +165,9 @@ impl Session {
                     wall_ns: txn_profile.commit_wall_ns,
                     phases_ns: vec![("commit".to_owned(), txn_profile.commit_wall_ns)],
                     validation: format!("{:?}", txn_profile.validation),
+                    alloc_bytes: txn_profile.commit_alloc_bytes,
+                    allocs: txn_profile.commit_allocs,
+                    wait_ns: 0,
                     span_tree: String::new(),
                 });
         }
@@ -371,6 +380,30 @@ impl Session {
             "cache: {} hits, {} misses; tasks: {} attempts, {} retries",
             profile.cache_hits, profile.cache_misses, profile.task_attempts, profile.task_retries
         ));
+        if polaris_obs::alloc::tracking_enabled() {
+            let phases = profile
+                .alloc_phases
+                .iter()
+                .map(|(phase, bytes, allocs)| format!("{phase} {bytes} B/{allocs}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            lines.push(format!(
+                "memory: {} bytes in {} allocs ({}); lock waits: {:.3} ms",
+                profile.alloc_bytes,
+                profile.allocs,
+                if phases.is_empty() {
+                    "no phase activity"
+                } else {
+                    &phases
+                },
+                profile.wait_ns as f64 / 1e6
+            ));
+        } else {
+            lines.push(format!(
+                "memory: allocation tracking off (build with --features track-alloc); lock waits: {:.3} ms",
+                profile.wait_ns as f64 / 1e6
+            ));
+        }
         lines.push(format!("validation: {:?}", profile.validation));
         let schema = Schema::new(vec![Field {
             name: "plan".to_owned(),
@@ -398,6 +431,16 @@ impl Session {
         lines.push(format!(
             "endpoint: {}",
             report.listen.as_deref().unwrap_or("none")
+        ));
+        lines.push(format!(
+            "memory: rss {} MiB; heap live {} bytes{}",
+            report.rss_bytes / (1024 * 1024),
+            report.alloc_live_bytes,
+            if report.alloc_tracking {
+                ""
+            } else {
+                " (tracking off)"
+            }
         ));
         lines.push(format!(
             "active txns: {} (oldest txn {}, {} ms); group-commit queue: {}",

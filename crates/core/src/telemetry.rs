@@ -9,7 +9,7 @@
 //! `Arc` here would be a cycle) or cloned lock-free metric handles, which
 //! need no engine at all.
 //!
-//! Four stall rules ship by default, all edge-triggered (one
+//! Five stall rules ship by default, all edge-triggered (one
 //! [`HealthEvent`] per episode):
 //!
 //! | rule | fires when |
@@ -18,6 +18,11 @@
 //! | `group-commit-stall` | the group-commit queue stays non-empty for `watchdog_queue_stall_ticks` consecutive ticks |
 //! | `commit-lock-hold` | any commit shard's per-tick p99 lock hold exceeds `watchdog_lock_hold_ms` |
 //! | `sto-stalled` | `sto.ticks` stops advancing for a deadline's worth of harvester ticks after the STO has started |
+//! | `alloc-rate-spike` | the tracking allocator's per-tick allocation rate exceeds `watchdog_alloc_bytes_per_sec` (tracking builds only) |
+//!
+//! Rule closures evaluate once per harvester tick and must not allocate
+//! at steady state (the allocation gate runs the harvester): state is
+//! pre-sized at install time and reused across ticks.
 
 use crate::PolarisEngine;
 use polaris_dcp::WorkloadClass;
@@ -89,7 +94,7 @@ pub(crate) fn start(engine: &Arc<PolarisEngine>) -> EngineTelemetry {
     }
 }
 
-/// Register the four standard stall rules.
+/// Register the five standard stall rules.
 fn install_rules(engine: &Arc<PolarisEngine>, watchdog: &Watchdog) {
     let config = *engine.config();
 
@@ -126,24 +131,31 @@ fn install_rules(engine: &Arc<PolarisEngine>, watchdog: &Watchdog) {
     });
 
     // Per-tick p99 shard lock hold above threshold. Cloned histogram
-    // handles — no engine reference needed.
+    // handles — no engine reference needed. Bucket state is pre-sized
+    // here and reused so a quiet tick allocates nothing.
     let holds = engine.catalog().meter().commit_shard_holds.clone();
     let threshold_ns = config
         .watchdog_lock_hold_ms
         .max(1)
         .saturating_mul(1_000_000);
-    let mut prev: Vec<Vec<u64>> = holds.iter().map(|h| h.bucket_counts()).collect();
+    let mut prev: Vec<[u64; polaris_obs::HIST_BUCKETS]> =
+        vec![[0u64; polaris_obs::HIST_BUCKETS]; holds.len()];
+    for (i, hold) in holds.iter().enumerate() {
+        hold.bucket_counts_into(&mut prev[i]);
+    }
     watchdog.add_rule("commit-lock-hold", move |_tick| {
         let mut worst: Option<(usize, u64)> = None;
+        let mut now = [0u64; polaris_obs::HIST_BUCKETS];
+        let mut delta = [0u64; polaris_obs::HIST_BUCKETS];
         for (i, hold) in holds.iter().enumerate() {
-            let now = hold.bucket_counts();
-            let delta: Vec<u64> = now
-                .iter()
-                .zip(prev[i].iter())
-                .map(|(n, p)| n.saturating_sub(*p))
-                .collect();
+            hold.bucket_counts_into(&mut now);
+            let mut total = 0u64;
+            for (j, (n, p)) in now.iter().zip(prev[i].iter()).enumerate() {
+                delta[j] = n.saturating_sub(*p);
+                total += delta[j];
+            }
             prev[i] = now;
-            if delta.iter().sum::<u64>() == 0 {
+            if total == 0 {
                 continue;
             }
             let p99 = quantile_from_counts(&delta, 0.99);
@@ -159,6 +171,28 @@ fn install_rules(engine: &Arc<PolarisEngine>, watchdog: &Watchdog) {
             )
         })
     });
+
+    // Engine-wide allocation-rate spike (tracking-allocator builds only;
+    // the totals read 0 otherwise and the rule stays silent). Plain u64
+    // state — nothing allocated per tick.
+    if config.watchdog_alloc_bytes_per_sec > 0 {
+        let limit = config.watchdog_alloc_bytes_per_sec;
+        let tick_secs = (config.telemetry_tick_ms.max(1) as f64) / 1e3;
+        let mut prev_bytes = polaris_obs::alloc::totals().alloc_bytes;
+        watchdog.add_rule("alloc-rate-spike", move |_tick| {
+            let now = polaris_obs::alloc::totals().alloc_bytes;
+            let delta = now.saturating_sub(prev_bytes);
+            prev_bytes = now;
+            let rate = (delta as f64 / tick_secs) as u64;
+            (rate > limit).then(|| {
+                format!(
+                    "allocation rate {} MiB/s this tick (threshold {} MiB/s)",
+                    rate / (1024 * 1024),
+                    limit / (1024 * 1024)
+                )
+            })
+        });
+    }
 
     // STO heartbeat: once the orchestrator has ticked, it must keep
     // ticking. Cloned counter handle — no engine reference needed.
@@ -268,6 +302,14 @@ pub struct HealthReport {
     pub shard_pressure: Vec<ShardPressure>,
     /// Per-class compute-lane occupancy.
     pub lanes: Vec<LaneDepth>,
+    /// Process resident set size in bytes (`/proc/self/statm`; 0 where
+    /// unavailable).
+    pub rss_bytes: u64,
+    /// Live heap bytes per the tracking allocator (0 unless built with
+    /// `--features track-alloc`).
+    pub alloc_live_bytes: u64,
+    /// Whether the tracking allocator is compiled in.
+    pub alloc_tracking: bool,
 }
 
 impl HealthReport {
@@ -356,6 +398,9 @@ impl PolarisEngine {
                 .collect(),
             shard_pressure,
             lanes,
+            rss_bytes: polaris_obs::alloc::rss_bytes(),
+            alloc_live_bytes: polaris_obs::alloc::totals().live_bytes(),
+            alloc_tracking: polaris_obs::alloc::tracking_enabled(),
         }
     }
 
@@ -406,6 +451,9 @@ pub(crate) fn slow_statement_record(
         wall_ns: profile.wall_ns,
         phases_ns: profile.phases_ns.clone(),
         validation: format!("{:?}", profile.validation),
+        alloc_bytes: profile.alloc_bytes,
+        allocs: profile.allocs,
+        wait_ns: profile.wait_ns,
         span_tree,
     }
 }

@@ -139,6 +139,8 @@ impl Transaction {
             tables_written: self.tables.values().filter(|t| !t.delta.is_empty()).count() as u64,
             validation: ValidationOutcome::Pending,
             commit_wall_ns: 0,
+            commit_alloc_bytes: 0,
+            commit_allocs: 0,
         }
     }
 
@@ -166,9 +168,11 @@ impl Transaction {
         // snapshot replay, DCP attempts, store commits — nests under it.
         let stmt_span = self.tracer.span_at(statement, self.root_span);
         let trace_span = stmt_span.id();
+        let alloc0 = polaris_obs::alloc::phase_totals();
         let start = std::time::Instant::now();
         let result = f(self);
         let wall_ns = start.elapsed().as_nanos() as u64;
+        let alloc1 = polaris_obs::alloc::phase_totals();
         drop(stmt_span);
         let meter = Arc::clone(&self.scan_meter);
         let mut profile = QueryProfile {
@@ -184,6 +188,21 @@ impl Transaction {
         profile.task_attempts = pool1.attempts.saturating_sub(pool0.attempts);
         profile.task_retries = pool1.retries.saturating_sub(pool0.retries);
         profile.blocks_staged = self.blocks_staged - staged0;
+        // Allocation / wait attribution: deltas of the global phase
+        // counters over the statement window. Same concurrency caveat as
+        // the cache columns above.
+        for (i, phase) in polaris_obs::AllocPhase::ALL.iter().enumerate() {
+            let bytes = alloc1[i].bytes.saturating_sub(alloc0[i].bytes);
+            let allocs = alloc1[i].allocs.saturating_sub(alloc0[i].allocs);
+            profile.alloc_bytes += bytes;
+            profile.allocs += allocs;
+            profile.wait_ns += alloc1[i].wait_ns.saturating_sub(alloc0[i].wait_ns);
+            if bytes > 0 || allocs > 0 {
+                profile
+                    .alloc_phases
+                    .push((phase.label().to_owned(), bytes, allocs));
+            }
+        }
         profile.wall_ns = wall_ns;
         profile.phase("execute", wall_ns);
         profile.trace_span = trace_span;
@@ -912,6 +931,8 @@ impl Transaction {
             let path = t.manifest_path.clone();
             let blocks = t.blocks.clone();
             dag.add_task(move |_ctx| {
+                let _alloc =
+                    polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::ManifestUpload);
                 store
                     .commit_block_list(&path, &blocks, stamp)
                     .map_err(store_to_task)?;

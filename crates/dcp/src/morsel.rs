@@ -40,10 +40,12 @@ use crate::pool::{ComputePool, Job, WorkloadClass};
 use crate::{DcpError, DcpResult, TaskError};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use polaris_obs::alloc::{attribute_wait, AllocPhase, AllocScope};
+use polaris_obs::Histogram;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A schedulable scan fragment.
 ///
@@ -174,6 +176,9 @@ struct Shared<M: Morsel> {
     prefetch_depth: usize,
     shutdown: AtomicBool,
     wake: Wake,
+    /// Wait-profiler sink for time drivers spend parked on `wake`
+    /// (`dcp.morsel_wake_wait_ns`).
+    wake_wait_ns: Histogram,
     scheduled: AtomicU64,
     stolen: AtomicU64,
     splits: AtomicU64,
@@ -249,7 +254,11 @@ fn drive<M: Morsel>(
             }
             // Work may still flow back (retries, splits on other lanes):
             // park until something lands.
+            let parked = Instant::now();
             shared.wake.wait_past(gen);
+            let waited_ns = parked.elapsed().as_nanos() as u64;
+            shared.wake_wait_ns.record_ns(waited_ns);
+            attribute_wait(waited_ns);
             continue;
         };
         // Lazy adaptive split: halve until within 2x of the current
@@ -292,7 +301,10 @@ fn drive<M: Morsel>(
             attempt: entry.attempt,
             stolen,
         };
-        let result = entry.morsel.execute(&ctx);
+        let result = {
+            let _alloc = AllocScope::enter(AllocPhase::MorselExecution);
+            entry.morsel.execute(&ctx)
+        };
         shared.in_flight_bytes.fetch_sub(weight, Ordering::SeqCst);
         // A node killed mid-attempt discards the output, like a DAG task:
         // the morsel is re-queued elsewhere, the scan stays correct.
@@ -356,6 +368,7 @@ impl ComputePool {
             prefetch_depth,
             shutdown: AtomicBool::new(false),
             wake: Wake::new(),
+            wake_wait_ns: self.meter().morsel_wake_wait_ns.clone(),
             scheduled: AtomicU64::new(n as u64),
             stolen: AtomicU64::new(0),
             splits: AtomicU64::new(0),

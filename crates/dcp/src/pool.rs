@@ -438,7 +438,11 @@ impl ComputePool {
                 // sharing the pool: park until the next slot release (or
                 // topology change) instead of spinning.
                 self.meter.slot_waits.inc();
+                let parked = std::time::Instant::now();
                 self.slot_event.wait_past(slot_gen);
+                let waited_ns = parked.elapsed().as_nanos() as u64;
+                self.meter.slot_wait_ns.record_ns(waited_ns);
+                polaris_obs::alloc::attribute_wait(waited_ns);
                 continue;
             }
             // Collect one completion (blocking), then loop to dispatch more.

@@ -38,11 +38,12 @@ use polaris_columnar::{
     Bitmap, ColumnStats, ColumnVector, ColumnarError, ColumnarFooter, DeleteVector, RecordBatch,
     Schema,
 };
-use polaris_obs::ScanMeter;
+use polaris_obs::{Histogram, ScanMeter};
 use polaris_store::{BlobPath, Bytes, ObjectStore};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Immutable per-file scan state produced by [`plan_file_scan`] and
 /// shared (via `Arc`) by every morsel of the file.
@@ -504,12 +505,37 @@ enum Slot {
 #[derive(Default)]
 pub struct PrefetchCache {
     slots: parking_lot::Mutex<HashMap<(String, u64), Slot>>,
+    /// Wait-profiler sink: time claimants spend blocked on `slots`
+    /// (`exec.prefetch_cache.wait_ns`). `None` skips the clock reads.
+    wait_ns: Option<Histogram>,
 }
 
 impl PrefetchCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record contended lock-claim waits into `hist` (and the alloc-scope
+    /// wait attribution). The uncontended path stays clock-free.
+    pub fn with_wait_histogram(mut self, hist: Histogram) -> Self {
+        self.wait_ns = Some(hist);
+        self
+    }
+
+    fn lock_slots(&self) -> parking_lot::MutexGuard<'_, HashMap<(String, u64), Slot>> {
+        let Some(hist) = &self.wait_ns else {
+            return self.slots.lock();
+        };
+        if let Some(guard) = self.slots.try_lock() {
+            return guard;
+        }
+        let blocked = Instant::now();
+        let guard = self.slots.lock();
+        let waited_ns = blocked.elapsed().as_nanos() as u64;
+        hist.record_ns(waited_ns);
+        polaris_obs::alloc::attribute_wait(waited_ns);
+        guard
     }
 
     /// Fetch `range` into the cache unless it is already present or
@@ -524,7 +550,7 @@ impl PrefetchCache {
     ) {
         let key = (path_key.to_owned(), range.start);
         {
-            let mut slots = self.slots.lock();
+            let mut slots = self.lock_slots();
             if slots.contains_key(&key) {
                 return;
             }
@@ -534,7 +560,7 @@ impl PrefetchCache {
             if let Some(m) = meter {
                 ScanMeter::bump(&m.bytes_read, bytes.len() as u64);
             }
-            self.slots.lock().insert(key, Slot::Ready(bytes));
+            self.lock_slots().insert(key, Slot::Ready(bytes));
         }
     }
 
@@ -542,7 +568,7 @@ impl PrefetchCache {
     /// late prefetcher does not duplicate the executor's own read.
     pub fn take(&self, path_key: &str, offset: u64) -> Option<Bytes> {
         let key = (path_key.to_owned(), offset);
-        let mut slots = self.slots.lock();
+        let mut slots = self.lock_slots();
         match slots.get(&key) {
             Some(Slot::Ready(_)) => match slots.remove(&key) {
                 Some(Slot::Ready(bytes)) => Some(bytes),
@@ -558,8 +584,7 @@ impl PrefetchCache {
 
     /// Bytes prefetched but never consumed — the cost of speculation.
     pub fn wasted_bytes(&self) -> u64 {
-        self.slots
-            .lock()
+        self.lock_slots()
             .values()
             .map(|s| match s {
                 Slot::Ready(b) => b.len() as u64,

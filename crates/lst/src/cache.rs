@@ -69,6 +69,7 @@ impl SnapshotCache {
             }
         }
         self.meter.misses.inc();
+        let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::Replay);
         let mut replay_span = self.meter.tracer.span("lst.cache.replay");
         let (from, mut snap) = match base {
             Some((seq, snap)) => (seq, (*snap).clone()),

@@ -194,6 +194,16 @@ pub struct SlowRecord {
     pub phases_ns: Vec<(String, u64)>,
     /// Validation outcome rendered as text (`Committed`, `WwConflict`, …).
     pub validation: String,
+    /// Heap bytes allocated engine-wide during the work (tracking
+    /// allocator builds only; 0 otherwise).
+    #[serde(default)]
+    pub alloc_bytes: u64,
+    /// Heap allocations engine-wide during the work.
+    #[serde(default)]
+    pub allocs: u64,
+    /// Lock/condvar wait ns attributed while the work ran.
+    #[serde(default)]
+    pub wait_ns: u64,
     /// Rendered trace span tree (empty when tracing is disabled).
     pub span_tree: String,
 }

@@ -52,12 +52,14 @@
 //! plus a bounded [`SlowLog`]), and [`prom`] (zero-dependency Prometheus
 //! text exposition over `std::net::TcpListener`).
 
+pub mod alloc;
 pub mod health;
 pub mod name;
 pub mod prom;
 pub mod trace;
 pub mod ts;
 
+pub use alloc::{AllocMetrics, AllocPhase, AllocScope, AllocTotals, PhaseTotals};
 pub use health::{HealthEvent, SlowLog, SlowRecord, Watchdog};
 pub use name::{MetricName, NameError};
 pub use prom::{encode_prometheus, http_get, HealthFn, TelemetryServer};
@@ -212,6 +214,15 @@ impl Histogram {
             .collect()
     }
 
+    /// Allocation-free variant of [`Histogram::bucket_counts`]: fill a
+    /// caller-owned stack array. The Harvester and watchdog rules use this
+    /// so per-tick sampling touches no heap.
+    pub fn bucket_counts_into(&self, out: &mut [u64; HIST_BUCKETS]) {
+        for (slot, b) in out.iter_mut().zip(self.0.buckets.iter()) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+    }
+
     /// Record one sample in nanoseconds.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
@@ -342,6 +353,10 @@ struct RegistryInner {
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: RwLock<RegistryInner>,
+    /// Bumped on every registration/adoption. Samplers (the Harvester)
+    /// cache cloned handle lists and re-index only when this changes, so
+    /// steady-state ticks never clone names out of the registry.
+    epoch: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -363,7 +378,9 @@ impl MetricsRegistry {
             return c.clone();
         }
         let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        inner.counters.entry(name.to_owned()).or_default().clone()
+        let handle = inner.counters.entry(name.to_owned()).or_default().clone();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        handle
     }
 
     /// Get or create the gauge registered under `name`.
@@ -378,7 +395,9 @@ impl MetricsRegistry {
             return g.clone();
         }
         let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        inner.gauges.entry(name.to_owned()).or_default().clone()
+        let handle = inner.gauges.entry(name.to_owned()).or_default().clone();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        handle
     }
 
     /// Get or create the histogram registered under `name`.
@@ -393,7 +412,9 @@ impl MetricsRegistry {
             return h.clone();
         }
         let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        inner.histograms.entry(name.to_owned()).or_default().clone()
+        let handle = inner.histograms.entry(name.to_owned()).or_default().clone();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        handle
     }
 
     /// Register an externally created counter handle under `name`,
@@ -406,6 +427,7 @@ impl MetricsRegistry {
             .unwrap_or_else(|e| e.into_inner())
             .counters
             .insert(name.to_owned(), counter.clone());
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Register an externally created gauge handle under `name`.
@@ -415,6 +437,7 @@ impl MetricsRegistry {
             .unwrap_or_else(|e| e.into_inner())
             .gauges
             .insert(name.to_owned(), gauge.clone());
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Register an externally created histogram handle under `name`.
@@ -424,11 +447,50 @@ impl MetricsRegistry {
             .unwrap_or_else(|e| e.into_inner())
             .histograms
             .insert(name.to_owned(), histogram.clone());
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Start a scoped span recording into the histogram named `name`.
     pub fn span(&self, name: &str) -> Span {
         self.histogram(name).span()
+    }
+
+    /// The registration epoch (see the `epoch` field). Monotonic; changes
+    /// whenever the set of registered metrics may have changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Cloned `(name, handle)` lists of everything registered, each list
+    /// in name order. Allocates — samplers call this only when
+    /// [`MetricsRegistry::epoch`] moved, then record through the cached
+    /// handles.
+    #[allow(clippy::type_complexity)]
+    pub fn handles(
+        &self,
+    ) -> (
+        Vec<(String, Counter)>,
+        Vec<(String, Gauge)>,
+        Vec<(String, Histogram)>,
+    ) {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        (
+            inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
     }
 
     /// Point-in-time copy of every registered metric.
@@ -554,6 +616,12 @@ pub struct CatalogMeter {
     /// validation to its commit timestamp being published (includes group
     /// queue wait, the batch's commit-log write, install and publish).
     pub sequencer_wait: Histogram,
+    /// Wall time committers spent *blocked acquiring* commit-shard locks
+    /// (the wait profiler's view; `commit_lock_hold` is the hold side).
+    pub commit_shard_wait: Histogram,
+    /// Wall time group-commit followers spent parked on the group condvar
+    /// waiting for their batch leader to publish.
+    pub group_commit_wait: Histogram,
     /// Commit batches aborted because the durable commit-log hook failed;
     /// counted once per transaction in the failed batch.
     pub commit_log_failures: Counter,
@@ -589,6 +657,8 @@ impl CatalogMeter {
                 })
                 .collect(),
             commit_shards_acquired: registry.counter("catalog.commit_shards_acquired"),
+            commit_shard_wait: registry.histogram("catalog.commit_shard_wait_ns"),
+            group_commit_wait: registry.histogram("catalog.group_commit.wait_ns"),
             group_batch_size: registry.histogram("catalog.group_commit.batch_size"),
             sequencer_wait: registry.histogram("catalog.sequencer_wait_ns"),
             commit_log_failures: registry.counter("catalog.commit_log_failures"),
@@ -612,6 +682,11 @@ pub struct PoolMeter {
     /// class was held by other DAGs sharing the pool (woken by the next
     /// slot release — not a spin).
     pub slot_waits: Counter,
+    /// How long those slot parks lasted (one sample per park).
+    pub slot_wait_ns: Histogram,
+    /// How long morsel lanes parked on the work-deque wake waiting for
+    /// stealable morsels or shutdown.
+    pub morsel_wake_wait_ns: Histogram,
 }
 
 impl PoolMeter {
@@ -622,6 +697,8 @@ impl PoolMeter {
             retries: registry.counter("dcp.task_retries"),
             node_losses: registry.counter("dcp.node_losses"),
             slot_waits: registry.counter("dcp.slot_waits"),
+            slot_wait_ns: registry.histogram("dcp.slot_wait_ns"),
+            morsel_wake_wait_ns: registry.histogram("dcp.morsel_wake_wait_ns"),
         }
     }
 
@@ -632,6 +709,8 @@ impl PoolMeter {
         registry.adopt_counter("dcp.task_retries", &self.retries);
         registry.adopt_counter("dcp.node_losses", &self.node_losses);
         registry.adopt_counter("dcp.slot_waits", &self.slot_waits);
+        registry.adopt_histogram("dcp.slot_wait_ns", &self.slot_wait_ns);
+        registry.adopt_histogram("dcp.morsel_wake_wait_ns", &self.morsel_wake_wait_ns);
     }
 }
 
@@ -811,6 +890,19 @@ pub struct QueryProfile {
     ///
     /// [`Pending`]: ValidationOutcome::Pending
     pub validation: ValidationOutcome,
+    /// Heap bytes allocated engine-wide while the statement ran
+    /// (tracking-allocator builds only; 0 otherwise). Deltas of the global
+    /// phase counters, so — like the cache columns above — approximate
+    /// under concurrent sessions.
+    pub alloc_bytes: u64,
+    /// Heap allocations engine-wide while the statement ran.
+    pub allocs: u64,
+    /// Per-phase attribution deltas `(phase label, bytes, allocs)`,
+    /// phases with activity only, in [`alloc::AllocPhase`] order.
+    pub alloc_phases: Vec<(String, u64, u64)>,
+    /// Lock/condvar wait nanoseconds attributed while the statement ran
+    /// (recorded by the wait profiler regardless of allocator tracking).
+    pub wait_ns: u64,
     /// Per-phase wall time in nanoseconds, in execution order
     /// (e.g. `plan`, `execute`, `commit`).
     pub phases_ns: Vec<(String, u64)>,
@@ -858,6 +950,12 @@ pub struct TxnProfile {
     pub validation: ValidationOutcome,
     /// Wall time of the commit protocol itself (validate + publish), ns.
     pub commit_wall_ns: u64,
+    /// Heap bytes allocated engine-wide during the commit protocol
+    /// (tracking-allocator builds only; 0 otherwise; approximate under
+    /// concurrent committers).
+    pub commit_alloc_bytes: u64,
+    /// Heap allocations engine-wide during the commit protocol.
+    pub commit_allocs: u64,
 }
 
 #[cfg(test)]

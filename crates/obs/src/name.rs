@@ -57,6 +57,40 @@ fn valid_base(s: &str) -> bool {
         })
 }
 
+/// Escape a label value for the canonical registry key: backslash, quote,
+/// newline — the same set the Prometheus exposition format escapes, so
+/// registry keys stay single-line and [`MetricName::parse`] can invert
+/// the escaping exactly.
+fn escape_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Invert [`escape_value`]. Unknown escape sequences pass through
+/// verbatim (backslash preserved) so parsing never loses information.
+fn unescape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 /// Is `s` a legal label name? `[a-zA-Z_][a-zA-Z0-9_]*`.
 fn valid_label(s: &str) -> bool {
     let mut chars = s.chars();
@@ -119,7 +153,7 @@ impl MetricName {
         let labels: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}={v:?}"))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_value(v)))
             .collect();
         format!("{}{{{}}}", self.base, labels.join(","))
     }
@@ -152,7 +186,7 @@ impl MetricName {
                 .strip_prefix('"')
                 .and_then(|v| v.strip_suffix('"'))
                 .ok_or_else(|| NameError::new(format!("unquoted label value in {key:?}")))?;
-            name = name.with_label(k, v)?;
+            name = name.with_label(k, unescape_value(v))?;
         }
         Ok(name)
     }
@@ -189,6 +223,17 @@ mod tests {
         let back = MetricName::parse(&n.registry_key()).unwrap();
         assert_eq!(back, n);
         assert_eq!(back.labels(), &[("shard".to_owned(), "3".to_owned())]);
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let n = MetricName::new("exec.files")
+            .and_then(|n| n.with_label("path", "a\\b\"c\nd"))
+            .unwrap();
+        assert_eq!(n.registry_key(), "exec.files{path=\"a\\\\b\\\"c\\nd\"}");
+        let back = MetricName::parse(&n.registry_key()).unwrap();
+        assert_eq!(back.labels()[0].1, "a\\b\"c\nd");
+        assert_eq!(back, n);
     }
 
     #[test]

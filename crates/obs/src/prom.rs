@@ -16,6 +16,7 @@
 //! HTTP for `curl` and a Prometheus scraper, with no dependencies the
 //! container doesn't already have.
 
+use crate::alloc::AllocMetrics;
 use crate::name::MetricName;
 use crate::{Histogram, MetricsRegistry, MetricsSnapshot};
 use std::fmt::Write as _;
@@ -169,6 +170,11 @@ impl TelemetryServer {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        // Registered up front so every scrape can sync the allocator /
+        // RSS attribution counters into the registry first — `/metrics`
+        // then always exposes fresh `alloc_bytes_total{phase=...}` and
+        // `process_resident_bytes`, even without a harvester ticking.
+        let alloc_metrics = AllocMetrics::register(&registry);
         let handle = std::thread::Builder::new()
             .name("polaris-telemetry".into())
             .spawn(move || {
@@ -180,7 +186,7 @@ impl TelemetryServer {
                     // Serve inline: requests are tiny and the responses are
                     // rendered from atomics, so one connection at a time is
                     // plenty for a scraper + the occasional curl.
-                    let _ = serve_one(stream, &registry, &health);
+                    let _ = serve_one(stream, &registry, &alloc_metrics, &health);
                 }
             })?;
         Ok(TelemetryServer {
@@ -227,6 +233,7 @@ impl std::fmt::Debug for TelemetryServer {
 fn serve_one(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
+    alloc_metrics: &AllocMetrics,
     health: &HealthFn,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -249,11 +256,14 @@ fn serve_one(
     let path = parts.next().unwrap_or("");
     let path = path.split('?').next().unwrap_or(path);
     let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            encode_prometheus(&registry.snapshot()),
-        ),
+        ("GET", "/metrics") => {
+            alloc_metrics.sync();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                encode_prometheus(&registry.snapshot()),
+            )
+        }
         ("GET", "/health") => ("200 OK", "application/json", health()),
         ("GET", _) => (
             "404 Not Found",
@@ -358,6 +368,74 @@ mod tests {
                 "illegal series name in: {line}"
             );
         }
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        let reg = MetricsRegistry::new();
+        let name = MetricName::new("exec.files")
+            .and_then(|n| n.with_label("path", "a\\b\"c\nd"))
+            .expect("valid name");
+        reg.counter(&name.registry_key()).add(1);
+        let text = encode_prometheus(&reg.snapshot());
+        assert!(
+            text.contains("exec_files_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "unescaped label value in: {text}"
+        );
+        // The escaped line must stay a single physical line.
+        assert!(text.lines().any(|l| l.starts_with("exec_files_total{")));
+    }
+
+    #[test]
+    fn unparseable_keys_are_sanitized_to_legal_names() {
+        let reg = MetricsRegistry::new();
+        // Registered behind MetricName's back: digit-leading, dashes, and
+        // a stray brace that fails `MetricName::parse`.
+        reg.counter("9lives-of.a{cat").add(3);
+        reg.gauge("weird metric name!").set(2);
+        let text = encode_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE _9lives_of_a_cat_total counter"));
+        assert!(text.contains("_9lives_of_a_cat_total 3"));
+        assert!(text.contains("weird_metric_name_ 2"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name_part = line.split([' ', '{']).next().unwrap_or("");
+            assert!(
+                MetricName::new(name_part).is_ok(),
+                "illegal sanitized name in: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_registry_scrapes_to_empty_body() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(encode_prometheus(&reg.snapshot()), "");
+        // And over HTTP: an empty exposition is a valid 200, not an error.
+        let health: HealthFn = Arc::new(|| "{}".to_owned());
+        let mut server = TelemetryServer::start(
+            "127.0.0.1:0".parse().expect("loopback addr"),
+            MetricsRegistry::new(),
+            health,
+        )
+        .expect("bind loopback");
+        let (status, body) = http_get(server.local_addr(), "/metrics").expect("GET /metrics");
+        assert_eq!(status, 200);
+        // The server's own alloc/RSS attribution metrics are the only
+        // series an otherwise-empty registry exposes.
+        for line in body.lines() {
+            let name = line.trim_start_matches("# TYPE ").split([' ', '{']).next();
+            let name = name.unwrap_or("");
+            assert!(
+                name.starts_with("alloc_") || name.starts_with("process_"),
+                "unexpected series from empty registry: {line}"
+            );
+        }
+        assert!(body.contains("process_resident_bytes"));
+        assert!(body.contains("alloc_bytes_total{phase=\"unscoped\"}"));
+        server.stop();
     }
 
     #[test]

@@ -19,9 +19,24 @@
 //! serializable [`TimeSeriesSnapshot`]; an attached
 //! [`Watchdog`](crate::health::Watchdog) is evaluated on the same tick so
 //! stall rules observe exactly the cadence the rings record.
+//!
+//! # Zero allocation at steady state
+//!
+//! Sampling must itself pass the allocation gate: an idle engine whose
+//! only activity is the harvester should allocate nothing per tick. The
+//! sampler therefore never calls [`MetricsRegistry::snapshot`] (which
+//! clones every metric name). It caches cloned handle cells per metric
+//! and re-indexes only when [`MetricsRegistry::epoch`] moves (a new
+//! metric was registered); steady-state ticks read through the cached
+//! handles into pre-sized rings and stack-array histogram deltas. The
+//! tick also syncs the [`crate::alloc`] attribution counters and samples
+//! process RSS (`process.resident_bytes`), both allocation-free, under a
+//! `telemetry` [`crate::AllocScope`] so any residual churn is attributed
+//! to the telemetry plane itself.
 
+use crate::alloc::{AllocMetrics, AllocPhase, AllocScope};
 use crate::health::Watchdog;
-use crate::{quantile_from_counts, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use crate::{quantile_from_counts, Counter, Gauge, Histogram, MetricsRegistry, HIST_BUCKETS};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -84,17 +99,105 @@ fn push_bounded<T>(ring: &mut VecDeque<T>, window: usize, point: T) {
     ring.push_back(point);
 }
 
+struct CounterCell {
+    name: String,
+    handle: Counter,
+    prev: u64,
+    ring: VecDeque<TsPoint>,
+}
+
+struct GaugeCell {
+    name: String,
+    handle: Gauge,
+    ring: VecDeque<TsPoint>,
+}
+
+struct HistCell {
+    name: String,
+    handle: Histogram,
+    prev: [u64; HIST_BUCKETS],
+    ring: VecDeque<QuantilePoint>,
+}
+
+/// Cached per-metric sampling cells. `epoch` is the registry epoch the
+/// cells were indexed at; a moved epoch triggers [`Rings::reindex`]
+/// (which allocates — once per registration, not per tick).
 #[derive(Default)]
 struct Rings {
-    /// Previous tick's raw snapshot, for deltas.
-    prev: Option<MetricsSnapshot>,
-    rates: BTreeMap<String, VecDeque<TsPoint>>,
-    gauges: BTreeMap<String, VecDeque<TsPoint>>,
-    quantiles: BTreeMap<String, VecDeque<QuantilePoint>>,
+    epoch: u64,
+    indexed: bool,
+    counters: Vec<CounterCell>,
+    gauges: Vec<GaugeCell>,
+    hists: Vec<HistCell>,
+}
+
+impl Rings {
+    /// Rebuild the cell lists from the registry, preserving the ring and
+    /// delta state of metrics that were already indexed.
+    fn reindex(&mut self, registry: &MetricsRegistry, epoch: u64, window: usize) {
+        let (counters, gauges, hists) = registry.handles();
+        let mut old: BTreeMap<String, CounterCell> = self
+            .counters
+            .drain(..)
+            .map(|c| (c.name.clone(), c))
+            .collect();
+        self.counters = counters
+            .into_iter()
+            .map(|(name, handle)| match old.remove(&name) {
+                Some(mut cell) => {
+                    cell.handle = handle;
+                    cell
+                }
+                None => CounterCell {
+                    name,
+                    handle,
+                    prev: 0,
+                    ring: VecDeque::with_capacity(window),
+                },
+            })
+            .collect();
+        let mut old: BTreeMap<String, GaugeCell> =
+            self.gauges.drain(..).map(|c| (c.name.clone(), c)).collect();
+        self.gauges = gauges
+            .into_iter()
+            .map(|(name, handle)| match old.remove(&name) {
+                Some(mut cell) => {
+                    cell.handle = handle;
+                    cell
+                }
+                None => GaugeCell {
+                    name,
+                    handle,
+                    ring: VecDeque::with_capacity(window),
+                },
+            })
+            .collect();
+        let mut old: BTreeMap<String, HistCell> =
+            self.hists.drain(..).map(|c| (c.name.clone(), c)).collect();
+        self.hists = hists
+            .into_iter()
+            .map(|(name, handle)| match old.remove(&name) {
+                Some(mut cell) => {
+                    cell.handle = handle;
+                    cell
+                }
+                None => HistCell {
+                    name,
+                    handle,
+                    prev: [0; HIST_BUCKETS],
+                    ring: VecDeque::with_capacity(window),
+                },
+            })
+            .collect();
+        self.epoch = epoch;
+        self.indexed = true;
+    }
 }
 
 struct HarvesterShared {
     registry: Arc<MetricsRegistry>,
+    /// Pre-registered alloc/RSS attribution handles, synced every tick.
+    alloc_metrics: AllocMetrics,
     rings: Mutex<Rings>,
     watchdog: Mutex<Option<Arc<Watchdog>>>,
     ticks: AtomicU64,
@@ -120,9 +223,11 @@ impl Harvester {
     /// A harvester with no background thread; call
     /// [`Harvester::run_once`] to advance it manually.
     pub fn detached(registry: Arc<MetricsRegistry>, tick: Duration, window: usize) -> Self {
+        let alloc_metrics = AllocMetrics::register(&registry);
         Harvester {
             shared: Arc::new(HarvesterShared {
                 registry,
+                alloc_metrics,
                 rings: Mutex::new(Rings::default()),
                 watchdog: Mutex::new(None),
                 ticks: AtomicU64::new(0),
@@ -184,19 +289,19 @@ impl Harvester {
             tick_ms: self.shared.tick.as_millis() as u64,
             ticks: self.ticks(),
             rates: rings
-                .rates
+                .counters
                 .iter()
-                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+                .map(|c| (c.name.clone(), c.ring.iter().cloned().collect()))
                 .collect(),
             gauges: rings
                 .gauges
                 .iter()
-                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+                .map(|c| (c.name.clone(), c.ring.iter().cloned().collect()))
                 .collect(),
             quantiles: rings
-                .quantiles
+                .hists
                 .iter()
-                .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+                .map(|c| (c.name.clone(), c.ring.iter().cloned().collect()))
                 .collect(),
         }
     }
@@ -229,7 +334,10 @@ impl std::fmt::Debug for Harvester {
 
 impl HarvesterShared {
     fn run_once(shared: &Arc<HarvesterShared>) {
-        let snap = shared.registry.snapshot();
+        // Attribute the harvester's own (ideally zero) churn to the
+        // telemetry phase so it can't masquerade as engine work.
+        let _scope = AllocScope::enter(AllocPhase::Telemetry);
+        shared.alloc_metrics.sync();
         let t_ms = shared.started.elapsed().as_millis() as u64;
         // Rates divide by the *configured* tick so manual run_once calls in
         // tests produce deterministic values; the sampling jitter of the
@@ -237,41 +345,39 @@ impl HarvesterShared {
         let secs = shared.tick.as_secs_f64().max(1e-9);
         {
             let mut rings = shared.rings.lock().unwrap_or_else(|e| e.into_inner());
-            let prev = rings.prev.take();
-            for (name, value) in &snap.counters {
-                let before = prev.as_ref().map(|p| p.counter(name)).unwrap_or(0);
-                let rate = value.saturating_sub(before) as f64 / secs;
-                let ring = rings.rates.entry(name.clone()).or_default();
-                push_bounded(ring, shared.window, TsPoint { t_ms, value: rate });
+            let epoch = shared.registry.epoch();
+            if !rings.indexed || rings.epoch != epoch {
+                rings.reindex(&shared.registry, epoch, shared.window);
             }
-            for (name, value) in &snap.gauges {
-                let ring = rings.gauges.entry(name.clone()).or_default();
+            let window = shared.window;
+            for cell in &mut rings.counters {
+                let value = cell.handle.get();
+                let rate = value.saturating_sub(cell.prev) as f64 / secs;
+                cell.prev = value;
+                push_bounded(&mut cell.ring, window, TsPoint { t_ms, value: rate });
+            }
+            for cell in &mut rings.gauges {
                 push_bounded(
-                    ring,
-                    shared.window,
+                    &mut cell.ring,
+                    window,
                     TsPoint {
                         t_ms,
-                        value: *value as f64,
+                        value: cell.handle.get() as f64,
                     },
                 );
             }
-            let empty = HistogramSnapshot::default();
-            for (name, hist) in &snap.histograms {
-                let before = prev
-                    .as_ref()
-                    .and_then(|p| p.histograms.get(name))
-                    .unwrap_or(&empty);
-                let delta: Vec<u64> = hist
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| c.saturating_sub(before.buckets.get(i).copied().unwrap_or(0)))
-                    .collect();
+            let mut now = [0u64; HIST_BUCKETS];
+            let mut delta = [0u64; HIST_BUCKETS];
+            for cell in &mut rings.hists {
+                cell.handle.bucket_counts_into(&mut now);
+                for (d, (n, p)) in delta.iter_mut().zip(now.iter().zip(cell.prev.iter())) {
+                    *d = n.saturating_sub(*p);
+                }
+                cell.prev = now;
                 let count: u64 = delta.iter().sum();
-                let ring = rings.quantiles.entry(name.clone()).or_default();
                 push_bounded(
-                    ring,
-                    shared.window,
+                    &mut cell.ring,
+                    window,
                     QuantilePoint {
                         t_ms,
                         count,
@@ -281,7 +387,6 @@ impl HarvesterShared {
                     },
                 );
             }
-            rings.prev = Some(snap);
         }
         let tick = shared.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         let watchdog = shared
@@ -353,6 +458,52 @@ mod tests {
         assert_eq!(ts.rates["x.events"].len(), 3);
         assert_eq!(ts.gauges["x.level"].len(), 3);
         assert_eq!(ts.ticks, 10);
+    }
+
+    #[test]
+    fn late_registered_metrics_get_indexed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.early").inc();
+        let h = Harvester::detached(Arc::clone(&reg), Duration::from_millis(10), 8);
+        h.run_once();
+        reg.counter("b.late").inc();
+        h.run_once();
+        let ts = h.time_series();
+        assert_eq!(ts.rates["a.early"].len(), 2);
+        assert_eq!(ts.rates["b.late"].len(), 1, "late metric missed reindex");
+    }
+
+    #[test]
+    fn harvester_publishes_alloc_and_rss_series() {
+        let reg = MetricsRegistry::new();
+        let h = Harvester::detached(Arc::clone(&reg), Duration::from_millis(10), 8);
+        h.run_once();
+        let ts = h.time_series();
+        assert!(ts.gauges.contains_key("process.resident_bytes"));
+        assert!(ts.gauges.contains_key("alloc.live_bytes"));
+        let key = crate::alloc::phase_metric_key("alloc.bytes", crate::AllocPhase::Telemetry);
+        assert!(ts.rates.contains_key(&key), "missing {key}");
+    }
+
+    /// The telemetry plane must pass its own gate: once the cell index and
+    /// rings are warm, a tick performs zero heap allocations.
+    #[cfg(feature = "track-alloc")]
+    #[test]
+    fn steady_state_tick_does_not_allocate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x.events").add(3);
+        reg.gauge("x.depth").set(2);
+        reg.histogram("x.lat_ns").record_ns(1_234);
+        let h = Harvester::detached(Arc::clone(&reg), Duration::from_millis(10), 4);
+        for _ in 0..8 {
+            h.run_once(); // warm: index cells, fill rings to the window
+        }
+        let (allocs0, _) = crate::alloc::thread_counts();
+        for _ in 0..16 {
+            h.run_once();
+        }
+        let (allocs1, _) = crate::alloc::thread_counts();
+        assert_eq!(allocs1 - allocs0, 0, "harvester tick allocated");
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Allocation regression gate: build the tracking allocator in and assert
+# the warm commit path stays within the recorded allocation budget
+# (results/alloc_gate_baseline.json, +10% tolerance).
+#
+#   scripts/alloc_gate.sh            # gate against the baseline
+#   scripts/alloc_gate.sh --record   # re-record the baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p polaris-bench --features track-alloc --bin alloc_gate -- "$@"

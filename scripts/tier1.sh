@@ -14,31 +14,50 @@ cargo test -q
 cargo test --release -q -p polaris-exec --test morsel_oracle
 cargo clippy --workspace --all-targets -- -D warnings
 # The telemetry endpoint is infrastructure other tooling scrapes: hold
-# the obs crate to no-unwrap discipline on top of the workspace lints.
+# the obs crate to no-unwrap discipline on top of the workspace lints —
+# in both allocator configurations, so the gated tracking code stays
+# lint-clean too.
 cargo clippy -p polaris-obs -- -D warnings -D clippy::unwrap_used
+cargo clippy -p polaris-obs --features track-alloc -- -D warnings -D clippy::unwrap_used
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-# Telemetry smoke: serve a real engine on a fixed port, scrape /metrics
-# and /health over plain HTTP, and check a known counter is exposed.
+# Telemetry smoke: serve a real engine on an OS-assigned port (no fixed
+# port to collide with a parallel run), parse the bound address from the
+# example's stdout, then scrape /metrics and /health over plain HTTP.
 if command -v curl >/dev/null; then
-  port=9184
-  cargo run --release --example telemetry "127.0.0.1:${port}" 10000 \
-    >/dev/null 2>&1 &
+  telemetry_out=$(mktemp)
+  cargo run --release --example telemetry "127.0.0.1:0" 10000 \
+    >"$telemetry_out" 2>&1 &
   telemetry_pid=$!
-  trap 'kill "$telemetry_pid" 2>/dev/null || true' EXIT
+  trap 'kill "$telemetry_pid" 2>/dev/null || true; rm -f "$telemetry_out"' EXIT
+  addr=""
   for _ in $(seq 1 50); do
-    if curl -sf "http://127.0.0.1:${port}/metrics" >/dev/null 2>&1; then
+    addr=$(sed -n 's#^telemetry endpoint: http://\([^/]*\)/metrics.*#\1#p' \
+      "$telemetry_out")
+    if [ -n "$addr" ] && curl -sf "http://${addr}/metrics" >/dev/null 2>&1; then
       break
     fi
     sleep 0.2
   done
-  curl -sf "http://127.0.0.1:${port}/metrics" | grep -q '^catalog_commits_total '
-  curl -sf "http://127.0.0.1:${port}/health" | grep -q '"status"'
+  [ -n "$addr" ] || { echo "telemetry smoke: endpoint never printed"; exit 1; }
+  metrics=$(curl -sf "http://${addr}/metrics")
+  echo "$metrics" | grep -q '^catalog_commits_total '
+  # Resource attribution is always exposed (zeros without track-alloc).
+  echo "$metrics" | grep -q '^alloc_bytes_total{phase="unscoped"} '
+  echo "$metrics" | grep -q '^process_resident_bytes '
+  curl -sf "http://${addr}/health" | grep -q '"status"'
+  curl -sf "http://${addr}/health" | grep -q '"rss_bytes"'
   kill "$telemetry_pid" 2>/dev/null || true
   wait "$telemetry_pid" 2>/dev/null || true
+  rm -f "$telemetry_out"
   trap - EXIT
   echo "telemetry smoke: ok"
 else
   echo "telemetry smoke: skipped (no curl)"
 fi
+
+# Allocation regression gate: the warm commit path must stay within the
+# recorded allocation budget (deterministic; skips itself cleanly when
+# the track-alloc feature is unavailable).
+scripts/alloc_gate.sh
