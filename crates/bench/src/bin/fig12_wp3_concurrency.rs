@@ -246,7 +246,7 @@ fn group_commit_sweep() {
             let store = Arc::clone(&store);
             let records = Arc::new(std::sync::atomic::AtomicU64::new(0));
             catalog.set_commit_log(Some(Arc::new(
-                move |batch: &polaris_catalog::CommitBatch| {
+                move |batch: &polaris_catalog::CommitBatch, _records| {
                     let n = records.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let path =
                         BlobPath::new(format!("commitlog/b{n}")).map_err(|e| e.to_string())?;

@@ -11,11 +11,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifier of a table object within a database (the `Table Id` column
 /// of the catalog tables, Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TableId(pub u64);
 
 /// Logical metadata for one table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TableMeta {
     /// Unique id.
     pub id: TableId,
@@ -33,7 +35,7 @@ pub struct TableMeta {
 
 /// One row of the `Manifests` table: transaction `txn_id` committed manifest
 /// file `manifest_file` for this table at sequence `seq` (in the key).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ManifestRow {
     /// Blob path of the committed transaction manifest.
     pub manifest_file: String,
@@ -42,7 +44,7 @@ pub struct ManifestRow {
 }
 
 /// One row of the `Checkpoints` table (§5.2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CheckpointRow {
     /// Blob path of the checkpoint file.
     pub path: String,
@@ -50,7 +52,9 @@ pub struct CheckpointRow {
 
 /// Keys of the catalog keyspace. Ordering matters: manifests of one table
 /// sort by sequence so snapshot construction is a range scan.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum CatalogKey {
     /// Table name -> id binding.
     TableName(String),
@@ -65,7 +69,7 @@ pub enum CatalogKey {
 }
 
 /// Values of the catalog keyspace.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CatalogValue {
     /// For [`CatalogKey::TableName`].
     Id(TableId),
@@ -82,6 +86,10 @@ pub enum CatalogValue {
 /// A catalog transaction: the SQL-DB root transaction of a Polaris user
 /// transaction (§3).
 pub type CatalogTxn = Txn<CatalogKey, CatalogValue>;
+
+/// The catalog's commit-log hook type: per-batch records over the catalog
+/// keyspace (see [`crate::CommitLog`]).
+pub type CatalogCommitLog = crate::CommitLog<CatalogKey, CatalogValue>;
 
 /// Serializable snapshot of the whole catalog — the §6.3 backup payload.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -194,8 +202,14 @@ impl Catalog {
 
     /// Install (or clear) the per-batch durable commit-log hook (see
     /// [`crate::CommitLog`]).
-    pub fn set_commit_log(&self, hook: Option<crate::CommitLog>) {
+    pub fn set_commit_log(&self, hook: Option<CatalogCommitLog>) {
         self.store.set_commit_log(hook)
+    }
+
+    /// Install (or clear) the commit failpoint probe (see
+    /// [`crate::CommitProbe`] — crash-injection harnesses only).
+    pub fn set_commit_probe(&self, probe: Option<crate::CommitProbe>) {
+        self.store.set_commit_probe(probe)
     }
 
     /// The catalog's meter (shared counter/histogram handles).
@@ -633,6 +647,39 @@ impl Catalog {
         self.store.advance_clock(Timestamp(image.clock));
         self.next_table_id.fetch_max(max_id + 1, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Re-install one logged commit during recovery (see
+    /// [`MvccStore::replay_install`]): no validation, no re-logging, and
+    /// the dense-clock invariant is enforced — `commit_ts` must be exactly
+    /// `now() + 1` or the call fails with [`CatalogError::ReplayGap`].
+    ///
+    /// Besides installing the writes, the table-id allocator is advanced
+    /// past any table id the record creates, so post-recovery DDL never
+    /// collides with a replayed table.
+    pub fn replay_commit(
+        &self,
+        commit_ts: Timestamp,
+        writes: Vec<(CatalogKey, Option<CatalogValue>)>,
+    ) -> CatalogResult<()> {
+        let mut max_table_id = 0u64;
+        for (key, _) in &writes {
+            if let CatalogKey::Table(id) = key {
+                max_table_id = max_table_id.max(id.0);
+            }
+        }
+        self.store.replay_install(commit_ts, writes)?;
+        if max_table_id > 0 {
+            self.next_table_id
+                .fetch_max(max_table_id + 1, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    /// Advance the transaction-id allocator past `floor` (see
+    /// [`MvccStore::advance_txn_ids`]).
+    pub fn advance_txn_ids(&self, floor: TxnId) {
+        self.store.advance_txn_ids(floor)
     }
 
     /// Vacuum old catalog versions up to the GC watermark.

@@ -46,6 +46,16 @@ pub enum CatalogError {
         /// Human-readable description of the underlying failure.
         detail: String,
     },
+    /// Recovery replay observed a log record whose commit timestamp is
+    /// not exactly one past the rebuilt clock. The dense-clock invariant
+    /// forbids installing past a hole; replay stops here and the record
+    /// (plus everything after it) is discarded as unrecoverable tail.
+    ReplayGap {
+        /// The timestamp replay expected next (`clock + 1`).
+        expected: u64,
+        /// The timestamp the log record actually carried.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CatalogError {
@@ -62,6 +72,12 @@ impl fmt::Display for CatalogError {
             CatalogError::AlreadyExists { what } => write!(f, "already exists: {what}"),
             CatalogError::CommitLogFailure { detail } => {
                 write!(f, "commit log failure: {detail}")
+            }
+            CatalogError::ReplayGap { expected, found } => {
+                write!(
+                    f,
+                    "replay gap: expected commit timestamp {expected}, log record carries {found}"
+                )
             }
         }
     }

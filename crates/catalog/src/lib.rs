@@ -55,13 +55,14 @@
 mod catalog;
 mod error;
 mod mvcc;
+pub mod wal;
 
 pub use catalog::{
-    Catalog, CatalogImage, CatalogKey, CatalogTxn, CatalogValue, CheckpointRow, ManifestRow,
-    TableId, TableImage, TableMeta,
+    Catalog, CatalogCommitLog, CatalogImage, CatalogKey, CatalogTxn, CatalogValue, CheckpointRow,
+    ManifestRow, TableId, TableImage, TableMeta,
 };
 pub use error::{CatalogError, CatalogResult};
 pub use mvcc::{
-    CommitBatch, CommitLog, CommitOutcome, ConflictGranularity, IsolationLevel, MvccKey, MvccStore,
-    Timestamp, Txn, TxnId, TxnStatus, DEFAULT_COMMIT_SHARDS,
+    CommitBatch, CommitLog, CommitLogRecord, CommitOutcome, CommitProbe, ConflictGranularity,
+    IsolationLevel, MvccKey, MvccStore, Timestamp, Txn, TxnId, TxnStatus, DEFAULT_COMMIT_SHARDS,
 };

@@ -55,14 +55,28 @@ struct CommitShard<K, V> {
 }
 
 /// Logical commit timestamp. Timestamp 0 is "before everything".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 /// Transaction identifier, unique for the lifetime of the store.
 ///
 /// Mirrors the paper's durable SQL DB transaction id (§3.1) used to stamp
 /// files for garbage collection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TxnId(pub u64);
 
 /// Isolation level of a transaction (§4.4.2).
@@ -133,12 +147,40 @@ impl CommitBatch {
     }
 }
 
+/// One batch member as presented to the durable commit-log hook: the
+/// transaction's full effect — its buffered writes plus the extra writes
+/// computed at the commit point (manifest rows keyed by the fresh
+/// sequence number). A hook that persists these fields can replay the
+/// commit verbatim on recovery; `None` values are tombstones.
+pub struct CommitLogRecord<'a, K, V> {
+    /// The committing transaction's durable id.
+    pub txn: TxnId,
+    /// The timestamp this member commits at (dense within the batch).
+    pub commit_ts: Timestamp,
+    /// The transaction's buffered writes.
+    pub writes: &'a BTreeMap<K, Option<V>>,
+    /// Extra writes computed at the commit point (see
+    /// [`MvccStore::commit_with`]).
+    pub extra: &'a [(K, Option<V>)],
+}
+
 /// Durable commit-log hook: called once per sequencer batch, under the
-/// sequencer, before any member installs. Returning `Err` aborts the
-/// whole batch *without consuming any timestamps* — the commit clock
-/// stays dense. This is the per-batch write that group commit amortizes
-/// (the paper's SQL-FE commit record; cf. LakeVilla's grouped log append).
-pub type CommitLog = Arc<dyn Fn(&CommitBatch) -> Result<(), String> + Send + Sync>;
+/// sequencer, before any member installs. The records carry every member's
+/// full write payload so the hook can persist a replayable log entry.
+/// Returning `Err` aborts the whole batch *without consuming any
+/// timestamps* — the commit clock stays dense. This is the per-batch
+/// write that group commit amortizes (the paper's SQL-FE commit record;
+/// cf. LakeVilla's grouped log append).
+pub type CommitLog<K, V> =
+    Arc<dyn Fn(&CommitBatch, &[CommitLogRecord<'_, K, V>]) -> Result<(), String> + Send + Sync>;
+
+/// Commit failpoint probe, for crash-injection harnesses: invoked with a
+/// named point (`commit.validated`, `commit.sequencer`, `commit.logged`,
+/// `commit.installed`, `commit.published`) as a commit passes it. The
+/// chaos harness arms a probe that freezes the backing store at a chosen
+/// point, simulating process death there; production engines leave it
+/// unset and pay one uncontended read-lock probe per point.
+pub type CommitProbe = Arc<dyn Fn(&str) + Send + Sync>;
 
 /// Extra-writes closure in boxed form (group-commit queue entries carry it
 /// across threads to whichever committer ends up leading their batch).
@@ -275,7 +317,9 @@ pub struct MvccStore<K: 'static, V: 'static> {
     /// draining a partial batch.
     group_window_us: AtomicU64,
     /// Optional durable commit-log hook, invoked once per batch.
-    commit_log: RwLock<Option<CommitLog>>,
+    commit_log: RwLock<Option<CommitLog<K, V>>>,
+    /// Optional commit failpoint probe (crash-injection harnesses only).
+    commit_probe: RwLock<Option<CommitProbe>>,
     /// Commit/abort/conflict accounting (lock-free handles, shareable with
     /// an engine-wide metrics registry).
     meter: CatalogMeter,
@@ -349,6 +393,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             group_max_batch: AtomicUsize::new(1),
             group_window_us: AtomicU64::new(0),
             commit_log: RwLock::new(None),
+            commit_probe: RwLock::new(None),
             meter,
         }
     }
@@ -371,8 +416,21 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     }
 
     /// Install (or clear) the durable commit-log hook. See [`CommitLog`].
-    pub fn set_commit_log(&self, hook: Option<CommitLog>) {
+    pub fn set_commit_log(&self, hook: Option<CommitLog<K, V>>) {
         *self.commit_log.write() = hook;
+    }
+
+    /// Install (or clear) the commit failpoint probe. See [`CommitProbe`].
+    pub fn set_commit_probe(&self, probe: Option<CommitProbe>) {
+        *self.commit_probe.write() = probe;
+    }
+
+    /// Fire the failpoint probe, if armed. No-op (one uncontended read
+    /// lock, no allocation) when no probe is installed.
+    fn probe(&self, point: &str) {
+        if let Some(p) = self.commit_probe.read().as_ref() {
+            p(point);
+        }
     }
 
     /// The store's meter (shared counter/histogram handles).
@@ -402,6 +460,44 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     /// Must not race in-flight commits (restore happens before traffic).
     pub fn advance_clock(&self, floor: Timestamp) {
         self.committed.fetch_max(floor.0, Ordering::SeqCst);
+    }
+
+    /// Advance the transaction-id allocator past `floor` — recovery calls
+    /// this with the largest replayed transaction id so post-recovery
+    /// transactions never reuse a logged id (the GC watermark of §5.3 is
+    /// expressed in transaction ids and depends on their monotonicity).
+    pub fn advance_txn_ids(&self, floor: TxnId) {
+        self.next_txn.fetch_max(floor.0 + 1, Ordering::SeqCst);
+    }
+
+    /// Re-install one logged commit during recovery, bypassing the commit
+    /// protocol: no validation (the writes already won validation before
+    /// they were logged), no commit-log hook (replay must not re-log).
+    ///
+    /// Enforces the dense-clock recovery invariant: `commit_ts` must be
+    /// exactly `now() + 1`. A gap means the log tail is missing a record
+    /// below `commit_ts` — replaying past it would publish a sequence
+    /// with a hole underneath, which snapshot caches, checkpoints and GC
+    /// retention (all keyed by contiguous sequence numbers) must never
+    /// observe. Callers stop replay at the first [`CatalogError::ReplayGap`].
+    ///
+    /// Must only run before the store takes traffic (no concurrent
+    /// commits — recovery owns the store exclusively).
+    pub fn replay_install(
+        &self,
+        commit_ts: Timestamp,
+        writes: Vec<(K, Option<V>)>,
+    ) -> CatalogResult<()> {
+        let expected = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
+        if commit_ts != expected {
+            return Err(CatalogError::ReplayGap {
+                expected: expected.0,
+                found: commit_ts.0,
+            });
+        }
+        self.install_at(commit_ts, BTreeMap::new(), writes);
+        self.committed.store(commit_ts.0, Ordering::SeqCst);
+        Ok(())
     }
 
     /// Begin a transaction at the current snapshot.
@@ -666,6 +762,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             }
             validate_span.attr("outcome", "ok");
         }
+        self.probe("commit.validated");
         // The prepare stage: validation has passed (no conflicting commit
         // can slip in — our shard locks are held), but no timestamp is
         // drawn yet, so failing here leaves the commit clock untouched.
@@ -725,20 +822,34 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     ) -> CatalogResult<Timestamp> {
         let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::SequencerPublish);
         let _sequencer = self.sequencer.lock();
+        self.probe("commit.sequencer");
         let commit_ts = Timestamp(self.committed.load(Ordering::SeqCst) + 1);
         self.meter.group_batch_size.record_ns(1);
+        // Extra writes are computed before the commit-log hook so the log
+        // record carries the transaction's *complete* effect. The closure
+        // is a pure constructor (it builds manifest rows keyed by the
+        // fresh timestamp), so running it on the abort path is harmless.
+        let extra_writes = extra(commit_ts);
         if let Some(hook) = self.commit_log.read().clone() {
             let batch = CommitBatch {
                 first_ts: commit_ts,
                 txns: vec![txn.id],
             };
-            if let Err(detail) = hook(&batch) {
+            let records = [CommitLogRecord {
+                txn: txn.id,
+                commit_ts,
+                writes: &txn.writes,
+                extra: &extra_writes,
+            }];
+            if let Err(detail) = hook(&batch, &records) {
                 return Err(CatalogError::CommitLogFailure { detail });
             }
         }
-        let extra_writes = extra(commit_ts);
+        self.probe("commit.logged");
         self.install_at(commit_ts, std::mem::take(&mut txn.writes), extra_writes);
+        self.probe("commit.installed");
         self.committed.store(commit_ts.0, Ordering::SeqCst);
+        self.probe("commit.published");
         Ok(commit_ts)
     }
 
@@ -822,33 +933,54 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
     fn sequence_batch(&self, batch: Vec<BatchEntry<K, V>>) {
         let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::SequencerPublish);
         let _sequencer = self.sequencer.lock();
+        self.probe("commit.sequencer");
         let base = self.committed.load(Ordering::SeqCst);
         self.meter.group_batch_size.record_ns(batch.len() as u64);
+        // Materialize every member's extra writes up front so the single
+        // per-batch commit-log record carries each member's complete
+        // effect (extra closures are pure constructors; see
+        // `sequence_direct`).
+        let mut members = Vec::with_capacity(batch.len());
+        for (i, entry) in batch.into_iter().enumerate() {
+            let commit_ts = Timestamp(base + 1 + i as u64);
+            let extra_writes = (entry.extra)(commit_ts);
+            members.push((entry.txn, commit_ts, entry.writes, extra_writes, entry.slot));
+        }
         if let Some(hook) = self.commit_log.read().clone() {
             let descriptor = CommitBatch {
                 first_ts: Timestamp(base + 1),
-                txns: batch.iter().map(|e| e.txn).collect(),
+                txns: members.iter().map(|m| m.0).collect(),
             };
-            if let Err(detail) = hook(&descriptor) {
+            let records: Vec<CommitLogRecord<'_, K, V>> = members
+                .iter()
+                .map(|(txn, commit_ts, writes, extra, _)| CommitLogRecord {
+                    txn: *txn,
+                    commit_ts: *commit_ts,
+                    writes,
+                    extra,
+                })
+                .collect();
+            if let Err(detail) = hook(&descriptor, &records) {
                 // The whole batch aborts; no timestamp was consumed, so
                 // the clock stays dense for the next batch.
-                for entry in batch {
-                    *lock_unpoisoned(&entry.slot.0) = Some(Err(CatalogError::CommitLogFailure {
+                for (.., slot) in members {
+                    *lock_unpoisoned(&slot.0) = Some(Err(CatalogError::CommitLogFailure {
                         detail: detail.clone(),
                     }));
                 }
                 return;
             }
         }
-        let count = batch.len() as u64;
-        let mut published = Vec::with_capacity(batch.len());
-        for (i, entry) in batch.into_iter().enumerate() {
-            let commit_ts = Timestamp(base + 1 + i as u64);
-            let extra_writes = (entry.extra)(commit_ts);
-            self.install_at(commit_ts, entry.writes, extra_writes);
-            published.push((entry.slot, commit_ts));
+        self.probe("commit.logged");
+        let count = members.len() as u64;
+        let mut published = Vec::with_capacity(members.len());
+        for (_, commit_ts, writes, extra_writes, slot) in members {
+            self.install_at(commit_ts, writes, extra_writes);
+            published.push((slot, commit_ts));
         }
+        self.probe("commit.installed");
         self.committed.store(base + count, Ordering::SeqCst);
+        self.probe("commit.published");
         for (slot, commit_ts) in published {
             *lock_unpoisoned(&slot.0) = Some(Ok(commit_ts));
         }
@@ -1274,6 +1406,70 @@ mod tests {
         s.vacuum(s.min_active_snapshot().unwrap());
         assert_eq!(s.read(&mut old_reader, &k("a")).unwrap(), Some(1));
         let _ = ts1;
+    }
+
+    #[test]
+    fn replay_install_enforces_dense_clock() {
+        let s = Store::new();
+        s.replay_install(Timestamp(1), vec![(k("a"), Some(1))])
+            .unwrap();
+        // A gap is rejected and leaves the clock untouched.
+        let err = s
+            .replay_install(Timestamp(3), vec![(k("b"), Some(2))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CatalogError::ReplayGap {
+                expected: 2,
+                found: 3
+            }
+        ));
+        assert_eq!(s.now(), Timestamp(1));
+        s.replay_install(Timestamp(2), vec![(k("a"), None)])
+            .unwrap();
+        let mut r = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(s.read(&mut r, &k("a")).unwrap(), None);
+        let mut hist = s.begin_at(Timestamp(1));
+        assert_eq!(s.read(&mut hist, &k("a")).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn commit_log_records_carry_full_effect() {
+        let s = Store::new();
+        type LoggedEntry = (u64, u64, Vec<(String, Option<i64>)>);
+        let logged: Arc<StdMutex<Vec<LoggedEntry>>> = Arc::new(StdMutex::new(Vec::new()));
+        {
+            let logged = Arc::clone(&logged);
+            s.set_commit_log(Some(Arc::new(move |batch, records| {
+                for r in records {
+                    let mut writes: Vec<(String, Option<i64>)> =
+                        r.writes.iter().map(|(key, v)| (key.clone(), *v)).collect();
+                    writes.extend(r.extra.iter().cloned());
+                    logged
+                        .lock()
+                        .unwrap()
+                        .push((r.txn.0, r.commit_ts.0, writes));
+                }
+                assert_eq!(batch.len(), records.len());
+                Ok(())
+            })));
+        }
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut t, k("w"), 5).unwrap();
+        let outcome = s
+            .commit_with(&mut t, |ts| vec![(format!("m@{}", ts.0), Some(9))])
+            .unwrap();
+        let entries = logged.lock().unwrap();
+        assert_eq!(entries.len(), 1);
+        let (txn, ts, ref writes) = entries[0];
+        assert_eq!((txn, ts), (t.id.0, outcome.commit_ts.0));
+        assert_eq!(
+            *writes,
+            vec![
+                (k("w"), Some(5)),
+                (format!("m@{}", outcome.commit_ts.0), Some(9))
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Wire format of the durable commit log.
+//!
+//! Each sequencer batch serializes to one self-delimiting *frame*:
+//!
+//! ```text
+//! +-------+----------+-----------+------------------+
+//! | magic | len: u32 | crc32: u32| payload (len B)  |
+//! | PWAL  |   LE     |    LE     | JSON `WalBatch`  |
+//! +-------+----------+-----------+------------------+
+//! ```
+//!
+//! The CRC covers the payload only; magic + length make frames
+//! self-delimiting so a segment blob is simply frames concatenated in
+//! append order. [`decode_frames`] walks a segment front to back and
+//! stops at the first frame that is incomplete, mis-tagged, corrupt or
+//! unparsable — the **torn-tail rule**: everything before the tear is
+//! intact (its CRC proves it), everything from the tear on was never
+//! acknowledged and is discarded. Because the commit protocol calls the
+//! log hook *before* publishing a timestamp, a torn frame can only
+//! correspond to a commit whose caller never saw success.
+//!
+//! The payload is the full effect of every batch member — buffered writes
+//! plus the extra (manifest-row) writes computed at the commit point — so
+//! replay re-installs a commit verbatim without re-running any engine
+//! logic.
+
+use crate::{CatalogKey, CatalogValue, CommitBatch, CommitLogRecord};
+
+/// Frame tag: "PWAL" (Polaris Write-Ahead Log).
+pub const WAL_MAGIC: [u8; 4] = *b"PWAL";
+
+/// Bytes of frame header before the payload (magic + len + crc).
+pub const WAL_HEADER_LEN: usize = 12;
+
+/// One logged commit: a batch member's complete, replayable effect.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WalCommit {
+    /// The committing transaction's durable id.
+    pub txn: u64,
+    /// The commit timestamp (== manifest sequence number).
+    pub commit_ts: u64,
+    /// Every write installed at `commit_ts`: buffered writes first, then
+    /// the commit-point extras. `None` values are tombstones.
+    pub writes: Vec<(CatalogKey, Option<CatalogValue>)>,
+}
+
+/// One logged sequencer batch — the unit of durability. Members commit at
+/// the dense run `first_ts .. first_ts + commits.len()`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WalBatch {
+    /// Timestamp of the batch's first member.
+    pub first_ts: u64,
+    /// Members, in commit-timestamp order.
+    pub commits: Vec<WalCommit>,
+}
+
+impl WalBatch {
+    /// Capture a sequencer batch from the commit-log hook's arguments.
+    pub fn from_records(
+        batch: &CommitBatch,
+        records: &[CommitLogRecord<'_, CatalogKey, CatalogValue>],
+    ) -> WalBatch {
+        WalBatch {
+            first_ts: batch.first_ts.0,
+            commits: records
+                .iter()
+                .map(|r| WalCommit {
+                    txn: r.txn.0,
+                    commit_ts: r.commit_ts.0,
+                    writes: r
+                        .writes
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .chain(r.extra.iter().cloned())
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// What [`decode_frames`] found at the end of a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// The segment ends exactly at a frame boundary.
+    Clean,
+    /// The segment tears at byte `offset`: the bytes from there on are not
+    /// a complete, well-tagged, checksummed, parsable frame. They are
+    /// discarded under the torn-tail rule.
+    Torn {
+        /// Byte offset of the tear within the segment.
+        offset: usize,
+        /// Why the tail was rejected (diagnostics only).
+        detail: String,
+    },
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Bitwise — the log appends a
+/// handful of KiB per commit, so table-free simplicity wins.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialize one batch as a framed record, ready to append to a segment.
+pub fn encode_frame(batch: &WalBatch) -> Vec<u8> {
+    let payload = serde_json::to_vec(batch).expect("WalBatch serialization is infallible");
+    let mut frame = Vec::with_capacity(WAL_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&WAL_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decode a segment: every complete frame in order, plus the tail status.
+/// Never fails — corruption is data, not an error; the torn-tail rule
+/// turns it into a truncation point.
+pub fn decode_frames(segment: &[u8]) -> (Vec<WalBatch>, WalTail) {
+    let mut batches = Vec::new();
+    let mut offset = 0usize;
+    while offset < segment.len() {
+        let rest = &segment[offset..];
+        if rest.len() < WAL_HEADER_LEN {
+            return (
+                batches,
+                WalTail::Torn {
+                    offset,
+                    detail: format!("{} trailing bytes, shorter than a frame header", rest.len()),
+                },
+            );
+        }
+        if rest[..4] != WAL_MAGIC {
+            return (
+                batches,
+                WalTail::Torn {
+                    offset,
+                    detail: "bad frame magic".to_owned(),
+                },
+            );
+        }
+        let len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
+        let expect_crc = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
+        let Some(payload) = rest.get(WAL_HEADER_LEN..WAL_HEADER_LEN + len) else {
+            return (
+                batches,
+                WalTail::Torn {
+                    offset,
+                    detail: format!(
+                        "frame claims {len} payload bytes, only {} present",
+                        rest.len() - WAL_HEADER_LEN
+                    ),
+                },
+            );
+        };
+        if crc32(payload) != expect_crc {
+            return (
+                batches,
+                WalTail::Torn {
+                    offset,
+                    detail: "payload checksum mismatch".to_owned(),
+                },
+            );
+        }
+        match serde_json::from_slice::<WalBatch>(payload) {
+            Ok(batch) => batches.push(batch),
+            Err(e) => {
+                return (
+                    batches,
+                    WalTail::Torn {
+                        offset,
+                        detail: format!("unparsable payload: {e}"),
+                    },
+                )
+            }
+        }
+        offset += WAL_HEADER_LEN + len;
+    }
+    (batches, WalTail::Clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TableId, TxnId};
+    use polaris_lst::SequenceId;
+
+    fn sample(first_ts: u64) -> WalBatch {
+        WalBatch {
+            first_ts,
+            commits: vec![WalCommit {
+                txn: 7,
+                commit_ts: first_ts,
+                writes: vec![
+                    (
+                        CatalogKey::TableName("t".into()),
+                        Some(CatalogValue::Id(TableId(1001))),
+                    ),
+                    (
+                        CatalogKey::Manifest(TableId(1001), SequenceId(first_ts)),
+                        Some(CatalogValue::ManifestRow(crate::ManifestRow {
+                            manifest_file: "lake/t/_log/txn-7-1001.json".into(),
+                            txn_id: TxnId(7),
+                        })),
+                    ),
+                    (CatalogKey::WriteSet(TableId(1001), None), None),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let batch = sample(1);
+        let frame = encode_frame(&batch);
+        let (decoded, tail) = decode_frames(&frame);
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(decoded, vec![batch]);
+    }
+
+    #[test]
+    fn roundtrip_concatenated_frames() {
+        let mut segment = Vec::new();
+        for ts in 1..=5 {
+            segment.extend_from_slice(&encode_frame(&sample(ts)));
+        }
+        let (decoded, tail) = decode_frames(&segment);
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded[4].first_ts, 5);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_clean_tear() {
+        // A segment cut anywhere keeps every fully contained frame and
+        // reports a tear — never a panic, never a partial batch.
+        let mut segment = Vec::new();
+        let f1 = encode_frame(&sample(1));
+        segment.extend_from_slice(&f1);
+        segment.extend_from_slice(&encode_frame(&sample(2)));
+        for cut in 0..segment.len() {
+            let (decoded, tail) = decode_frames(&segment[..cut]);
+            let whole_frames = if cut >= segment.len() {
+                2
+            } else if cut >= f1.len() {
+                1
+            } else {
+                0
+            };
+            assert_eq!(decoded.len(), whole_frames, "cut at {cut}");
+            if cut == 0 || cut == f1.len() {
+                assert_eq!(tail, WalTail::Clean, "cut at {cut} is a frame boundary");
+            } else {
+                assert!(matches!(tail, WalTail::Torn { .. }), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_detected_by_crc() {
+        let mut frame = encode_frame(&sample(1));
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        let (decoded, tail) = decode_frames(&frame);
+        assert!(decoded.is_empty());
+        assert!(
+            matches!(tail, WalTail::Torn { ref detail, .. } if detail.contains("checksum")),
+            "{tail:?}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(&sample(1));
+        frame[0] = b'X';
+        let (decoded, tail) = decode_frames(&frame);
+        assert!(decoded.is_empty());
+        assert!(matches!(tail, WalTail::Torn { offset: 0, .. }));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -373,7 +373,9 @@ fn group_commit_batches_preserve_dense_unique_clock() {
         let batches: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
         {
             let batches = Arc::clone(&batches);
-            s.set_commit_log(Some(Arc::new(move |b: &CommitBatch| {
+            s.set_commit_log(Some(Arc::new(move |b: &CommitBatch, records| {
+                // Records mirror the batch descriptor member for member.
+                assert_eq!(records.len(), b.len());
                 batches.lock().unwrap().push((b.first_ts.0, b.len()));
                 Ok(())
             })));
@@ -439,7 +441,7 @@ fn commit_log_failure_aborts_whole_batch_without_consuming_timestamps() {
     let calls = Arc::new(std::sync::atomic::AtomicU64::new(0));
     {
         let calls = Arc::clone(&calls);
-        s.set_commit_log(Some(Arc::new(move |_: &CommitBatch| {
+        s.set_commit_log(Some(Arc::new(move |_: &CommitBatch, _records| {
             // Every third batch's durable log write fails.
             if calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) % 3 == 2 {
                 Err("injected commit-log fault".to_owned())

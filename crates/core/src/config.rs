@@ -93,6 +93,22 @@ pub struct EngineConfig {
     /// spike. 0 disables the rule; it never fires in builds without
     /// `polaris-obs/track-alloc`.
     pub watchdog_alloc_bytes_per_sec: u64,
+    /// Durable commit log: when true, every sequencer batch is framed and
+    /// appended under `sys/wal/` *before* its commits publish, and
+    /// [`PolarisEngine::open`](crate::PolarisEngine::open) replays the
+    /// checkpoint + log tail on restart. Takes effect through `open` —
+    /// `PolarisEngine::new` never installs the log hook, because a hook
+    /// active during recovery would re-log (and clobber) the very
+    /// segments being replayed.
+    pub commit_log_enabled: bool,
+    /// Roll to a new WAL segment once the current one holds at least this
+    /// many framed bytes. Small segments bound the blobs recovery must
+    /// re-read; large ones amortize blob creation.
+    pub log_segment_bytes: u64,
+    /// Write a durable catalog checkpoint — and prune the WAL segments it
+    /// covers — every this many logged batches. 0 disables checkpointing
+    /// (the log then grows until the operator checkpoints manually).
+    pub log_checkpoint_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +140,9 @@ impl Default for EngineConfig {
             watchdog_lock_hold_ms: 1_000,
             watchdog_queue_stall_ticks: 3,
             watchdog_alloc_bytes_per_sec: 1 << 30,
+            commit_log_enabled: false,
+            log_segment_bytes: 1 << 20,
+            log_checkpoint_every: 64,
         }
     }
 }

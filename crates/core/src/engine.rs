@@ -1,6 +1,7 @@
 //! The running Polaris system: FE catalog, DCP pool, object store, and
 //! per-table BE snapshot caches.
 
+use crate::recovery::{self, CommitLogWriter, RecoveryReport};
 use crate::schema_json::{schema_from_json, schema_to_json};
 use crate::telemetry::EngineTelemetry;
 use crate::{EngineConfig, PolarisError, PolarisResult, Session, Transaction};
@@ -9,7 +10,9 @@ use polaris_catalog::{Catalog, CatalogTxn, TableId, TableMeta};
 use polaris_columnar::Schema;
 use polaris_dcp::ComputePool;
 use polaris_lst::{Checkpoint, Manifest, SequenceId, SnapshotCache, TableSnapshot};
-use polaris_obs::{CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, SlowLog, Tracer};
+use polaris_obs::{
+    CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, RecoveryMeter, SlowLog, Tracer,
+};
 use polaris_store::{BlobPath, MemoryStore, ObjectStore, StatsStore};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,6 +55,14 @@ pub struct PolarisEngine {
     /// installed right after construction — `None` only during `new`
     /// itself and after engine teardown.
     telemetry: Mutex<Option<EngineTelemetry>>,
+    /// Durable commit-log writer; `Some` iff
+    /// [`EngineConfig::commit_log_enabled`]. The catalog hook is only
+    /// wired by [`PolarisEngine::open`], after recovery (see the
+    /// `recovery` module docs for why).
+    durability: Option<Arc<CommitLogWriter>>,
+    /// What the last [`PolarisEngine::open`] replayed; `None` for engines
+    /// built via [`PolarisEngine::new`].
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl PolarisEngine {
@@ -87,6 +98,11 @@ impl PolarisEngine {
             crate::telemetry::SLOW_LOG_CAPACITY,
             config.slow_statement_ms.saturating_mul(1_000_000),
         ));
+        let durability = config.commit_log_enabled.then(|| {
+            let mut meter = RecoveryMeter::from_registry(&metrics);
+            meter.tracer = tracer.clone();
+            Arc::new(CommitLogWriter::new(Arc::clone(&store), &config, meter))
+        });
         let engine = Arc::new(PolarisEngine {
             config,
             catalog,
@@ -98,6 +114,8 @@ impl PolarisEngine {
             tracer,
             slow_log,
             telemetry: Mutex::new(None),
+            durability,
+            recovery: Mutex::new(None),
         });
         let telemetry = crate::telemetry::start(&engine);
         *engine.telemetry.lock() = Some(telemetry);
@@ -114,6 +132,71 @@ impl PolarisEngine {
             pool,
             EngineConfig::for_testing(),
         )
+    }
+
+    /// Open an engine with durability: recover the catalog from the
+    /// durable checkpoint + commit-log tail under `store`, then install
+    /// the commit-log hook so every later sequencer batch is logged
+    /// before it publishes. The durable entry point — `kill -9` then
+    /// `open` over the same store loses nothing that was acknowledged.
+    ///
+    /// With [`EngineConfig::commit_log_enabled`] false this is just
+    /// [`PolarisEngine::new`]: nothing is replayed, nothing is logged.
+    pub fn open(
+        store: Arc<dyn ObjectStore>,
+        pool: Arc<ComputePool>,
+        config: EngineConfig,
+    ) -> PolarisResult<Arc<Self>> {
+        let engine = PolarisEngine::new(store, pool, config);
+        if let Some(writer) = &engine.durability {
+            let report = recovery::recover(&engine.store, &engine.catalog, writer.meter())?;
+            *engine.recovery.lock() = Some(report);
+            engine.install_commit_log();
+        }
+        Ok(engine)
+    }
+
+    /// Wire the commit-log writer in as the catalog's commit-log hook.
+    /// Must only run once recovery is complete: a hook live during replay
+    /// would re-log recovered installs into the segments being read.
+    fn install_commit_log(&self) {
+        if let Some(writer) = &self.durability {
+            let w = Arc::clone(writer);
+            self.catalog
+                .set_commit_log(Some(Arc::new(move |batch, records| {
+                    w.append(batch, records)
+                })));
+        }
+    }
+
+    /// Post-commit durability maintenance: write a catalog checkpoint
+    /// (and prune covered log segments) when enough batches have been
+    /// logged since the last one. Called on every successful commit;
+    /// a checkpoint failure is surfaced as a trace event, never as a
+    /// commit failure — the log alone already guarantees durability.
+    pub(crate) fn maybe_checkpoint_commit_log(&self) {
+        if let Some(writer) = &self.durability {
+            if writer.take_checkpoint_due() {
+                if let Err(e) = writer.checkpoint(&self.catalog) {
+                    self.tracer.instant(
+                        "wal.checkpoint_error",
+                        vec![("error".to_owned(), e.to_string().into())],
+                    );
+                }
+            }
+        }
+    }
+
+    /// The commit-log writer, when durability is enabled (tools and
+    /// benches use it to force checkpoints at known points).
+    pub fn commit_log_writer(&self) -> Option<&Arc<CommitLogWriter>> {
+        self.durability.as_ref()
+    }
+
+    /// What [`PolarisEngine::open`] recovered, if this engine was opened
+    /// with durability enabled.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery.lock().clone()
     }
 
     /// Open a session.
@@ -233,6 +316,7 @@ impl PolarisEngine {
             }
         };
         self.catalog.commit(&mut txn)?;
+        self.maybe_checkpoint_commit_log();
         Ok(id)
     }
 
@@ -280,6 +364,7 @@ impl PolarisEngine {
             }
         };
         self.catalog.commit(&mut txn)?;
+        self.maybe_checkpoint_commit_log();
         self.caches.write().remove(&id);
         Ok(id)
     }

@@ -20,6 +20,11 @@
 //! * [`sto`] — the System Task Orchestrator: compaction (§5.1), manifest
 //!   checkpointing (§5.2), garbage collection (§5.3) and async Delta
 //!   publishing (§5.4).
+//! * [`recovery`] — the durable commit log: sequencer batches framed into
+//!   block-blob WAL segments before they publish, periodic catalog
+//!   checkpoints, and the [`PolarisEngine::open`] replay that rebuilds
+//!   the FE after a crash (torn-tail rule, dense-clock invariant, orphan
+//!   sweep).
 //! * [`lineage`] — Query As Of, zero-copy Clone As Of, and point-in-time
 //!   Restore (§6).
 
@@ -28,6 +33,7 @@ mod engine;
 mod error;
 pub mod lineage;
 mod read;
+pub mod recovery;
 mod schema_json;
 mod session;
 pub mod sto;
@@ -38,6 +44,7 @@ pub use config::EngineConfig;
 pub use engine::PolarisEngine;
 pub use error::{PolarisError, PolarisResult};
 pub use read::QueryResult;
+pub use recovery::{CommitLogWriter, RecoveryReport};
 pub use session::{Session, StatementOutcome};
 pub use telemetry::{HealthEventSummary, HealthReport, LaneDepth, ShardPressure, SlowSummary};
 pub use txn::Transaction;

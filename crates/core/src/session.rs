@@ -449,6 +449,20 @@ impl Session {
             report.oldest_txn_ms,
             report.group_queue_depth
         ));
+        match &report.recovery {
+            Some(r) => lines.push(format!(
+                "durability: commit log on; replayed watermark ts {} \
+                 (checkpoint ts {}, {} commits replayed, {} torn discarded, \
+                 {} orphans swept, {:.1} ms)",
+                r.recovered_clock,
+                r.checkpoint_clock,
+                r.replayed_commits,
+                r.torn_records,
+                r.orphans_collected,
+                r.wall_ns as f64 / 1e6
+            )),
+            None => lines.push("durability: commit log off".to_owned()),
+        }
         if report.firing.is_empty() {
             lines.push("firing: none".to_owned());
         } else {

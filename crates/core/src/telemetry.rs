@@ -310,6 +310,9 @@ pub struct HealthReport {
     pub alloc_live_bytes: u64,
     /// Whether the tracking allocator is compiled in.
     pub alloc_tracking: bool,
+    /// What [`PolarisEngine::open`] replayed from the durable commit log;
+    /// `None` when the engine was built without durability.
+    pub recovery: Option<crate::RecoveryReport>,
 }
 
 impl HealthReport {
@@ -401,6 +404,7 @@ impl PolarisEngine {
             rss_bytes: polaris_obs::alloc::rss_bytes(),
             alloc_live_bytes: polaris_obs::alloc::totals().live_bytes(),
             alloc_tracking: polaris_obs::alloc::tracking_enabled(),
+            recovery: self.recovery_report(),
         }
     }
 

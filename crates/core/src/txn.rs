@@ -832,6 +832,7 @@ impl Transaction {
                 "aborted"
             });
             result?;
+            self.engine.maybe_checkpoint_commit_log();
             return Ok(CommitInfo {
                 sequence: None,
                 blocks_committed: 0,
@@ -894,6 +895,7 @@ impl Transaction {
                 self.discard_staged_manifests(&manifests);
                 drop(commit_span);
                 self.end_root("committed");
+                self.engine.maybe_checkpoint_commit_log();
                 Ok(CommitInfo {
                     sequence: Some(SequenceId(outcome.commit_ts.0)),
                     blocks_committed,

@@ -24,6 +24,9 @@
 //! * [`Checkpoint`] — compacted full-state file (§5.2).
 //! * [`SnapshotCache`] — incremental snapshot reconstruction cache (§3.2.1).
 //! * [`publish`] — async "lake" snapshot export in the Delta format (§5.4).
+//! * [`orphan`] — recovery-time sweep of transaction manifests left behind
+//!   by crashed commits (uploaded but never referenced by a `Manifests`
+//!   row).
 
 mod action;
 mod cache;
@@ -31,6 +34,7 @@ mod checkpoint;
 mod delta;
 mod error;
 mod manifest;
+pub mod orphan;
 pub mod publish;
 mod snapshot;
 
@@ -40,6 +44,7 @@ pub use checkpoint::Checkpoint;
 pub use delta::TxnDelta;
 pub use error::{LstError, LstResult};
 pub use manifest::Manifest;
+pub use orphan::{collect_orphan_manifests, find_orphan_manifests};
 pub use snapshot::{DataFileState, TableSnapshot};
 
 /// Monotone commit sequence number of a table's manifest chain.

@@ -667,6 +667,62 @@ impl CatalogMeter {
     }
 }
 
+/// Counters and timers the durability layer records into: commit-log
+/// appends on the write side, checkpoint/replay/orphan work on the
+/// recovery side. `Default` gives free-standing handles;
+/// [`RecoveryMeter::from_registry`] binds the canonical `recovery.*` and
+/// `wal.*` names so they surface in `/metrics` and health reports.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryMeter {
+    /// Sequencer batches appended to the durable commit log.
+    pub wal_appends: Counter,
+    /// Bytes of framed log records appended.
+    pub wal_bytes: Counter,
+    /// Log segments started (first append + every roll).
+    pub wal_segments: Counter,
+    /// Wall time of each log append (stage + commit-block-list).
+    pub wal_append_ns: Histogram,
+    /// Durable catalog checkpoints written.
+    pub checkpoints: Counter,
+    /// Log segments deleted because a checkpoint covers them.
+    pub segments_pruned: Counter,
+    /// Recoveries that loaded a checkpoint image.
+    pub checkpoint_loads: Counter,
+    /// Batches replayed from the log tail across all recoveries.
+    pub replayed_batches: Counter,
+    /// Commits replayed from the log tail across all recoveries.
+    pub replayed_commits: Counter,
+    /// Torn tail records discarded by the torn-tail rule.
+    pub torn_records: Counter,
+    /// Orphaned staged manifests deleted by the recovery sweep.
+    pub orphans_collected: Counter,
+    /// Wall time of each full recovery (checkpoint + replay + sweep).
+    pub recovery_ns: Histogram,
+    /// Trace handle; recovery opens `recovery.*` spans on it.
+    pub tracer: Tracer,
+}
+
+impl RecoveryMeter {
+    /// Bind to the canonical `wal.*` / `recovery.*` metric names.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        RecoveryMeter {
+            wal_appends: registry.counter("wal.appends"),
+            wal_bytes: registry.counter("wal.bytes"),
+            wal_segments: registry.counter("wal.segments"),
+            wal_append_ns: registry.histogram("wal.append_ns"),
+            checkpoints: registry.counter("wal.checkpoints"),
+            segments_pruned: registry.counter("wal.segments_pruned"),
+            checkpoint_loads: registry.counter("recovery.checkpoint_loads"),
+            replayed_batches: registry.counter("recovery.replayed_batches"),
+            replayed_commits: registry.counter("recovery.replayed_commits"),
+            torn_records: registry.counter("recovery.torn_records"),
+            orphans_collected: registry.counter("recovery.orphans_collected"),
+            recovery_ns: registry.histogram("recovery.wall_ns"),
+            tracer: Tracer::default(),
+        }
+    }
+}
+
 /// Counters the compute pool records into on every task completion.
 /// Replaces the old `Mutex<PoolStats>` (one lock acquisition per task) with
 /// three relaxed atomic adds.

@@ -1,0 +1,252 @@
+//! Kill-anywhere crash injection: a store wrapper that simulates process
+//! death at an exact storage operation.
+//!
+//! A real `kill -9` has two observable effects on the storage layer: the
+//! in-flight operation never completes, and no later operation from that
+//! process happens either. [`ChaosStore`] reproduces both with a
+//! *freeze*: once the armed operation is reached (or [`ChaosStore::kill_now`]
+//! fires, e.g. from a commit failpoint probe), every subsequent operation
+//! through this wrapper fails — including the unwind-time cleanup the
+//! dying engine would love to run (staged-manifest deletion, telemetry
+//! flushes), which a crashed process never gets to do. The durable image
+//! under the wrapper is exactly the state at the kill instant.
+//!
+//! The chaos harness keeps the inner store alive across the "crash"
+//! (typically an `Arc<MemoryStore>`), then reopens the engine through a
+//! *fresh* wrapper over the same inner store — the moral equivalent of
+//! restarting the process against the same bucket.
+
+use crate::{BlobMeta, BlobPath, BlockId, ObjectStore, Stamp, StoreError, StoreResult};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A kill armed at the `remaining`-th matching operation.
+struct ArmedKill {
+    /// Operation name to match (`put`, `delete`, `stage_block`,
+    /// `commit_block_list`, `get`, `list`), or `any-write` for any
+    /// mutating operation.
+    op: String,
+    /// Substring the blob path must contain (empty matches everything).
+    path_contains: String,
+    /// Matches left before the kill fires. 1 means "kill at the next
+    /// matching operation".
+    remaining: u64,
+}
+
+/// [`ObjectStore`] wrapper that dies at a chosen operation and stays dead.
+///
+/// See the module docs for the crash model. The kill switch is shared
+/// (an `Arc<AtomicBool>`) so catalog-level failpoint probes can pull the
+/// same trigger between storage operations.
+pub struct ChaosStore<S> {
+    inner: S,
+    killed: Arc<AtomicBool>,
+    armed: Mutex<Option<ArmedKill>>,
+    /// Operations refused because the store was already dead.
+    frozen_ops: AtomicU64,
+}
+
+impl<S: ObjectStore> ChaosStore<S> {
+    /// Wrap `inner` with no kill armed.
+    pub fn new(inner: S) -> Self {
+        ChaosStore {
+            inner,
+            killed: Arc::new(AtomicBool::new(false)),
+            armed: Mutex::new(None),
+            frozen_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm a kill at the `nth` (1-based) operation whose name matches `op`
+    /// (or `any-write` for any mutating operation) and whose path contains
+    /// `path_contains`. The matching operation itself fails — the crash
+    /// happens *before* its effect lands — and the store is dead from
+    /// then on.
+    pub fn arm(&self, op: &str, path_contains: &str, nth: u64) {
+        *self.armed.lock() = Some(ArmedKill {
+            op: op.to_owned(),
+            path_contains: path_contains.to_owned(),
+            remaining: nth.max(1),
+        });
+    }
+
+    /// Pull the trigger immediately (used by commit failpoint probes to
+    /// die between storage operations).
+    pub fn kill_now(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the simulated process died?
+    pub fn killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// The shared kill switch — hand this to failpoint probes so they and
+    /// the store freeze together.
+    pub fn kill_switch(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.killed)
+    }
+
+    /// Operations refused post-mortem (cleanup the dying process never
+    /// got to run).
+    pub fn frozen_ops(&self) -> u64 {
+        self.frozen_ops.load(Ordering::SeqCst)
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Fail if dead; otherwise fire the armed kill if this operation is
+    /// the one it waits for.
+    fn gate(&self, op: &str, path: &str, is_write: bool) -> StoreResult<()> {
+        if self.killed() {
+            self.frozen_ops.fetch_add(1, Ordering::SeqCst);
+            return Err(StoreError::Transient {
+                detail: format!("chaos: process dead, {op} refused"),
+            });
+        }
+        let mut armed = self.armed.lock();
+        if let Some(kill) = armed.as_mut() {
+            let op_matches = kill.op == op || (kill.op == "any-write" && is_write);
+            if op_matches && path.contains(&kill.path_contains) {
+                kill.remaining -= 1;
+                if kill.remaining == 0 {
+                    *armed = None;
+                    drop(armed);
+                    self.kill_now();
+                    return Err(StoreError::Transient {
+                        detail: format!("chaos: killed at {op} {path}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for ChaosStore<S> {
+    fn put(&self, path: &BlobPath, data: Bytes, stamp: Stamp) -> StoreResult<()> {
+        self.gate("put", path.as_str(), true)?;
+        self.inner.put(path, data, stamp)
+    }
+
+    fn get(&self, path: &BlobPath) -> StoreResult<Bytes> {
+        self.gate("get", path.as_str(), false)?;
+        self.inner.get(path)
+    }
+
+    fn get_range(&self, path: &BlobPath, range: Range<u64>) -> StoreResult<Bytes> {
+        self.gate("get", path.as_str(), false)?;
+        self.inner.get_range(path, range)
+    }
+
+    fn head(&self, path: &BlobPath) -> StoreResult<BlobMeta> {
+        self.gate("get", path.as_str(), false)?;
+        self.inner.head(path)
+    }
+
+    fn delete(&self, path: &BlobPath) -> StoreResult<()> {
+        self.gate("delete", path.as_str(), true)?;
+        self.inner.delete(path)
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<BlobMeta>> {
+        self.gate("list", prefix, false)?;
+        self.inner.list(prefix)
+    }
+
+    fn stage_block(
+        &self,
+        path: &BlobPath,
+        block: BlockId,
+        data: Bytes,
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.gate("stage_block", path.as_str(), true)?;
+        self.inner.stage_block(path, block, data, stamp)
+    }
+
+    fn commit_block_list(
+        &self,
+        path: &BlobPath,
+        blocks: &[BlockId],
+        stamp: Stamp,
+    ) -> StoreResult<()> {
+        self.gate("commit_block_list", path.as_str(), true)?;
+        self.inner.commit_block_list(path, blocks, stamp)
+    }
+
+    fn committed_blocks(&self, path: &BlobPath) -> StoreResult<Vec<BlockId>> {
+        self.gate("get", path.as_str(), false)?;
+        self.inner.committed_blocks(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+
+    fn p(s: &str) -> BlobPath {
+        BlobPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn unarmed_store_is_transparent() {
+        let s = ChaosStore::new(MemoryStore::new());
+        s.put(&p("a/b"), Bytes::from_static(b"x"), Stamp(1))
+            .unwrap();
+        assert_eq!(s.get(&p("a/b")).unwrap(), Bytes::from_static(b"x"));
+        assert!(!s.killed());
+    }
+
+    #[test]
+    fn armed_kill_fires_at_nth_match_and_freezes() {
+        let s = ChaosStore::new(MemoryStore::new());
+        s.arm("put", "wal", 2);
+        // First matching put survives; unrelated paths never match.
+        s.put(&p("data/x"), Bytes::from_static(b"d"), Stamp(1))
+            .unwrap();
+        s.put(&p("sys/wal/1"), Bytes::from_static(b"a"), Stamp(1))
+            .unwrap();
+        let err = s
+            .put(&p("sys/wal/2"), Bytes::from_static(b"b"), Stamp(1))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Transient { .. }));
+        assert!(s.killed());
+        // Dead store refuses everything, including cleanup deletes and reads.
+        assert!(s.delete(&p("data/x")).is_err());
+        assert!(s.get(&p("data/x")).is_err());
+        assert_eq!(s.frozen_ops(), 2);
+        // The killed op never landed on the inner store.
+        assert!(s.inner().get(&p("sys/wal/2")).is_err());
+        assert!(s.inner().get(&p("sys/wal/1")).is_ok());
+    }
+
+    #[test]
+    fn kill_switch_is_shared() {
+        let s = ChaosStore::new(MemoryStore::new());
+        let switch = s.kill_switch();
+        switch.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(s.killed());
+        assert!(s
+            .put(&p("a/b"), Bytes::from_static(b"x"), Stamp(1))
+            .is_err());
+    }
+
+    #[test]
+    fn any_write_matches_all_mutations_but_not_reads() {
+        let s = ChaosStore::new(MemoryStore::new());
+        s.put(&p("a/b"), Bytes::from_static(b"x"), Stamp(1))
+            .unwrap();
+        s.arm("any-write", "", 1);
+        assert!(s.get(&p("a/b")).is_ok(), "reads never match any-write");
+        assert!(s.delete(&p("a/b")).is_err());
+        assert!(s.killed());
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`StatsStore`] — transparent wrapper counting operations and bytes.
 //! * [`FaultyStore`] — wrapper injecting deterministic transient faults, used
 //!   to exercise the DCP's task-retry path.
+//! * [`ChaosStore`] — wrapper simulating process death at an exact storage
+//!   operation (the kill-anywhere crash-recovery harness).
 //! * [`LatencyStore`] — wrapper adding a simple cloud-latency cost model.
 //!
 //! Every blob carries a creation [`Stamp`] assigned by its writer. The paper
@@ -31,6 +33,7 @@
 
 mod block;
 mod cache;
+mod chaos;
 mod error;
 mod faulty;
 mod latency;
@@ -41,6 +44,7 @@ mod stats;
 
 pub use block::BlockId;
 pub use cache::CachingStore;
+pub use chaos::ChaosStore;
 pub use error::{StoreError, StoreResult};
 pub use faulty::FaultyStore;
 pub use latency::{LatencyModel, LatencyStore};

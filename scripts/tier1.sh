@@ -61,3 +61,11 @@ fi
 # recorded allocation budget (deterministic; skips itself cleanly when
 # the track-alloc feature is unavailable).
 scripts/alloc_gate.sh
+
+# Crash-recovery chaos gate: the bounded deterministic kill matrix —
+# every kill site (manifest staging/upload, WAL stage/publish, commit
+# probes, checkpoint write) × two fixed seeds, asserting
+# committed-stays-committed, aborted-leaves-no-trace, dense clock, zero
+# orphans, and double-reopen idempotence. Randomized soaking is
+# scripts/chaos.sh, not a CI gate.
+cargo run --release -q -p polaris-bench --bin chaos | tail -n 1
