@@ -36,6 +36,7 @@ fn main() {
         return;
     }
     let record = std::env::args().any(|a| a == "--record");
+    let phases = std::env::args().any(|a| a == "--phases");
 
     let config = EngineConfig {
         // No background harvester and no tracing ring: every allocation
@@ -59,6 +60,7 @@ fn main() {
         commit(i);
     }
 
+    let phase_before = polaris_obs::alloc::phase_totals();
     let mut allocs_per_commit: Vec<u64> = Vec::with_capacity(WINDOWS);
     let mut bytes_per_commit: Vec<u64> = Vec::with_capacity(WINDOWS);
     for w in 0..WINDOWS {
@@ -70,6 +72,25 @@ fn main() {
         let n = COMMITS_PER_WINDOW as u64;
         allocs_per_commit.push(after.allocs.saturating_sub(before.allocs) / n);
         bytes_per_commit.push(after.alloc_bytes.saturating_sub(before.alloc_bytes) / n);
+    }
+    if phases {
+        // Per-phase attribution over every measured commit — the map of
+        // where the remaining allocations live.
+        let phase_after = polaris_obs::alloc::phase_totals();
+        let commits = (WINDOWS * COMMITS_PER_WINDOW) as u64;
+        println!("alloc gate: per-phase allocs/commit over {commits} commits:");
+        for (i, phase) in polaris_obs::AllocPhase::ALL.iter().enumerate() {
+            let d_allocs = phase_after[i].allocs.saturating_sub(phase_before[i].allocs);
+            let d_bytes = phase_after[i].bytes.saturating_sub(phase_before[i].bytes);
+            if d_allocs > 0 {
+                println!(
+                    "  {:>18}: {:>6.1} allocs / {:>8.0} bytes",
+                    phase.label(),
+                    d_allocs as f64 / commits as f64,
+                    d_bytes as f64 / commits as f64,
+                );
+            }
+        }
     }
     allocs_per_commit.sort_unstable();
     bytes_per_commit.sort_unstable();

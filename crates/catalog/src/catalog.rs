@@ -411,6 +411,34 @@ impl Catalog {
             .collect())
     }
 
+    /// Sequence of the newest manifest row for `table` visible to the
+    /// transaction, clamped to `to_inclusive` — `SequenceId(0)` when the
+    /// table has none.
+    ///
+    /// This is the per-statement snapshot-freshness probe: it replaces a
+    /// full [`Catalog::visible_manifests`] materialization (which clones
+    /// every manifest row the table ever committed) with a clone-free
+    /// last-key lookup, so the hot path stays O(log n) and allocation-free
+    /// no matter how long the table's history grows.
+    pub fn latest_manifest_sequence(
+        &self,
+        txn: &mut CatalogTxn,
+        table: TableId,
+        to_inclusive: SequenceId,
+    ) -> CatalogResult<SequenceId> {
+        let lo = CatalogKey::Manifest(table, SequenceId(0));
+        let hi = CatalogKey::Manifest(table, to_inclusive);
+        Ok(
+            match self
+                .store
+                .last_key_in_range(txn, Excluded(&lo), Included(&hi))?
+            {
+                Some(CatalogKey::Manifest(_, seq)) => seq,
+                _ => SequenceId(0),
+            },
+        )
+    }
+
     /// Re-insert manifest rows for a clone (§6.2): every manifest of the
     /// source visible up to `upto` is associated with `target`.
     pub fn copy_manifests_for_clone(

@@ -5,7 +5,7 @@ use crate::{CatalogError, CatalogResult};
 use parking_lot::{Mutex, RwLock};
 use polaris_obs::{CatalogMeter, Histogram};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -53,6 +53,9 @@ struct CommitShard<K, V> {
     /// installs exclusive — per shard, not globally.
     rows: RwLock<BTreeMap<K, Vec<Version<V>>>>,
 }
+
+/// A held commit-shard lock paired with the span timing its hold.
+type ShardGuard<'a> = (parking_lot::MutexGuard<'a, ()>, polaris_obs::Span);
 
 /// Logical commit timestamp. Timestamp 0 is "before everything".
 #[derive(
@@ -157,8 +160,8 @@ pub struct CommitLogRecord<'a, K, V> {
     pub txn: TxnId,
     /// The timestamp this member commits at (dense within the batch).
     pub commit_ts: Timestamp,
-    /// The transaction's buffered writes.
-    pub writes: &'a BTreeMap<K, Option<V>>,
+    /// The transaction's buffered writes, sorted by key.
+    pub writes: &'a [(K, Option<V>)],
     /// Extra writes computed at the commit point (see
     /// [`MvccStore::commit_with`]).
     pub extra: &'a [(K, Option<V>)],
@@ -198,7 +201,10 @@ struct CommitSlot(StdMutex<Option<CatalogResult<Timestamp>>>);
 /// without revalidation.
 struct BatchEntry<K: 'static, V: 'static> {
     txn: TxnId,
-    writes: BTreeMap<K, Option<V>>,
+    /// The member's write-set entries (sorted by key), taken from its
+    /// [`WriteSet`]. The leader drains them on install and recycles the
+    /// storage into the store's scratch pool.
+    writes: Vec<(K, Option<V>)>,
     extra: ExtraFn<K, V>,
     slot: Arc<CommitSlot>,
 }
@@ -237,6 +243,89 @@ struct Version<V> {
     value: Option<V>,
 }
 
+/// A transaction's buffered writes: entries kept sorted by key in one
+/// flat vector. Functionally a drop-in for the former
+/// `BTreeMap<K, Option<V>>`, with one load-bearing difference:
+/// `clear()` keeps the backing allocation, so a pooled transaction's
+/// write set reaches steady state and stops allocating. (A `BTreeMap`
+/// frees its nodes on clear and reallocates them insert by insert — it
+/// can never be pooled.) Write sets are small — a handful of catalog
+/// keys per commit — where a sorted vector also wins on constant
+/// factors.
+#[derive(Debug, Default)]
+struct WriteSet<K, V> {
+    entries: Vec<(K, Option<V>)>,
+}
+
+impl<K: Ord, V> WriteSet<K, V> {
+    /// Number of buffered writes.
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Buffered keys, ascending.
+    fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// The entries as a key-sorted slice (`None` values are tombstones).
+    fn as_slice(&self) -> &[(K, Option<V>)] {
+        &self.entries
+    }
+
+    /// Upsert: an existing key's value is replaced in place.
+    fn insert(&mut self, key: K, value: Option<V>) {
+        match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+    }
+
+    /// The buffered entry for `key`: `Some(&None)` is a buffered delete.
+    fn get(&self, key: &K) -> Option<&Option<V>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Entries with keys in the `[lo, hi]` bounds, ascending.
+    fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> &[(K, Option<V>)] {
+        let start = self.entries.partition_point(|(k, _)| match lo {
+            Bound::Included(b) => k < b,
+            Bound::Excluded(b) => k <= b,
+            Bound::Unbounded => false,
+        });
+        let end = self.entries.partition_point(|(k, _)| match hi {
+            Bound::Included(b) => k <= b,
+            Bound::Excluded(b) => k < b,
+            Bound::Unbounded => true,
+        });
+        &self.entries[start..end.max(start)]
+    }
+
+    /// Capacity-preserving clear.
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Upper bound on pooled transaction contexts. Beyond this, retired
+/// scratch is simply dropped — the pool's job is steady-state reuse, not
+/// unbounded retention of a burst's worth of buffers.
+const SCRATCH_POOL_MAX: usize = 64;
+
+/// Recyclable per-transaction storage: the write-set vector, the
+/// Serializable read set and the commit-footprint scratch. Every terminal
+/// transition clears these containers capacity-preserving and returns
+/// them to the store's pool; `begin` draws from the pool, so a warm store
+/// runs whole transactions without allocating per-transaction state.
+struct TxnScratch<K, V> {
+    writes: Vec<(K, Option<V>)>,
+    reads: HashSet<K>,
+    shards: Vec<usize>,
+}
+
 /// A transaction handle. Writes buffer locally and become visible only if
 /// [`MvccStore::commit`] succeeds — the optimistic read phase of §4.1.1.
 #[derive(Debug)]
@@ -248,9 +337,12 @@ pub struct Txn<K, V> {
     pub snapshot: Timestamp,
     /// Isolation level.
     pub isolation: IsolationLevel,
-    writes: BTreeMap<K, Option<V>>,
+    writes: WriteSet<K, V>,
     /// Keys read, tracked only under `Serializable`.
     reads: HashSet<K>,
+    /// Commit-footprint scratch (sorted, deduped shard indices). Lives on
+    /// the transaction so pooled reuse preserves its capacity too.
+    shard_scratch: Vec<usize>,
     status: TxnStatus,
 }
 
@@ -263,6 +355,19 @@ impl<K: Ord + Clone, V> Txn<K, V> {
     /// Current status.
     pub fn status(&self) -> TxnStatus {
         self.status
+    }
+
+    /// Number of buffered writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Tracked read-set size. Non-zero only under `Serializable`, and
+    /// only while the transaction is active: every terminal transition
+    /// clears it (a leaked read set would poison pooled reuse with
+    /// phantom serialization conflicts).
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
     }
 }
 
@@ -307,6 +412,9 @@ pub struct MvccStore<K: 'static, V: 'static> {
     /// Active transactions: id -> snapshot ts + begin instant (GC
     /// watermarks per §5.3, plus the watchdog's oldest-transaction age).
     active: Mutex<HashMap<TxnId, ActiveTxn>>,
+    /// Retired transaction contexts, recycled by `begin`. Bounded by
+    /// [`SCRATCH_POOL_MAX`]; see [`TxnScratch`].
+    scratch_pool: Mutex<Vec<TxnScratch<K, V>>>,
     /// Group-commit queue (used only when `group_max_batch > 1`).
     group: GroupCommit<K, V>,
     /// Max transactions batched through one sequencer section. 1 (the
@@ -383,6 +491,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             shards,
             shard_hash,
             active: Mutex::new(HashMap::new()),
+            scratch_pool: Mutex::new(Vec::new()),
             group: GroupCommit {
                 state: StdMutex::new(GroupQueue {
                     pending: VecDeque::new(),
@@ -495,9 +604,70 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 found: commit_ts.0,
             });
         }
-        self.install_at(commit_ts, BTreeMap::new(), writes);
+        let mut writes = writes;
+        self.install_at(commit_ts, &mut writes, &mut Vec::new());
         self.committed.store(commit_ts.0, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Build a transaction handle on recycled scratch (or fresh, empty
+    /// containers when the pool is dry). Pool hits make `begin` —
+    /// and everything downstream that grows into the recycled
+    /// capacity — allocation-free.
+    fn txn_from_pool(
+        &self,
+        id: TxnId,
+        snapshot: Timestamp,
+        isolation: IsolationLevel,
+    ) -> Txn<K, V> {
+        let scratch = self
+            .scratch_pool
+            .lock()
+            .pop()
+            .unwrap_or_else(|| TxnScratch {
+                writes: Vec::new(),
+                reads: HashSet::new(),
+                shards: Vec::new(),
+            });
+        debug_assert!(scratch.writes.is_empty() && scratch.reads.is_empty());
+        Txn {
+            id,
+            snapshot,
+            isolation,
+            writes: WriteSet {
+                entries: scratch.writes,
+            },
+            reads: scratch.reads,
+            shard_scratch: scratch.shards,
+            status: TxnStatus::Active,
+        }
+    }
+
+    /// One terminal transition: set the final status, drop the
+    /// transaction from the active set, and recycle its cleared
+    /// containers into the scratch pool. Clearing BOTH sets here — reads
+    /// included, on every path — is load-bearing twice over: a
+    /// Serializable read set must not outlive its transaction, and pooled
+    /// storage must never leak one transaction's keys into the next.
+    fn finish(&self, txn: &mut Txn<K, V>, status: TxnStatus) {
+        txn.status = status;
+        self.active.lock().remove(&txn.id);
+        txn.writes.clear();
+        txn.reads.clear();
+        txn.shard_scratch.clear();
+        self.recycle(TxnScratch {
+            writes: std::mem::take(&mut txn.writes.entries),
+            reads: std::mem::take(&mut txn.reads),
+            shards: std::mem::take(&mut txn.shard_scratch),
+        });
+    }
+
+    /// Return retired scratch to the pool (dropped if the pool is full).
+    fn recycle(&self, scratch: TxnScratch<K, V>) {
+        let mut pool = self.scratch_pool.lock();
+        if pool.len() < SCRATCH_POOL_MAX {
+            pool.push(scratch);
+        }
     }
 
     /// Begin a transaction at the current snapshot.
@@ -516,14 +686,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 since: Instant::now(),
             },
         );
-        Txn {
-            id,
-            snapshot,
-            isolation,
-            writes: BTreeMap::new(),
-            reads: HashSet::new(),
-            status: TxnStatus::Active,
-        }
+        self.txn_from_pool(id, snapshot, isolation)
     }
 
     /// Begin a transaction pinned to an explicit snapshot (time travel /
@@ -538,14 +701,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 since: Instant::now(),
             },
         );
-        Txn {
-            id,
-            snapshot,
-            isolation: IsolationLevel::Snapshot,
-            writes: BTreeMap::new(),
-            reads: HashSet::new(),
-            status: TxnStatus::Active,
-        }
+        self.txn_from_pool(id, snapshot, IsolationLevel::Snapshot)
     }
 
     /// The effective read timestamp for a transaction right now.
@@ -579,6 +735,65 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 .find(|v| v.ts <= ts)
                 .and_then(|v| v.value.clone())
         })
+    }
+
+    /// Greatest key in range with a live (non-tombstone) value visible to
+    /// the transaction, overlaid with its own writes.
+    ///
+    /// Unlike [`MvccStore::scan`], no values are cloned and no result set
+    /// is materialized: per shard only the winning key is considered, so
+    /// "latest row in range" probes (e.g. a table's newest manifest
+    /// sequence) cost O(log n) per shard regardless of how many rows the
+    /// range holds.
+    pub fn last_key_in_range(
+        &self,
+        txn: &mut Txn<K, V>,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+    ) -> CatalogResult<Option<K>> {
+        self.ensure_active(txn)?;
+        let ts = self.read_ts(txn);
+        let mut best: Option<K> = None;
+        for shard in &self.shards {
+            let rows = shard.rows.read();
+            for (k, versions) in rows.range((lo.cloned(), hi.cloned())).rev() {
+                // Descending per shard: once below the global best, the
+                // rest of this shard cannot win either.
+                if best.as_ref().is_some_and(|b| k <= b) {
+                    break;
+                }
+                // A buffered local write decides visibility for its key:
+                // an upsert keeps the key live, a tombstone hides it.
+                let live = match txn.writes.get(k) {
+                    Some(buffered) => buffered.is_some(),
+                    None => versions
+                        .iter()
+                        .rev()
+                        .find(|v| v.ts <= ts)
+                        .is_some_and(|v| v.value.is_some()),
+                };
+                if live {
+                    best = Some(k.clone());
+                    break;
+                }
+            }
+        }
+        // Locally inserted keys may extend past everything committed.
+        for (k, w) in txn.writes.range(lo, hi).iter().rev() {
+            if best.as_ref().is_some_and(|b| k <= b) {
+                break;
+            }
+            if w.is_some() {
+                best = Some(k.clone());
+                break;
+            }
+        }
+        if txn.isolation == IsolationLevel::Serializable {
+            if let Some(k) = &best {
+                txn.reads.insert(k.clone());
+            }
+        }
+        Ok(best)
     }
 
     /// Range scan `[lo, hi]` through the transaction's snapshot, overlaid
@@ -622,7 +837,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 Bound::Unbounded => true,
             })
         };
-        for (k, w) in txn.writes.range((lo.cloned(), hi.cloned())) {
+        for (k, w) in txn.writes.range(lo, hi) {
             debug_assert!(in_range(k));
             match w {
                 Some(v) => {
@@ -693,17 +908,37 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         extra: impl FnOnce(Timestamp) -> Vec<(K, Option<V>)> + Send + 'static,
     ) -> CatalogResult<CommitOutcome> {
         self.ensure_active(txn)?;
-        // The validated footprint, as a sorted, deduplicated shard set.
-        let mut footprint: BTreeSet<usize> = txn.writes.keys().map(|k| self.shard_of(k)).collect();
-        if txn.isolation == IsolationLevel::Serializable {
-            footprint.extend(txn.reads.iter().map(|k| self.shard_of(k)));
+        // The validated footprint, as a sorted, deduplicated shard list
+        // built in the transaction's pooled scratch (no per-commit
+        // allocation once warm).
+        txn.shard_scratch.clear();
+        {
+            let serializable = txn.isolation == IsolationLevel::Serializable;
+            let Txn {
+                writes,
+                reads,
+                shard_scratch,
+                ..
+            } = &mut *txn;
+            shard_scratch.extend(writes.keys().map(|k| self.shard_of(k)));
+            if serializable {
+                shard_scratch.extend(reads.iter().map(|k| self.shard_of(k)));
+            }
+            shard_scratch.sort_unstable();
+            shard_scratch.dedup();
         }
+        let footprint_len = txn.shard_scratch.len();
         // Acquire in ascending shard order: any two commits order their
         // common shards identically, so the protocol is deadlock-free. An
         // empty footprint (read-only SI commit, or a pure insert whose
         // manifest rows arrive via `extra`) skips locking entirely.
-        let mut guards = Vec::with_capacity(footprint.len());
-        for &idx in &footprint {
+        // Guards live inline on the stack up to the default shard count;
+        // only an over-sharded store's wide commit spills to the heap.
+        let mut inline_guards: [Option<ShardGuard<'_>>; DEFAULT_COMMIT_SHARDS] =
+            std::array::from_fn(|_| None);
+        let mut spill_guards: Vec<ShardGuard<'_>> = Vec::new();
+        for i in 0..footprint_len {
+            let idx = txn.shard_scratch[i];
             let shard = &self.shards[idx];
             let guard = {
                 let mut lock_span = self.meter.tracer.span("catalog.lock_acquire");
@@ -716,11 +951,13 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 polaris_obs::alloc::attribute_wait(waited_ns);
                 guard
             };
-            guards.push((guard, shard.hold.span()));
+            if let Some(slot) = inline_guards.get_mut(i) {
+                *slot = Some((guard, shard.hold.span()));
+            } else {
+                spill_guards.push((guard, shard.hold.span()));
+            }
         }
-        self.meter
-            .commit_shards_acquired
-            .add(footprint.len() as u64);
+        self.meter.commit_shards_acquired.add(footprint_len as u64);
         // Dropped when the function returns (with the shard locks), on
         // success and conflict paths alike — so the histogram sees every
         // hold.
@@ -734,30 +971,37 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             // first. Each key is checked in its own shard's rows; the
             // shard `lock` (held above) is what freezes the keys of our
             // footprint against concurrent committers.
+            let mut conflict = None;
             for key in txn.writes.keys() {
                 let rows = self.shards[self.shard_of(key)].rows.read();
                 if Self::newest_ts(&rows, key) > txn.snapshot {
-                    txn.status = TxnStatus::Aborted;
-                    self.active.lock().remove(&txn.id);
-                    self.meter.ww_conflicts.inc();
-                    validate_span.attr("outcome", "ww_conflict");
-                    return Err(CatalogError::WriteWriteConflict {
+                    conflict = Some(CatalogError::WriteWriteConflict {
                         key: format_key(key),
                     });
+                    break;
                 }
+            }
+            if let Some(err) = conflict {
+                self.finish(txn, TxnStatus::Aborted);
+                self.meter.ww_conflicts.inc();
+                validate_span.attr("outcome", "ww_conflict");
+                return Err(err);
             }
             if txn.isolation == IsolationLevel::Serializable {
                 for key in &txn.reads {
                     let rows = self.shards[self.shard_of(key)].rows.read();
                     if Self::newest_ts(&rows, key) > txn.snapshot {
-                        txn.status = TxnStatus::Aborted;
-                        self.active.lock().remove(&txn.id);
-                        self.meter.serialization_failures.inc();
-                        validate_span.attr("outcome", "serialization_failure");
-                        return Err(CatalogError::SerializationFailure {
+                        conflict = Some(CatalogError::SerializationFailure {
                             key: format_key(key),
                         });
+                        break;
                     }
+                }
+                if let Some(err) = conflict {
+                    self.finish(txn, TxnStatus::Aborted);
+                    self.meter.serialization_failures.inc();
+                    validate_span.attr("outcome", "serialization_failure");
+                    return Err(err);
                 }
             }
             validate_span.attr("outcome", "ok");
@@ -767,8 +1011,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         // can slip in — our shard locks are held), but no timestamp is
         // drawn yet, so failing here leaves the commit clock untouched.
         if let Err(e) = prepare() {
-            txn.status = TxnStatus::Aborted;
-            self.active.lock().remove(&txn.id);
+            self.finish(txn, TxnStatus::Aborted);
             self.meter.aborts.inc();
             return Err(e);
         }
@@ -795,17 +1038,16 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             .record_ns(sequencer_entered.elapsed().as_nanos() as u64);
         match sequenced {
             Ok(commit_ts) => {
-                txn.status = TxnStatus::Committed;
-                self.active.lock().remove(&txn.id);
+                self.finish(txn, TxnStatus::Committed);
                 self.meter.commits.inc();
                 Ok(CommitOutcome { commit_ts })
             }
             Err(e) => {
                 // Commit-log failure: the batch (this commit included)
                 // aborted wholesale before anything became visible.
-                txn.writes.clear();
-                txn.status = TxnStatus::Aborted;
-                self.active.lock().remove(&txn.id);
+                // `finish` discards the buffered writes *and* the read
+                // set, like every terminal transition.
+                self.finish(txn, TxnStatus::Aborted);
                 self.meter.commit_log_failures.inc();
                 Err(e)
             }
@@ -829,7 +1071,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         // record carries the transaction's *complete* effect. The closure
         // is a pure constructor (it builds manifest rows keyed by the
         // fresh timestamp), so running it on the abort path is harmless.
-        let extra_writes = extra(commit_ts);
+        let mut extra_writes = extra(commit_ts);
         if let Some(hook) = self.commit_log.read().clone() {
             let batch = CommitBatch {
                 first_ts: commit_ts,
@@ -838,7 +1080,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             let records = [CommitLogRecord {
                 txn: txn.id,
                 commit_ts,
-                writes: &txn.writes,
+                writes: txn.writes.as_slice(),
                 extra: &extra_writes,
             }];
             if let Err(detail) = hook(&batch, &records) {
@@ -846,7 +1088,9 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
             }
         }
         self.probe("commit.logged");
-        self.install_at(commit_ts, std::mem::take(&mut txn.writes), extra_writes);
+        // Drain in place: the write-set's backing storage stays with the
+        // transaction and returns to the scratch pool at `finish`.
+        self.install_at(commit_ts, &mut txn.writes.entries, &mut extra_writes);
         self.probe("commit.installed");
         self.committed.store(commit_ts.0, Ordering::SeqCst);
         self.probe("commit.published");
@@ -870,7 +1114,7 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         let mut state = lock_unpoisoned(&self.group.state);
         state.pending.push_back(BatchEntry {
             txn: txn.id,
-            writes: std::mem::take(&mut txn.writes),
+            writes: std::mem::take(&mut txn.writes.entries),
             extra,
             slot: Arc::clone(&slot),
         });
@@ -956,17 +1200,25 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
                 .map(|(txn, commit_ts, writes, extra, _)| CommitLogRecord {
                     txn: *txn,
                     commit_ts: *commit_ts,
-                    writes,
+                    writes: writes.as_slice(),
                     extra,
                 })
                 .collect();
             if let Err(detail) = hook(&descriptor, &records) {
                 // The whole batch aborts; no timestamp was consumed, so
-                // the clock stays dense for the next batch.
-                for (.., slot) in members {
+                // the clock stays dense for the next batch. Member write
+                // storage is recycled — an aborted batch must not bleed
+                // pool capacity.
+                for (_, _, mut writes, _, slot) in members {
                     *lock_unpoisoned(&slot.0) = Some(Err(CatalogError::CommitLogFailure {
                         detail: detail.clone(),
                     }));
+                    writes.clear();
+                    self.recycle(TxnScratch {
+                        writes,
+                        reads: HashSet::new(),
+                        shards: Vec::new(),
+                    });
                 }
                 return;
             }
@@ -974,8 +1226,15 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         self.probe("commit.logged");
         let count = members.len() as u64;
         let mut published = Vec::with_capacity(members.len());
-        for (_, commit_ts, writes, extra_writes, slot) in members {
-            self.install_at(commit_ts, writes, extra_writes);
+        for (_, commit_ts, mut writes, mut extra_writes, slot) in members {
+            self.install_at(commit_ts, &mut writes, &mut extra_writes);
+            // The drained storage came from a follower's write set; hand
+            // it to the pool so batching keeps the store warm.
+            self.recycle(TxnScratch {
+                writes,
+                reads: HashSet::new(),
+                shards: Vec::new(),
+            });
             published.push((slot, commit_ts));
         }
         self.probe("commit.installed");
@@ -986,36 +1245,37 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         }
     }
 
-    /// Install one commit's writes under `commit_ts`, shard by shard,
-    /// write-locking one shard's rows at a time (never two — no
-    /// lock-order concerns). The commit stays invisible while partially
+    /// Install one commit's writes under `commit_ts`, draining both
+    /// vectors in place (their backing storage returns to the caller —
+    /// and from there to the scratch pool). Write-locks one shard's rows
+    /// at a time, never two: the guard over the current shard is released
+    /// before the next shard's is taken, and is cached across consecutive
+    /// same-shard keys. The commit stays invisible while partially
     /// installed: `commit_ts` is above the watermark until the caller
     /// publishes it.
     fn install_at(
         &self,
         commit_ts: Timestamp,
-        writes: BTreeMap<K, Option<V>>,
-        extra_writes: Vec<(K, Option<V>)>,
+        writes: &mut Vec<(K, Option<V>)>,
+        extra_writes: &mut Vec<(K, Option<V>)>,
     ) {
         let mut install_span = self.meter.tracer.span("catalog.install");
         install_span.attr("commit_ts", commit_ts.0);
         install_span.attr("extra_writes", extra_writes.len());
-        let mut by_shard: BTreeMap<usize, Vec<(K, Option<V>)>> = BTreeMap::new();
-        for (key, value) in writes {
-            let idx = self.shard_of(&key);
-            by_shard.entry(idx).or_default().push((key, value));
-        }
-        for (key, value) in extra_writes {
-            let idx = self.shard_of(&key);
-            by_shard.entry(idx).or_default().push((key, value));
-        }
-        for (idx, writes) in by_shard {
-            let mut rows = self.shards[idx].rows.write();
-            for (key, value) in writes {
-                rows.entry(key).or_default().push(Version {
-                    ts: commit_ts,
-                    value,
-                });
+        for source in [writes, extra_writes] {
+            let mut guard: Option<(usize, _)> = None;
+            for (key, value) in source.drain(..) {
+                let idx = self.shard_of(&key);
+                if guard.as_ref().map(|(shard, _)| *shard) != Some(idx) {
+                    drop(guard.take()); // release before locking the next shard
+                    guard = Some((idx, self.shards[idx].rows.write()));
+                }
+                if let Some((_, rows)) = guard.as_mut() {
+                    rows.entry(key).or_default().push(Version {
+                        ts: commit_ts,
+                        value,
+                    });
+                }
             }
         }
     }
@@ -1025,11 +1285,10 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         self.commit_with(txn, |_| Vec::new())
     }
 
-    /// Roll back: buffered writes are discarded; nothing was ever visible.
+    /// Roll back: buffered writes *and* the tracked read set are
+    /// discarded; nothing was ever visible.
     pub fn abort(&self, txn: &mut Txn<K, V>) {
-        txn.writes.clear();
-        txn.status = TxnStatus::Aborted;
-        self.active.lock().remove(&txn.id);
+        self.finish(txn, TxnStatus::Aborted);
         self.meter.aborts.inc();
     }
 
@@ -1470,6 +1729,110 @@ mod tests {
                 (format!("m@{}", outcome.commit_ts.0), Some(9))
             ]
         );
+    }
+
+    #[test]
+    fn every_terminal_transition_clears_both_sets() {
+        // Regression: abort and the commit-log-failure path used to clear
+        // `writes` but leak `reads` until drop — a correctness bug for
+        // Serializable lifecycles and a poison pill for pooled reuse.
+        let s = Store::new();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut setup, k("a"), 1).unwrap();
+        s.write(&mut setup, k("b"), 1).unwrap();
+        s.commit(&mut setup).unwrap();
+        assert_eq!((setup.write_count(), setup.read_count()), (0, 0));
+
+        // User abort.
+        let mut t = s.begin(IsolationLevel::Serializable);
+        let _ = s.read(&mut t, &k("a")).unwrap();
+        s.write(&mut t, k("b"), 2).unwrap();
+        assert_eq!((t.write_count(), t.read_count()), (1, 1));
+        s.abort(&mut t);
+        assert_eq!((t.write_count(), t.read_count()), (0, 0));
+
+        // Write-write conflict.
+        let mut loser = s.begin(IsolationLevel::Serializable);
+        let _ = s.read(&mut loser, &k("a")).unwrap();
+        s.write(&mut loser, k("b"), 3).unwrap();
+        let mut winner = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut winner, k("b"), 4).unwrap();
+        s.commit(&mut winner).unwrap();
+        assert!(s.commit(&mut loser).is_err());
+        assert_eq!((loser.write_count(), loser.read_count()), (0, 0));
+
+        // Serialization failure (read-set conflict, disjoint writes).
+        let mut reader = s.begin(IsolationLevel::Serializable);
+        let _ = s.read(&mut reader, &k("a")).unwrap();
+        s.write(&mut reader, k("c"), 5).unwrap();
+        let mut bump = s.begin(IsolationLevel::Snapshot);
+        s.write(&mut bump, k("a"), 6).unwrap();
+        s.commit(&mut bump).unwrap();
+        assert!(matches!(
+            s.commit(&mut reader),
+            Err(CatalogError::SerializationFailure { .. })
+        ));
+        assert_eq!((reader.write_count(), reader.read_count()), (0, 0));
+
+        // Prepare failure.
+        let mut p = s.begin(IsolationLevel::Serializable);
+        let _ = s.read(&mut p, &k("a")).unwrap();
+        s.write(&mut p, k("d"), 7).unwrap();
+        let err = s
+            .commit_with_prepared(
+                &mut p,
+                || {
+                    Err(CatalogError::CommitLogFailure {
+                        detail: "prepare refused".into(),
+                    })
+                },
+                |_| Vec::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::CommitLogFailure { .. }));
+        assert_eq!((p.write_count(), p.read_count()), (0, 0));
+
+        // Commit-log failure.
+        s.set_commit_log(Some(Arc::new(|_, _| Err("log down".to_owned()))));
+        let mut l = s.begin(IsolationLevel::Serializable);
+        let _ = s.read(&mut l, &k("a")).unwrap();
+        s.write(&mut l, k("e"), 8).unwrap();
+        assert!(matches!(
+            s.commit(&mut l),
+            Err(CatalogError::CommitLogFailure { .. })
+        ));
+        assert_eq!((l.write_count(), l.read_count()), (0, 0));
+        s.set_commit_log(None);
+
+        // And the aborted-leaves-no-trace half: none of those keys exist.
+        let mut r = s.begin(IsolationLevel::Snapshot);
+        for key in ["c", "d", "e"] {
+            assert_eq!(s.read(&mut r, &k(key)).unwrap(), None, "{key}");
+        }
+    }
+
+    #[test]
+    fn pooled_txn_reuse_is_clean_across_lifecycles() {
+        // Churn enough transactions through the pool that later begins
+        // provably reuse retired scratch, then check reused contexts
+        // behave exactly like fresh ones.
+        let s = Store::new();
+        for i in 0..100i64 {
+            let mut t = s.begin(IsolationLevel::Serializable);
+            let _ = s.read(&mut t, &k("warm")).unwrap();
+            s.write(&mut t, k("warm"), i).unwrap();
+            if i % 3 == 0 {
+                s.abort(&mut t);
+            } else {
+                let _ = s.commit(&mut t);
+            }
+        }
+        // A reused context starts empty: no phantom reads or writes.
+        let mut t = s.begin(IsolationLevel::Serializable);
+        assert_eq!((t.write_count(), t.read_count()), (0, 0));
+        // And conflict detection still keys off this txn's state only.
+        s.write(&mut t, k("fresh"), 1).unwrap();
+        s.commit(&mut t).unwrap();
     }
 
     #[test]

@@ -95,29 +95,63 @@ pub enum WalTail {
     },
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected). Bitwise — the log appends a
-/// handful of KiB per commit, so table-free simplicity wins.
+/// Slicing-by-one lookup table for the reflected IEEE 802.3 polynomial,
+/// generated at compile time. One table probe per byte replaces the eight
+/// shift/xor rounds of the bit-serial form.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Byte-identical
+/// to the original bit-serial loop — existing segments keep decoding.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
     }
     !crc
 }
 
-/// Serialize one batch as a framed record, ready to append to a segment.
-pub fn encode_frame(batch: &WalBatch) -> Vec<u8> {
-    let payload = serde_json::to_vec(batch).expect("WalBatch serialization is infallible");
-    let mut frame = Vec::with_capacity(WAL_HEADER_LEN + payload.len());
+/// Serialize one batch as a framed record into a caller-owned buffer,
+/// preserving the buffer's capacity across calls. The buffer is cleared
+/// first; on error it is left cleared and nothing is appended downstream.
+///
+/// Serialization failure is routed back as an error (the sequencer turns it
+/// into a `CommitLogFailure` abort) rather than panicking inside the
+/// sequencer section.
+pub fn encode_frame_into(batch: &WalBatch, frame: &mut Vec<u8>) -> Result<(), String> {
+    frame.clear();
     frame.extend_from_slice(&WAL_MAGIC);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    frame
+    frame.extend_from_slice(&[0u8; 8]); // len + crc, patched once the payload is written
+    if let Err(e) = serde_json::to_writer(&mut *frame, batch) {
+        frame.clear();
+        return Err(format!("WalBatch serialization failed: {e}"));
+    }
+    let payload_len = frame.len() - WAL_HEADER_LEN;
+    let crc = crc32(&frame[WAL_HEADER_LEN..]);
+    frame[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    frame[8..12].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// Serialize one batch as a framed record, ready to append to a segment.
+pub fn encode_frame(batch: &WalBatch) -> Result<Vec<u8>, String> {
+    let mut frame = Vec::new();
+    encode_frame_into(batch, &mut frame)?;
+    Ok(frame)
 }
 
 /// Decode a segment: every complete frame in order, plus the tail status.
@@ -219,7 +253,7 @@ mod tests {
     #[test]
     fn roundtrip_single_frame() {
         let batch = sample(1);
-        let frame = encode_frame(&batch);
+        let frame = encode_frame(&batch).expect("encode");
         let (decoded, tail) = decode_frames(&frame);
         assert_eq!(tail, WalTail::Clean);
         assert_eq!(decoded, vec![batch]);
@@ -229,7 +263,7 @@ mod tests {
     fn roundtrip_concatenated_frames() {
         let mut segment = Vec::new();
         for ts in 1..=5 {
-            segment.extend_from_slice(&encode_frame(&sample(ts)));
+            segment.extend_from_slice(&encode_frame(&sample(ts)).expect("encode"));
         }
         let (decoded, tail) = decode_frames(&segment);
         assert_eq!(tail, WalTail::Clean);
@@ -242,9 +276,9 @@ mod tests {
         // A segment cut anywhere keeps every fully contained frame and
         // reports a tear — never a panic, never a partial batch.
         let mut segment = Vec::new();
-        let f1 = encode_frame(&sample(1));
+        let f1 = encode_frame(&sample(1)).expect("encode");
         segment.extend_from_slice(&f1);
-        segment.extend_from_slice(&encode_frame(&sample(2)));
+        segment.extend_from_slice(&encode_frame(&sample(2)).expect("encode"));
         for cut in 0..segment.len() {
             let (decoded, tail) = decode_frames(&segment[..cut]);
             let whole_frames = if cut >= segment.len() {
@@ -265,7 +299,7 @@ mod tests {
 
     #[test]
     fn corrupt_payload_detected_by_crc() {
-        let mut frame = encode_frame(&sample(1));
+        let mut frame = encode_frame(&sample(1)).expect("encode");
         let last = frame.len() - 1;
         frame[last] ^= 0x40;
         let (decoded, tail) = decode_frames(&frame);
@@ -278,7 +312,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut frame = encode_frame(&sample(1));
+        let mut frame = encode_frame(&sample(1)).expect("encode");
         frame[0] = b'X';
         let (decoded, tail) = decode_frames(&frame);
         assert!(decoded.is_empty());
@@ -289,5 +323,65 @@ mod tests {
     fn crc32_known_vector() {
         // The canonical IEEE CRC-32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // A second published vector: 32 bytes of 0xFF.
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6C_AB0B);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// The original bit-serial implementation, kept as a golden reference:
+    /// the table-driven version must stay byte-identical so existing
+    /// segments keep decoding.
+    fn crc32_bitwise(data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &byte in data {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn crc32_table_matches_bitwise_reference() {
+        // Every single-byte input exercises every table entry.
+        for b in 0u8..=255 {
+            assert_eq!(crc32(&[b]), crc32_bitwise(&[b]), "byte {b:#04x}");
+        }
+        // Deterministic pseudo-random buffers of varied lengths.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in [0usize, 1, 7, 64, 300, 1024] {
+            let buf: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 56) as u8
+                })
+                .collect();
+            assert_eq!(crc32(&buf), crc32_bitwise(&buf), "len {len}");
+        }
+        // And a real frame payload.
+        let frame = encode_frame(&sample(9)).expect("encode");
+        let payload = &frame[WAL_HEADER_LEN..];
+        assert_eq!(crc32(payload), crc32_bitwise(payload));
+    }
+
+    #[test]
+    fn encode_frame_into_reuses_buffer_and_matches_encode_frame() {
+        let mut buf = Vec::new();
+        for ts in 1..=4 {
+            let batch = sample(ts);
+            encode_frame_into(&batch, &mut buf).expect("encode");
+            assert_eq!(buf, encode_frame(&batch).expect("encode"), "ts {ts}");
+            let (decoded, tail) = decode_frames(&buf);
+            assert_eq!(tail, WalTail::Clean);
+            assert_eq!(decoded, vec![batch]);
+        }
+        // The buffer keeps its capacity across encodes — no regrowth once warm.
+        let cap = buf.capacity();
+        encode_frame_into(&sample(2), &mut buf).expect("encode");
+        assert_eq!(buf.capacity(), cap);
     }
 }

@@ -1,0 +1,185 @@
+//! Property: a transaction running on *pooled, recycled* scratch is
+//! observationally identical to one on fresh allocations. Two stores run
+//! the same randomized schedule of interleaved transactions; one store
+//! first churns its scratch pool through many aborted Serializable
+//! transactions (reads + writes, so any terminal-transition leak would
+//! poison the recycled contexts with phantom read/write sets). Every
+//! read result, commit outcome, conflict verdict and the final scanned
+//! state must match exactly — and the churn itself must leave no trace.
+
+use polaris_catalog::{CatalogError, IsolationLevel, MvccStore, Timestamp, Txn};
+use proptest::prelude::*;
+use std::ops::Bound;
+
+type Store = MvccStore<String, i64>;
+
+/// One step of the interpreted schedule, over a small key space and a
+/// fixed set of transaction slots so conflicts actually happen.
+#[derive(Debug, Clone)]
+enum Op {
+    Begin { slot: usize, serializable: bool },
+    Read { slot: usize, key: u8 },
+    Write { slot: usize, key: u8, value: i64 },
+    Delete { slot: usize, key: u8 },
+    Scan { slot: usize },
+    Commit { slot: usize },
+    Abort { slot: usize },
+}
+
+const SLOTS: usize = 3;
+const KEYS: u8 = 5;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let slot = 0..SLOTS;
+    let key = 0..KEYS;
+    prop_oneof![
+        (slot.clone(), any::<bool>())
+            .prop_map(|(slot, serializable)| Op::Begin { slot, serializable }),
+        (slot.clone(), key.clone()).prop_map(|(slot, key)| Op::Read { slot, key }),
+        (slot.clone(), key.clone(), -50i64..50).prop_map(|(slot, key, value)| Op::Write {
+            slot,
+            key,
+            value
+        }),
+        (slot.clone(), key).prop_map(|(slot, key)| Op::Delete { slot, key }),
+        slot.clone().prop_map(|slot| Op::Scan { slot }),
+        slot.clone().prop_map(|slot| Op::Commit { slot }),
+        slot.prop_map(|slot| Op::Abort { slot }),
+    ]
+}
+
+fn key_name(key: u8) -> String {
+    format!("k{key}")
+}
+
+/// Coarse, deterministic fingerprint of one operation's outcome —
+/// everything a client could observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Observed {
+    NoTxn,
+    Value(Option<i64>),
+    Rows(Vec<(String, i64)>),
+    Committed,
+    WwConflict,
+    SerializationFailure,
+    NotActive,
+    Aborted,
+}
+
+fn run_schedule(store: &Store, ops: &[Op]) -> Vec<Observed> {
+    let mut slots: Vec<Option<Txn<String, i64>>> = (0..SLOTS).map(|_| None).collect();
+    let mut observed = Vec::with_capacity(ops.len() + 1);
+    for op in ops {
+        let obs = match op {
+            Op::Begin { slot, serializable } => {
+                let iso = if *serializable {
+                    IsolationLevel::Serializable
+                } else {
+                    IsolationLevel::Snapshot
+                };
+                // An un-finished txn in the slot is aborted first, so the
+                // schedule is deterministic about active-set contents.
+                if let Some(mut old) = slots[*slot].take() {
+                    store.abort(&mut old);
+                }
+                slots[*slot] = Some(store.begin(iso));
+                Observed::Committed
+            }
+            Op::Read { slot, key } => match slots[*slot].as_mut() {
+                Some(txn) => match store.read(txn, &key_name(*key)) {
+                    Ok(v) => Observed::Value(v),
+                    Err(_) => Observed::NotActive,
+                },
+                None => Observed::NoTxn,
+            },
+            Op::Write { slot, key, value } => match slots[*slot].as_mut() {
+                Some(txn) => match store.write(txn, key_name(*key), *value) {
+                    Ok(()) => Observed::Committed,
+                    Err(_) => Observed::NotActive,
+                },
+                None => Observed::NoTxn,
+            },
+            Op::Delete { slot, key } => match slots[*slot].as_mut() {
+                Some(txn) => match store.delete(txn, key_name(*key)) {
+                    Ok(()) => Observed::Committed,
+                    Err(_) => Observed::NotActive,
+                },
+                None => Observed::NoTxn,
+            },
+            Op::Scan { slot } => match slots[*slot].as_mut() {
+                Some(txn) => match store.scan(txn, Bound::Unbounded, Bound::Unbounded) {
+                    Ok(rows) => Observed::Rows(rows),
+                    Err(_) => Observed::NotActive,
+                },
+                None => Observed::NoTxn,
+            },
+            Op::Commit { slot } => match slots[*slot].take() {
+                Some(mut txn) => match store.commit(&mut txn) {
+                    Ok(_) => Observed::Committed,
+                    Err(CatalogError::WriteWriteConflict { .. }) => Observed::WwConflict,
+                    Err(CatalogError::SerializationFailure { .. }) => {
+                        Observed::SerializationFailure
+                    }
+                    Err(_) => Observed::NotActive,
+                },
+                None => Observed::NoTxn,
+            },
+            Op::Abort { slot } => match slots[*slot].take() {
+                Some(mut txn) => {
+                    store.abort(&mut txn);
+                    Observed::Aborted
+                }
+                None => Observed::NoTxn,
+            },
+        };
+        observed.push(obs);
+    }
+    for slot in slots.iter_mut() {
+        if let Some(txn) = slot.as_mut() {
+            store.abort(txn);
+        }
+    }
+    // Final committed state, via a fresh snapshot.
+    let mut reader = store.begin(IsolationLevel::Snapshot);
+    let rows = store
+        .scan(&mut reader, Bound::Unbounded, Bound::Unbounded)
+        .expect("final scan");
+    store.abort(&mut reader);
+    observed.push(Observed::Rows(rows));
+    observed
+}
+
+/// Churn the scratch pool: begin/read/write/abort across isolation
+/// levels, so subsequent begins run on recycled contexts. Aborts leave
+/// no committed trace, so both stores still start from the same state —
+/// unless a lifecycle leak lets recycled read/write sets bleed through,
+/// which is exactly what the equivalence check would catch.
+fn churn_pool(store: &Store) {
+    for i in 0..64i64 {
+        let mut t = store.begin(if i % 2 == 0 {
+            IsolationLevel::Serializable
+        } else {
+            IsolationLevel::Snapshot
+        });
+        for key in 0..KEYS {
+            let _ = store.read(&mut t, &key_name(key));
+            store.write(&mut t, key_name(key), i).expect("churn write");
+        }
+        store.abort(&mut t);
+    }
+    assert_eq!(store.now(), Timestamp(0), "churn must commit nothing");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pooled_txns_match_fresh_txns(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let fresh = Store::new();
+        let pooled = Store::new();
+        churn_pool(&pooled);
+        let fresh_obs = run_schedule(&fresh, &ops);
+        let pooled_obs = run_schedule(&pooled, &ops);
+        prop_assert_eq!(fresh_obs, pooled_obs);
+    }
+}

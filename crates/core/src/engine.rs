@@ -11,7 +11,8 @@ use polaris_columnar::Schema;
 use polaris_dcp::ComputePool;
 use polaris_lst::{Checkpoint, Manifest, SequenceId, SnapshotCache, TableSnapshot};
 use polaris_obs::{
-    CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, RecoveryMeter, SlowLog, Tracer,
+    CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, RecoveryMeter, ScanMeter, SlowLog,
+    Tracer,
 };
 use polaris_store::{BlobPath, MemoryStore, ObjectStore, StatsStore};
 use std::collections::HashMap;
@@ -63,7 +64,21 @@ pub struct PolarisEngine {
     /// What the last [`PolarisEngine::open`] replayed; `None` for engines
     /// built via [`PolarisEngine::new`].
     recovery: Mutex<Option<RecoveryReport>>,
+    /// Retired transaction contexts: the per-table map and scan meter a
+    /// finished [`Transaction`] hands back so the next `begin` reuses
+    /// their capacity instead of reallocating. Contexts are recycled only
+    /// after the table map is cleared — holding `Arc<TableSnapshot>` refs
+    /// here would defeat the snapshot cache's in-place extension.
+    txn_contexts: Mutex<Vec<TxnContext>>,
 }
+
+/// A reusable transaction context: the per-table state map and statement
+/// scan meter recycled between transactions.
+type TxnContext = (HashMap<TableId, crate::txn::TxnTable>, Arc<ScanMeter>);
+
+/// Retired-context pool bound: beyond this many parked contexts, extras
+/// are simply dropped. Sized for a healthy concurrent-session count.
+const TXN_CONTEXT_POOL_MAX: usize = 32;
 
 impl PolarisEngine {
     /// Build an engine over the given store and compute pool.
@@ -116,6 +131,7 @@ impl PolarisEngine {
             telemetry: Mutex::new(None),
             durability,
             recovery: Mutex::new(None),
+            txn_contexts: Mutex::new(Vec::new()),
         });
         let telemetry = crate::telemetry::start(&engine);
         *engine.telemetry.lock() = Some(telemetry);
@@ -180,7 +196,7 @@ impl PolarisEngine {
                 if let Err(e) = writer.checkpoint(&self.catalog) {
                     self.tracer.instant(
                         "wal.checkpoint_error",
-                        vec![("error".to_owned(), e.to_string().into())],
+                        vec![("error", e.to_string().into())],
                     );
                 }
             }
@@ -242,6 +258,41 @@ impl PolarisEngine {
     /// The engine-wide trace flight recorder.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Draw a retired transaction context from the pool, or build a fresh
+    /// one. Pooled scan meters are zeroed in place when this engine holds
+    /// the only reference; a meter still shared (e.g. pinned by a profile
+    /// reader) is replaced rather than mutated under it.
+    pub(crate) fn take_txn_context(&self) -> TxnContext {
+        if let Some((tables, mut meter)) = self.txn_contexts.lock().pop() {
+            match Arc::get_mut(&mut meter) {
+                Some(m) => m.reset(),
+                None => meter = Arc::new(ScanMeter::with_tracer(self.tracer.clone())),
+            }
+            (tables, meter)
+        } else {
+            (
+                HashMap::new(),
+                Arc::new(ScanMeter::with_tracer(self.tracer.clone())),
+            )
+        }
+    }
+
+    /// Park a finished transaction's context for reuse. The table map is
+    /// cleared *here*, before pooling: its entries pin base snapshot
+    /// `Arc`s, and releasing them promptly is what lets the snapshot
+    /// cache extend the latest snapshot in place on the next commit.
+    pub(crate) fn recycle_txn_context(
+        &self,
+        mut tables: HashMap<TableId, crate::txn::TxnTable>,
+        meter: Arc<ScanMeter>,
+    ) {
+        tables.clear();
+        let mut pool = self.txn_contexts.lock();
+        if pool.len() < TXN_CONTEXT_POOL_MAX {
+            pool.push((tables, meter));
+        }
     }
 
     /// The engine's slow statement/transaction log.
@@ -415,10 +466,10 @@ impl PolarisEngine {
         as_of: Option<SequenceId>,
     ) -> PolarisResult<Arc<TableSnapshot>> {
         let limit = as_of.unwrap_or(SequenceId(u64::MAX));
-        let rows = self
-            .catalog
-            .manifests_between(txn, meta.id, SequenceId(0), limit)?;
-        let upto = rows.last().map(|(seq, _)| *seq).unwrap_or(SequenceId(0));
+        // Clone-free freshness probe: only the newest visible manifest
+        // sequence is needed here — the cache fetches the (usually empty
+        // or single-manifest) tail itself.
+        let upto = self.catalog.latest_manifest_sequence(txn, meta.id, limit)?;
         let cache = self.cache_for(meta.id);
         // Checkpoint seeding: only worth it when the cache has no usable
         // base below `upto`.

@@ -62,7 +62,7 @@ use parking_lot::Mutex;
 use polaris_catalog::wal::{self, WalBatch, WalTail};
 use polaris_catalog::{Catalog, CatalogImage, CommitBatch, CommitLogRecord, IsolationLevel, TxnId};
 use polaris_obs::RecoveryMeter;
-use polaris_store::{BlobPath, BlockId, ObjectStore, Stamp};
+use polaris_store::{BlobPath, BlockId, Bytes, ObjectStore, Stamp};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -120,6 +120,9 @@ pub struct CommitLogWriter {
 struct WriterState {
     segment: Option<OpenSegment>,
     appends_since_checkpoint: u64,
+    /// Pooled WAL frame staging buffer: every append serializes into this
+    /// capacity-preserving scratch instead of a fresh allocation per batch.
+    frame_buf: Vec<u8>,
 }
 
 struct OpenSegment {
@@ -164,36 +167,52 @@ impl CommitLogWriter {
         >],
     ) -> Result<(), String> {
         let t0 = Instant::now();
-        let frame = wal::encode_frame(&WalBatch::from_records(batch, records));
         let mut state = self.state.lock();
-        if state
-            .segment
+        // Serialize into the writer's pooled buffer. Encoding can fail (it
+        // no longer panics inside the sequencer); the error aborts the
+        // batch through the catalog's CommitLogFailure path like any other
+        // durability failure.
+        let wal_batch = WalBatch::from_records(batch, records);
+        let WriterState {
+            segment, frame_buf, ..
+        } = &mut *state;
+        wal::encode_frame_into(&wal_batch, frame_buf)?;
+        if segment
             .as_ref()
             .is_none_or(|s| s.bytes >= self.segment_bytes)
         {
             let path = BlobPath::new(segment_path(batch.first_ts.0)).map_err(|e| e.to_string())?;
-            state.segment = Some(OpenSegment {
+            *segment = Some(OpenSegment {
                 path,
                 blocks: Vec::new(),
                 bytes: 0,
             });
             self.meter.wal_segments.inc();
         }
-        let seg = state.segment.as_mut().expect("segment just ensured");
+        let seg = segment.as_mut().expect("segment just ensured");
         // Block ids need only be unique within the blob; the first
         // timestamp is unique per *successful* batch, and a failed batch's
         // reused timestamp simply re-stages (replaces) the orphaned block.
         let block = BlockId::new(format!("wal-{:020}", batch.first_ts.0));
-        let len = frame.len() as u64;
+        let len = frame_buf.len() as u64;
         self.store
-            .stage_block(&seg.path, block.clone(), frame.into(), Stamp::SYSTEM)
+            .stage_block(
+                &seg.path,
+                block.clone(),
+                Bytes::copy_from_slice(frame_buf),
+                Stamp::SYSTEM,
+            )
             .map_err(|e| e.to_string())?;
-        let mut blocks = seg.blocks.clone();
-        blocks.push(block);
-        self.store
-            .commit_block_list(&seg.path, &blocks, Stamp::SYSTEM)
-            .map_err(|e| e.to_string())?;
-        seg.blocks = blocks;
+        // Push in place and roll back on failure — no clone of the block
+        // list per append.
+        seg.blocks.push(block);
+        if let Err(e) = self
+            .store
+            .commit_block_list(&seg.path, &seg.blocks, Stamp::SYSTEM)
+        {
+            seg.blocks.pop();
+            return Err(e.to_string());
+        }
         seg.bytes += len;
         state.appends_since_checkpoint += 1;
         self.meter.wal_appends.inc();

@@ -93,14 +93,19 @@ impl Transaction {
         // Manual span: it outlives this call (statements and the commit
         // run later, possibly interleaved with other transactions on the
         // same thread), so the thread-local stack cannot own it.
-        let root_span = tracer.begin_manual("txn", 0, vec![("txn".to_owned(), ctxn.id.0.into())]);
+        let root_span = if tracer.is_enabled() {
+            tracer.begin_manual("txn", 0, vec![("txn", ctxn.id.0.into())])
+        } else {
+            0
+        };
+        let (tables, scan_meter) = engine.take_txn_context();
         Transaction {
             engine,
             ctxn,
-            tables: HashMap::new(),
+            tables,
             stmt: 0,
             finished: false,
-            scan_meter: Arc::new(ScanMeter::with_tracer(tracer.clone())),
+            scan_meter,
             last_profile: None,
             blocks_staged: 0,
             tracer,
@@ -111,8 +116,10 @@ impl Transaction {
     /// Close the root span exactly once, tagging how the transaction ended.
     fn end_root(&mut self, outcome: &str) {
         let span = std::mem::take(&mut self.root_span);
-        self.tracer
-            .end_manual(span, "txn", vec![("outcome".to_owned(), outcome.into())]);
+        if span != 0 {
+            self.tracer
+                .end_manual(span, "txn", vec![("outcome", outcome.into())]);
+        }
     }
 
     /// The transaction's root trace span id (0 when tracing is disabled).
@@ -156,7 +163,13 @@ impl Transaction {
         statement: &str,
         f: impl FnOnce(&mut Self) -> PolarisResult<T>,
     ) -> PolarisResult<T> {
-        self.scan_meter = Arc::new(ScanMeter::with_tracer(self.tracer.clone()));
+        // Zero the meter in place when uniquely held (steady state once
+        // the previous statement's profile dropped its handle); fall back
+        // to a fresh meter if a reader still holds the old one.
+        match Arc::get_mut(&mut self.scan_meter) {
+            Some(m) => m.reset(),
+            None => self.scan_meter = Arc::new(ScanMeter::with_tracer(self.tracer.clone())),
+        }
         let registry = Arc::clone(self.engine.metrics());
         let hits = registry.counter("lst.cache.hits");
         let misses = registry.counter("lst.cache.misses");
@@ -166,7 +179,13 @@ impl Transaction {
         // Statement span: explicit parent (the root span is manual), but on
         // the thread-local stack so every span opened while `f` runs —
         // snapshot replay, DCP attempts, store commits — nests under it.
-        let stmt_span = self.tracer.span_at(statement, self.root_span);
+        // Statement names are dynamic, so the span name costs one String —
+        // but only when tracing is actually recording.
+        let stmt_span = if self.tracer.is_enabled() {
+            self.tracer.span_at(statement.to_owned(), self.root_span)
+        } else {
+            polaris_obs::SpanGuard::default()
+        };
         let trace_span = stmt_span.id();
         let alloc0 = polaris_obs::alloc::phase_totals();
         let start = std::time::Instant::now();
@@ -334,7 +353,7 @@ impl Transaction {
 
         // One task per distribution group, capped.
         let task_groups = chunk_evenly(groups, config.max_write_tasks);
-        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::new();
+        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::with_capacity(task_groups.len());
         let store = Arc::clone(self.engine.store());
         let writer = config.writer;
         let stamp = self.stamp();
@@ -441,7 +460,7 @@ impl Transaction {
             cells,
             config.max_write_tasks.min(config.distributions as usize),
         );
-        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::new();
+        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::with_capacity(groups.len());
         let stamp = self.stamp();
         let stmt = self.stmt;
         let txn_id = self.ctxn.id.0;
@@ -553,7 +572,7 @@ impl Transaction {
             cells,
             config.max_write_tasks.min(config.distributions as usize),
         );
-        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::new();
+        let mut dag: WorkflowDag<WriteTaskResult> = WorkflowDag::with_capacity(groups.len());
         let stamp = self.stamp();
         let stmt = self.stmt;
         let txn_id = self.ctxn.id.0;
@@ -926,7 +945,7 @@ impl Transaction {
     /// retried attempts after a transient store fault are safe.
     fn spawn_manifest_uploads(&self, manifests: &[(TableId, String)]) -> DagHandle<u64> {
         let stamp = self.stamp();
-        let mut dag: WorkflowDag<u64> = WorkflowDag::new();
+        let mut dag: WorkflowDag<u64> = WorkflowDag::with_capacity(manifests.len());
         for (tid, _) in manifests {
             let t = &self.tables[tid];
             let store = Arc::clone(self.engine.store());
@@ -986,6 +1005,13 @@ impl Drop for Transaction {
         // Commit / rollback already closed the root span; this is the
         // abandoned-drop path (and a no-op when root_span is 0).
         self.end_root("aborted");
+        // Hand the table map and scan meter back to the engine so the
+        // next `begin` reuses their capacity. `recycle_txn_context`
+        // clears the map first, releasing base snapshot refs.
+        self.engine.recycle_txn_context(
+            std::mem::take(&mut self.tables),
+            Arc::clone(&self.scan_meter),
+        );
     }
 }
 

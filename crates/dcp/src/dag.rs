@@ -51,6 +51,14 @@ impl<T> WorkflowDag<T> {
         WorkflowDag { tasks: Vec::new() }
     }
 
+    /// An empty DAG with room for `n` tasks — builders that know their
+    /// fan-out up front avoid the incremental `Vec` growth.
+    pub fn with_capacity(n: usize) -> Self {
+        WorkflowDag {
+            tasks: Vec::with_capacity(n),
+        }
+    }
+
     /// Add a task with no dependencies; returns its index.
     pub fn add_task(
         &mut self,

@@ -599,16 +599,12 @@ impl ComputePool {
                 "dcp.task",
                 trace_parent,
                 vec![
-                    ("node".to_owned(), node_id.0.into()),
-                    ("task".to_owned(), task.into()),
-                    ("attempt".to_owned(), attempt.into()),
+                    ("node", node_id.0.into()),
+                    ("task", task.into()),
+                    ("attempt", attempt.into()),
                 ],
             );
-            tracer.end_manual(
-                span,
-                "dcp.task",
-                vec![("outcome".to_owned(), "node_lost".into())],
-            );
+            tracer.end_manual(span, "dcp.task", vec![("outcome", "node_lost".into())]);
             let _ = result_tx.send((task, attempt, Err(TaskError::NodeLost { node: node_id.0 })));
         }
         Ok(())

@@ -71,15 +71,44 @@ impl SnapshotCache {
         self.meter.misses.inc();
         let _alloc = polaris_obs::AllocScope::enter(polaris_obs::AllocPhase::Replay);
         let mut replay_span = self.meter.tracer.span("lst.cache.replay");
-        let (from, mut snap) = match base {
-            Some((seq, snap)) => (seq, (*snap).clone()),
-            None => (SequenceId(0), TableSnapshot::empty()),
-        };
+        let from = base.as_ref().map_or(SequenceId(0), |(seq, _)| *seq);
         replay_span.attr("from", from.0);
         replay_span.attr("to", upto.0);
         let manifests = fetch(from, upto)?;
         self.meter.replayed_manifests.add(manifests.len() as u64);
         replay_span.attr("manifests", manifests.len());
+        // Obtain an owned base to extend. When this reconstruction holds
+        // the only reference to the cached base (the steady state for a
+        // single stream of commits: the previous statement's snapshot is
+        // already dropped), the entry is *stolen* and extended in place —
+        // no deep clone of a file map that grows with every commit. A base
+        // still shared with live readers is cloned as before; losing the
+        // stolen entry on a replay error is fine because the cache is
+        // purely an optimization.
+        let mut entries = self.entries.lock();
+        if let Ok(pos) = entries.binary_search_by_key(&upto, |(s, _)| *s) {
+            // Raced with another reconstruction; keep the existing entry.
+            return Ok(entries[pos].1.clone());
+        }
+        let mut snap = match base {
+            Some((seq, handle)) => match entries.binary_search_by_key(&seq, |(s, _)| *s) {
+                Ok(pos) => {
+                    let (_, cached) = entries.remove(pos);
+                    drop(handle);
+                    match Arc::try_unwrap(cached) {
+                        Ok(owned) => owned,
+                        Err(shared) => {
+                            let copy = (*shared).clone();
+                            entries.insert(pos, (seq, shared));
+                            copy
+                        }
+                    }
+                }
+                // The base was evicted while we fetched; clone our handle.
+                Err(_) => (*handle).clone(),
+            },
+            None => TableSnapshot::empty(),
+        };
         for (seq, m) in &manifests {
             snap.apply_manifest(*seq, m)?;
         }
@@ -88,7 +117,6 @@ impl SnapshotCache {
         // global sequence).
         snap.set_upto(upto);
         let arc = Arc::new(snap);
-        let mut entries = self.entries.lock();
         match entries.binary_search_by_key(&upto, |(s, _)| *s) {
             Ok(_) => {} // raced with another reconstruction; keep existing
             Err(pos) => {

@@ -877,6 +877,27 @@ impl ScanMeter {
             .counter("exec.late_materialized_chunks_skipped")
             .add(r(&self.late_materialized_chunks_skipped));
     }
+
+    /// Zero every counter in place, keeping the tracer handle — pooled
+    /// meters reset between statements instead of reallocating.
+    pub fn reset(&self) {
+        for field in [
+            &self.files_scanned,
+            &self.files_pruned,
+            &self.row_groups_scanned,
+            &self.row_groups_pruned,
+            &self.rows_in,
+            &self.rows_out,
+            &self.bytes_read,
+            &self.morsels_scheduled,
+            &self.morsels_stolen,
+            &self.prefetch_hits,
+            &self.prefetch_wasted_bytes,
+            &self.late_materialized_chunks_skipped,
+        ] {
+            field.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

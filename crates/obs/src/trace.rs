@@ -42,12 +42,21 @@
 //!   failed transactions so fault-injection runs are debuggable.
 
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A span/instant name: almost always a `'static` literal (zero-alloc);
+/// dynamic names (SQL statement labels) pay one `String`.
+pub type SpanName = Cow<'static, str>;
+
+/// An attribute list. Keys are `'static` literals by construction, so
+/// attaching an attribute never copies the key.
+pub type AttrList = Vec<(&'static str, AttrValue)>;
 
 /// A typed attribute value attached to a span or instant event.
 #[derive(Clone, Debug, PartialEq)]
@@ -131,7 +140,7 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
     /// Event name (`txn`, `dcp.task`, `exec.scan`, …). `End` events reuse
     /// the name of their `Begin` for readability.
-    pub name: String,
+    pub name: SpanName,
     /// Span id this event belongs to (0 for free-standing instants).
     pub span: u64,
     /// Parent span id (0 = root). Meaningful on `Begin` and `Instant`.
@@ -140,7 +149,7 @@ pub struct TraceEvent {
     /// per-OS-thread ordinal (starting at 1000 to avoid node-id clashes).
     pub tid: u64,
     /// Typed attributes.
-    pub attrs: Vec<(String, AttrValue)>,
+    pub attrs: AttrList,
 }
 
 /// Bounded, lossy-at-the-tail ring buffer of trace events.
@@ -150,6 +159,11 @@ pub struct TraceSink {
     cursor: AtomicU64,
     /// Next span id to hand out (0 is reserved for "no span").
     next_span: AtomicU64,
+    /// Recycled attribute buffers: when a ring slot is overwritten, the
+    /// evicted event's attribute capacity lands here instead of the
+    /// allocator, and new spans draw from it — the span arena. Bounded by
+    /// the ring capacity (each slot contributes at most one buffer).
+    attr_arena: Mutex<Vec<AttrList>>,
     epoch: Instant,
 }
 
@@ -161,6 +175,7 @@ impl TraceSink {
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
             cursor: AtomicU64::new(0),
             next_span: AtomicU64::new(1),
+            attr_arena: Mutex::new(Vec::new()),
             epoch: Instant::now(),
         }
     }
@@ -192,7 +207,28 @@ impl TraceSink {
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
         event.seq = seq;
         let slot = (seq % self.slots.len() as u64) as usize;
-        *self.slots[slot].lock() = Some(event);
+        let evicted = self.slots[slot].lock().replace(event);
+        if let Some(old) = evicted {
+            self.recycle_attrs(old.attrs);
+        }
+    }
+
+    /// Hand an attribute buffer from the arena (capacity preserved from
+    /// an evicted event), or a fresh empty one when the arena is dry.
+    fn spare_attrs(&self) -> AttrList {
+        self.attr_arena.lock().pop().unwrap_or_default()
+    }
+
+    /// Return an attribute buffer's capacity to the arena.
+    fn recycle_attrs(&self, mut attrs: AttrList) {
+        if attrs.capacity() == 0 {
+            return;
+        }
+        attrs.clear();
+        let mut arena = self.attr_arena.lock();
+        if arena.len() < self.slots.len() {
+            arena.push(attrs);
+        }
     }
 
     /// Point-in-time copy of the retained events, in emission order.
@@ -283,24 +319,24 @@ impl Tracer {
     }
 
     /// Open a span parented under the current thread-local span.
-    pub fn span(&self, name: &str) -> SpanGuard {
+    pub fn span(&self, name: impl Into<SpanName>) -> SpanGuard {
         let parent = self.current();
-        self.span_with(name, parent, thread_lane())
+        self.span_with(name.into(), parent, thread_lane())
     }
 
     /// Open a span with an explicit parent (cross-thread work: the parent
     /// id was captured on the submitting thread).
-    pub fn span_at(&self, name: &str, parent: u64) -> SpanGuard {
-        self.span_with(name, parent, thread_lane())
+    pub fn span_at(&self, name: impl Into<SpanName>, parent: u64) -> SpanGuard {
+        self.span_with(name.into(), parent, thread_lane())
     }
 
     /// Open a span with an explicit parent on an explicit lane (DCP task
     /// attempts use the node id as the lane).
-    pub fn span_on_lane(&self, name: &str, parent: u64, lane: u64) -> SpanGuard {
-        self.span_with(name, parent, lane)
+    pub fn span_on_lane(&self, name: impl Into<SpanName>, parent: u64, lane: u64) -> SpanGuard {
+        self.span_with(name.into(), parent, lane)
     }
 
-    fn span_with(&self, name: &str, parent: u64, tid: u64) -> SpanGuard {
+    fn span_with(&self, name: SpanName, parent: u64, tid: u64) -> SpanGuard {
         let Some(sink) = &self.0 else {
             return SpanGuard::default();
         };
@@ -309,7 +345,7 @@ impl Tracer {
             seq: 0,
             ts_ns: sink.now_ns(),
             kind: TraceEventKind::Begin,
-            name: name.to_owned(),
+            name: name.clone(),
             span: id,
             parent,
             tid,
@@ -322,7 +358,7 @@ impl Tracer {
             key,
             id,
             tid,
-            name: name.to_owned(),
+            name,
             attrs: Vec::new(),
         }
     }
@@ -330,14 +366,14 @@ impl Tracer {
     /// Begin a span *without* touching the thread-local stack — for spans
     /// held across statements and threads (the transaction root). Returns
     /// the span id; close it with [`end_manual`](Tracer::end_manual).
-    pub fn begin_manual(&self, name: &str, parent: u64, attrs: Vec<(String, AttrValue)>) -> u64 {
+    pub fn begin_manual(&self, name: impl Into<SpanName>, parent: u64, attrs: AttrList) -> u64 {
         let Some(sink) = &self.0 else { return 0 };
         let id = sink.alloc_span();
         sink.emit(TraceEvent {
             seq: 0,
             ts_ns: sink.now_ns(),
             kind: TraceEventKind::Begin,
-            name: name.to_owned(),
+            name: name.into(),
             span: id,
             parent,
             tid: thread_lane(),
@@ -349,7 +385,7 @@ impl Tracer {
     /// Close a span opened with [`begin_manual`](Tracer::begin_manual).
     /// Passing 0 is a no-op, so callers can zero their stored id to make
     /// the close idempotent.
-    pub fn end_manual(&self, span: u64, name: &str, attrs: Vec<(String, AttrValue)>) {
+    pub fn end_manual(&self, span: u64, name: impl Into<SpanName>, attrs: AttrList) {
         let Some(sink) = &self.0 else { return };
         if span == 0 {
             return;
@@ -358,7 +394,7 @@ impl Tracer {
             seq: 0,
             ts_ns: sink.now_ns(),
             kind: TraceEventKind::End,
-            name: name.to_owned(),
+            name: name.into(),
             span,
             parent: 0,
             tid: thread_lane(),
@@ -367,13 +403,13 @@ impl Tracer {
     }
 
     /// Emit a point-in-time event under the current thread-local span.
-    pub fn instant(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
+    pub fn instant(&self, name: impl Into<SpanName>, attrs: AttrList) {
         let Some(sink) = &self.0 else { return };
         sink.emit(TraceEvent {
             seq: 0,
             ts_ns: sink.now_ns(),
             kind: TraceEventKind::Instant,
-            name: name.to_owned(),
+            name: name.into(),
             span: 0,
             parent: self.current(),
             tid: thread_lane(),
@@ -410,8 +446,8 @@ pub struct SpanGuard {
     key: usize,
     id: u64,
     tid: u64,
-    name: String,
-    attrs: Vec<(String, AttrValue)>,
+    name: SpanName,
+    attrs: AttrList,
 }
 
 impl SpanGuard {
@@ -421,10 +457,15 @@ impl SpanGuard {
         self.id
     }
 
-    /// Attach an attribute, reported on the span's `End` event.
-    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
-        if self.sink.is_some() {
-            self.attrs.push((key.to_owned(), value.into()));
+    /// Attach an attribute, reported on the span's `End` event. The first
+    /// attribute draws a recycled buffer from the sink's arena, so warm
+    /// spans attach attributes without touching the allocator.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(sink) = &self.sink {
+            if self.attrs.capacity() == 0 {
+                self.attrs = sink.spare_attrs();
+            }
+            self.attrs.push((key, value.into()));
         }
     }
 }
@@ -480,7 +521,7 @@ pub struct SpanRecord {
     /// Lane (node id / thread ordinal).
     pub tid: u64,
     /// Attributes (Begin's, then End's).
-    pub attrs: Vec<(String, AttrValue)>,
+    pub attrs: AttrList,
 }
 
 impl SpanRecord {
@@ -491,7 +532,7 @@ impl SpanRecord {
 
     /// Attribute lookup by key.
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 }
 
@@ -508,7 +549,7 @@ pub fn build_spans(events: &[TraceEvent]) -> BTreeMap<u64, SpanRecord> {
                     SpanRecord {
                         id: e.span,
                         parent: e.parent,
-                        name: e.name.clone(),
+                        name: e.name.to_string(),
                         start_ns: e.ts_ns,
                         end_ns: None,
                         tid: e.tid,
@@ -559,7 +600,7 @@ fn json_attr_value(v: &AttrValue) -> String {
     }
 }
 
-fn json_args(attrs: &[(String, AttrValue)]) -> String {
+fn json_args(attrs: &[(&'static str, AttrValue)]) -> String {
     let mut out = String::from("{");
     for (i, (k, v)) in attrs.iter().enumerate() {
         if i > 0 {
@@ -581,12 +622,12 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     for s in spans.values() {
         let dur_us = s.duration_ns() as f64 / 1_000.0;
         let mut args = s.attrs.clone();
-        args.push(("span".to_owned(), AttrValue::U64(s.id)));
+        args.push(("span", AttrValue::U64(s.id)));
         if s.parent != 0 {
-            args.push(("parent".to_owned(), AttrValue::U64(s.parent)));
+            args.push(("parent", AttrValue::U64(s.parent)));
         }
         if s.end_ns.is_none() {
-            args.push(("unfinished".to_owned(), AttrValue::Bool(true)));
+            args.push(("unfinished", AttrValue::Bool(true)));
         }
         rows.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"polaris\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{}}}",
@@ -600,7 +641,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     for e in events.iter().filter(|e| e.kind == TraceEventKind::Instant) {
         let mut args = e.attrs.clone();
         if e.parent != 0 {
-            args.push(("parent".to_owned(), AttrValue::U64(e.parent)));
+            args.push(("parent", AttrValue::U64(e.parent)));
         }
         rows.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"polaris\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"args\":{}}}",
@@ -628,7 +669,7 @@ fn fmt_dur(ns: u64) -> String {
     }
 }
 
-fn fmt_attrs(attrs: &[(String, AttrValue)]) -> String {
+fn fmt_attrs(attrs: &[(&'static str, AttrValue)]) -> String {
     if attrs.is_empty() {
         return String::new();
     }
@@ -778,7 +819,7 @@ mod tests {
     fn ring_overwrites_oldest_but_keeps_order() {
         let t = Tracer::with_capacity(8);
         for i in 0..20u64 {
-            t.instant("tick", vec![("i".into(), AttrValue::U64(i))]);
+            t.instant("tick", vec![("i", AttrValue::U64(i))]);
         }
         let events = t.events();
         assert_eq!(events.len(), 8);
@@ -790,13 +831,13 @@ mod tests {
     #[test]
     fn manual_spans_do_not_touch_the_stack() {
         let t = Tracer::with_capacity(64);
-        let root = t.begin_manual("txn", 0, vec![("id".into(), AttrValue::U64(7))]);
+        let root = t.begin_manual("txn", 0, vec![("id", AttrValue::U64(7))]);
         assert!(root != 0);
         assert_eq!(t.current(), 0, "manual spans are not implicit parents");
         let child = t.span_at("stmt", root);
         assert_eq!(t.current(), child.id());
         drop(child);
-        t.end_manual(root, "txn", vec![("outcome".into(), "committed".into())]);
+        t.end_manual(root, "txn", vec![("outcome", "committed".into())]);
         let spans = build_spans(&t.events());
         let txn = spans.values().find(|s| s.name == "txn").unwrap();
         assert!(txn.end_ns.is_some());
@@ -834,7 +875,7 @@ mod tests {
             let mut g = t.span("phase \"q\"");
             g.attr("table", "line\"item");
             g.attr("files", 3u64);
-            t.instant("fault", vec![("op".into(), "put".into())]);
+            t.instant("fault", vec![("op", "put".into())]);
         }
         let json = t.chrome_trace();
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -874,7 +915,7 @@ mod tests {
     fn post_mortem_keeps_the_tail() {
         let t = Tracer::with_capacity(32);
         for i in 0..10u64 {
-            t.instant("e", vec![("i".into(), AttrValue::U64(i))]);
+            t.instant("e", vec![("i", AttrValue::U64(i))]);
         }
         let dump = t.post_mortem(3);
         assert!(dump.contains("last 3 of 10"));

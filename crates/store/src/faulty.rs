@@ -111,7 +111,7 @@ impl<S: ObjectStore> FaultyStore<S> {
             counter.inc();
             self.tracer
                 .lock()
-                .instant("store.injected_fault", vec![("op".to_owned(), op.into())]);
+                .instant("store.injected_fault", vec![("op", op.into())]);
             return Err(StoreError::Transient {
                 detail: format!("injected fault during {op}"),
             });

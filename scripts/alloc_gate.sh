@@ -9,3 +9,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -q -p polaris-bench --features track-alloc --bin alloc_gate -- "$@"
+
+# Stricter companion assertion: the catalog-only commit path must be
+# allocation-free entirely once warm (not just within budget).
+cargo test --release -q -p polaris-catalog --features track-alloc \
+  --test zero_alloc_commit

@@ -26,6 +26,20 @@ pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     to_string(value).map(String::into_bytes)
 }
 
+/// Serialize `value` as compact JSON into `writer` (serde_json API
+/// shape). The stand-in still renders through an intermediate string —
+/// callers get buffer reuse on their side of the writer, not a fully
+/// allocation-free encode.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
 /// Deserialize a `T` from a JSON string.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
     T::from_value(&serde::parse_value(s)?)
