@@ -8,6 +8,11 @@
 //! when the median exceeds the baseline by more than 10% — the
 //! regression gate `scripts/alloc_gate.sh` wires into tier-1.
 //!
+//! A second measurement gates the warm **system-table scan** path the
+//! same way (`SELECT COUNT(name) FROM polaris.metrics`): introspection is
+//! polled by dashboards, so its per-scan allocation count is budgeted
+//! alongside the commit path's.
+//!
 //! Requires the tracking allocator (`--features track-alloc`); without it
 //! the binary prints a skip notice and exits 0 so default builds stay
 //! green. `--record` rewrites the baseline from the current measurement.
@@ -25,6 +30,11 @@ const COMMITS_PER_WINDOW: usize = 16;
 /// Warm-up commits before any window is measured (fills caches, grows
 /// maps and buffers to steady-state size).
 const WARMUP_COMMITS: usize = 64;
+/// System-table scans per measurement window (second gated path: a warm
+/// `polaris.metrics` scan must also stay within its recorded budget).
+const SCANS_PER_WINDOW: usize = 8;
+/// Warm-up scans before the scan windows are measured.
+const WARMUP_SCANS: usize = 16;
 /// Allowed growth over the recorded baseline before the gate fails.
 const TOLERANCE: f64 = 0.10;
 /// Where the baseline lives, relative to the repo root.
@@ -101,10 +111,68 @@ fn main() {
          ({WINDOWS} windows x {COMMITS_PER_WINDOW} commits, {WARMUP_COMMITS} warm-up)"
     );
 
+    // Second gated path: a warm system-table scan. `polaris.metrics` is
+    // the introspection hot path (dashboards poll it), and its row count
+    // is stable once the registry is warm, so its allocation profile is
+    // as deterministic as the commit path's.
+    let mut scan = || {
+        session
+            .query("SELECT COUNT(name) AS n FROM polaris.metrics")
+            .expect("warm system scan");
+    };
+    for _ in 0..WARMUP_SCANS {
+        scan();
+    }
+    let scan_phase_before = polaris_obs::alloc::phase_totals();
+    let mut allocs_per_scan: Vec<u64> = Vec::with_capacity(WINDOWS);
+    let mut bytes_per_scan: Vec<u64> = Vec::with_capacity(WINDOWS);
+    for _ in 0..WINDOWS {
+        let before = polaris_obs::alloc::totals();
+        for _ in 0..SCANS_PER_WINDOW {
+            scan();
+        }
+        let after = polaris_obs::alloc::totals();
+        let n = SCANS_PER_WINDOW as u64;
+        allocs_per_scan.push(after.allocs.saturating_sub(before.allocs) / n);
+        bytes_per_scan.push(after.alloc_bytes.saturating_sub(before.alloc_bytes) / n);
+    }
+    if phases {
+        let scan_phase_after = polaris_obs::alloc::phase_totals();
+        let scans = (WINDOWS * SCANS_PER_WINDOW) as u64;
+        println!("alloc gate: per-phase allocs/scan over {scans} system scans:");
+        for (i, phase) in polaris_obs::AllocPhase::ALL.iter().enumerate() {
+            let d_allocs = scan_phase_after[i]
+                .allocs
+                .saturating_sub(scan_phase_before[i].allocs);
+            let d_bytes = scan_phase_after[i]
+                .bytes
+                .saturating_sub(scan_phase_before[i].bytes);
+            if d_allocs > 0 {
+                println!(
+                    "  {:>18}: {:>6.1} allocs / {:>8.0} bytes",
+                    phase.label(),
+                    d_allocs as f64 / scans as f64,
+                    d_bytes as f64 / scans as f64,
+                );
+            }
+        }
+    }
+    allocs_per_scan.sort_unstable();
+    bytes_per_scan.sort_unstable();
+    let scan_allocs = allocs_per_scan[WINDOWS / 2];
+    let scan_bytes = bytes_per_scan[WINDOWS / 2];
+    println!(
+        "alloc gate: median {scan_allocs} allocs / {scan_bytes} bytes per warm system scan \
+         ({WINDOWS} windows x {SCANS_PER_WINDOW} scans, {WARMUP_SCANS} warm-up)"
+    );
+
     if record {
         let json = format!(
             "{{\n  \"allocs_per_commit\": {allocs},\n  \"bytes_per_commit\": {bytes},\n  \
-             \"windows\": {WINDOWS},\n  \"commits_per_window\": {COMMITS_PER_WINDOW}\n}}\n"
+             \"allocs_per_system_scan\": {scan_allocs},\n  \
+             \"bytes_per_system_scan\": {scan_bytes},\n  \
+             \"windows\": {WINDOWS},\n  \"commits_per_window\": {COMMITS_PER_WINDOW},\n  \
+             \"scans_per_window\": {SCANS_PER_WINDOW}\n}}\n"
         );
         std::fs::write(BASELINE_PATH, json).expect("write baseline");
         println!("alloc gate: baseline recorded to {BASELINE_PATH}");
@@ -141,4 +209,23 @@ fn main() {
             "alloc gate: note — commit path got >2x leaner; consider re-recording the baseline"
         );
     }
+
+    let base_scan = baseline["allocs_per_system_scan"].as_u64().unwrap_or(0);
+    if base_scan == 0 {
+        println!("alloc gate: baseline has no allocs_per_system_scan; run with --record");
+        std::process::exit(1);
+    }
+    let scan_budget = (base_scan as f64 * (1.0 + TOLERANCE)) as u64;
+    if scan_allocs > scan_budget {
+        println!(
+            "alloc gate: FAIL — {scan_allocs} allocs/system-scan exceeds budget {scan_budget} \
+             (baseline {base_scan} + {:.0}%)",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "alloc gate: ok — {scan_allocs} allocs/system-scan within budget {scan_budget} \
+         (baseline {base_scan})"
+    );
 }

@@ -255,6 +255,12 @@ impl Catalog {
         self.store.oldest_active()
     }
 
+    /// Every active transaction as `(id, snapshot ts, age)` — the
+    /// `polaris.transactions` system table's source.
+    pub fn active_txns(&self) -> Vec<(TxnId, Timestamp, std::time::Duration)> {
+        self.store.active_txns()
+    }
+
     /// Validated commits currently parked in the group-commit queue.
     pub fn group_queue_depth(&self) -> usize {
         self.store.group_queue_depth()

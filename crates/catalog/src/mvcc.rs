@@ -1350,6 +1350,17 @@ impl<K: MvccKey + Send + 'static, V: Clone + Send + 'static> MvccStore<K, V> {
         self.active.lock().len()
     }
 
+    /// Every active transaction as `(id, snapshot ts, wall-clock age)`,
+    /// unordered. A point-in-time copy — the returned rows never reference
+    /// the live map, so callers can hold them across commits.
+    pub fn active_txns(&self) -> Vec<(TxnId, Timestamp, Duration)> {
+        self.active
+            .lock()
+            .iter()
+            .map(|(id, a)| (*id, a.snapshot, a.since.elapsed()))
+            .collect()
+    }
+
     /// Drop versions superseded before `before` (and tombstones entirely in
     /// the past), keeping at least the newest version of each key. Safe
     /// when `before <= min_active_snapshot()`.

@@ -9,14 +9,17 @@ use parking_lot::{Mutex, RwLock};
 use polaris_catalog::{Catalog, CatalogTxn, TableId, TableMeta};
 use polaris_columnar::Schema;
 use polaris_dcp::ComputePool;
+use polaris_exec::SystemSchema;
 use polaris_lst::{Checkpoint, Manifest, SequenceId, SnapshotCache, TableSnapshot};
 use polaris_obs::{
-    CacheMeter, CatalogMeter, MetricsRegistry, MetricsSnapshot, RecoveryMeter, ScanMeter, SlowLog,
-    Tracer,
+    CacheMeter, CatalogMeter, Gauge, MetricName, MetricsRegistry, MetricsSnapshot, RecoveryMeter,
+    ScanMeter, SlowLog, Tracer,
 };
 use polaris_store::{BlobPath, MemoryStore, ObjectStore, StatsStore};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// The Polaris engine: one per "database".
 ///
@@ -70,6 +73,58 @@ pub struct PolarisEngine {
     /// after the table map is cleared — holding `Arc<TableSnapshot>` refs
     /// here would defeat the snapshot cache's in-place extension.
     txn_contexts: Mutex<Vec<TxnContext>>,
+    /// Monotonic uptime base and its wall-clock anchor (ms since the Unix
+    /// epoch at construction) — the timestamp base every system table and
+    /// the `uptime_seconds` gauge derive from.
+    started: Instant,
+    started_unix_ms: u64,
+    /// Cached `uptime_seconds` gauge handle; refreshed on every harvester
+    /// tick, health report and metrics snapshot without a registry lookup.
+    uptime_gauge: Gauge,
+    /// Engine-wide stable statement-id source; every profiled statement
+    /// draws one, stamping its root trace span, its [`polaris_obs::QueryProfile`]
+    /// and (when slow) its slow-log record so `polaris.slow_log` joins to
+    /// `polaris.trace_spans`.
+    next_query_id: AtomicU64,
+    /// Live execution stats per user transaction, keyed by txn id — the
+    /// `polaris.transactions` system table's phase/statement/alloc columns.
+    /// Entries are plain copyable data updated under a short lock; the
+    /// commit path never blocks on a system scan (scans copy and release).
+    txn_stats: Mutex<HashMap<u64, TxnStat>>,
+    /// The `polaris.*` virtual-table registry. Installed right after the
+    /// engine `Arc` exists (providers hold `Weak` engine references, like
+    /// the telemetry rules), so it is set for the engine's entire
+    /// externally observable lifetime.
+    system_tables: OnceLock<SystemSchema>,
+}
+
+/// Plain-data execution stats for one live user transaction (the
+/// `polaris.transactions` row payload beyond what the catalog knows).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TxnStat {
+    /// `active` while statements run, `committing` once the commit
+    /// protocol has started.
+    pub(crate) phase: &'static str,
+    /// Statements executed so far.
+    pub(crate) statements: u32,
+    /// Distinct tables touched (read or written).
+    pub(crate) tables_touched: u32,
+    /// Bytes allocated across the transaction's statements.
+    pub(crate) alloc_bytes: u64,
+    /// Allocation count across the transaction's statements.
+    pub(crate) allocs: u64,
+}
+
+impl Default for TxnStat {
+    fn default() -> Self {
+        TxnStat {
+            phase: "active",
+            statements: 0,
+            tables_touched: 0,
+            alloc_bytes: 0,
+            allocs: 0,
+        }
+    }
 }
 
 /// A reusable transaction context: the per-table state map and statement
@@ -79,6 +134,27 @@ type TxnContext = (HashMap<TableId, crate::txn::TxnTable>, Arc<ScanMeter>);
 /// Retired-context pool bound: beyond this many parked contexts, extras
 /// are simply dropped. Sized for a healthy concurrent-session count.
 const TXN_CONTEXT_POOL_MAX: usize = 32;
+
+/// Crate version baked into `build_info` and the health report.
+pub(crate) const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Git revision baked in at compile time via the `POLARIS_GIT_SHA`
+/// environment variable; `"unknown"` when the build did not set it.
+pub(crate) const BUILD_GIT: &str = match option_env!("POLARIS_GIT_SHA") {
+    Some(sha) => sha,
+    None => "unknown",
+};
+
+/// Register the constant `build_info{version,git}` gauge (value 1, the
+/// Prometheus convention for build metadata).
+fn register_build_info(metrics: &MetricsRegistry) {
+    let name = MetricName::new("build_info")
+        .and_then(|n| n.with_label("version", BUILD_VERSION))
+        .and_then(|n| n.with_label("git", BUILD_GIT));
+    if let Ok(name) = name {
+        metrics.gauge(&name.registry_key()).set(1);
+    }
+}
 
 impl PolarisEngine {
     /// Build an engine over the given store and compute pool.
@@ -118,6 +194,12 @@ impl PolarisEngine {
             meter.tracer = tracer.clone();
             Arc::new(CommitLogWriter::new(Arc::clone(&store), &config, meter))
         });
+        let started_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let uptime_gauge = metrics.gauge("uptime_seconds");
+        register_build_info(&metrics);
         let engine = Arc::new(PolarisEngine {
             config,
             catalog,
@@ -132,9 +214,18 @@ impl PolarisEngine {
             durability,
             recovery: Mutex::new(None),
             txn_contexts: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            started_unix_ms,
+            uptime_gauge,
+            next_query_id: AtomicU64::new(1),
+            txn_stats: Mutex::new(HashMap::new()),
+            system_tables: OnceLock::new(),
         });
         let telemetry = crate::telemetry::start(&engine);
         *engine.telemetry.lock() = Some(telemetry);
+        let _ = engine
+            .system_tables
+            .set(crate::system_tables::build(&engine));
         engine
     }
 
@@ -251,8 +342,71 @@ impl PolarisEngine {
     }
 
     /// Point-in-time snapshot of every metric the engine has emitted.
+    /// Refreshes the `uptime_seconds` gauge first so the snapshot (and
+    /// anything derived from it — `/metrics`, `polaris.metrics`) carries
+    /// current wall-clock uptime.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.refresh_uptime_gauge();
         self.metrics.snapshot()
+    }
+
+    /// Seconds since this engine was constructed.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Wall-clock construction time, milliseconds since the Unix epoch.
+    pub fn started_unix_ms(&self) -> u64 {
+        self.started_unix_ms
+    }
+
+    /// The engine's monotonic start instant (watchdog uptime refresh).
+    pub(crate) fn started_instant(&self) -> Instant {
+        self.started
+    }
+
+    /// Store current uptime into the `uptime_seconds` gauge.
+    pub(crate) fn refresh_uptime_gauge(&self) {
+        self.uptime_gauge
+            .set(self.started.elapsed().as_secs() as i64);
+    }
+
+    /// Draw the next engine-wide stable statement id (never 0).
+    pub(crate) fn next_query_id(&self) -> u64 {
+        self.next_query_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The `polaris.*` system-table registry.
+    ///
+    /// Providers snapshot engine state into columnar batches without
+    /// touching catalog transaction state — a system scan never pins the
+    /// GC watermark and never blocks a commit.
+    pub fn system_tables(&self) -> &SystemSchema {
+        self.system_tables
+            .get()
+            .expect("system tables are installed by PolarisEngine::new")
+    }
+
+    /// Register a fresh transaction in the live-stats directory.
+    pub(crate) fn txn_stat_begin(&self, id: u64) {
+        self.txn_stats.lock().insert(id, TxnStat::default());
+    }
+
+    /// Mutate a live transaction's stats entry (no-op once removed).
+    pub(crate) fn txn_stat_update(&self, id: u64, f: impl FnOnce(&mut TxnStat)) {
+        if let Some(stat) = self.txn_stats.lock().get_mut(&id) {
+            f(stat);
+        }
+    }
+
+    /// Copy a live transaction's stats entry, if still present.
+    pub(crate) fn txn_stat_get(&self, id: u64) -> Option<TxnStat> {
+        self.txn_stats.lock().get(&id).copied()
+    }
+
+    /// Drop a finished transaction from the live-stats directory.
+    pub(crate) fn txn_stat_end(&self, id: u64) {
+        self.txn_stats.lock().remove(&id);
     }
 
     /// The engine-wide trace flight recorder.

@@ -37,6 +37,7 @@ pub mod recovery;
 mod schema_json;
 mod session;
 pub mod sto;
+pub mod system_tables;
 mod telemetry;
 mod txn;
 

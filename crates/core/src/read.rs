@@ -55,6 +55,12 @@ pub(crate) fn execute_select(
     txn: &mut Transaction,
     plan: &SelectPlan,
 ) -> PolarisResult<QueryResult> {
+    // `FROM polaris.<table>` routes to the system-table providers before
+    // any catalog state is touched: a system scan reads point-in-time
+    // copies of engine state, pins no snapshot and blocks no commit.
+    if plan.schema.is_some() {
+        return execute_system_select(txn, plan);
+    }
     let (base_schema, base_snap) = source_snapshot(txn, &plan.table, plan.as_of)?;
     let engine = Arc::clone(txn.engine());
     let meter = Arc::clone(&txn.scan_meter);
@@ -111,8 +117,7 @@ pub(crate) fn execute_select(
         // by distribution instead.
         let mut left = distributed_scan(&engine, &base_schema, &base_snap, None, None, &meter)?;
         for join in &plan.joins {
-            let (right_schema, right_snap) = source_snapshot(txn, &join.table, join.as_of)?;
-            let right = distributed_scan(&engine, &right_schema, &right_snap, None, None, &meter)?;
+            let right = join_side_batch(txn, &engine, join, &meter)?;
             left = ops::hash_join(&left, &right, &join.left_keys, &join.right_keys)?;
         }
         if let Some(pred) = &plan.predicate {
@@ -163,6 +168,77 @@ fn source_snapshot(
         }
     };
     Ok((schema, snap))
+}
+
+/// Execute a SELECT whose base table is schema-qualified. Only the
+/// `polaris` system schema exists; its providers snapshot engine state
+/// into one batch on the calling thread, then the normal relational tail
+/// (joins, filter, aggregate, project, sort, limit) applies unchanged.
+///
+/// Deliberately catalog-free for `polaris.*` inputs: no `table_state`, no
+/// snapshot resolution — so a system scan inside a long-open transaction
+/// neither pins the GC watermark further nor contends with commits.
+fn execute_system_select(txn: &mut Transaction, plan: &SelectPlan) -> PolarisResult<QueryResult> {
+    let schema_name = plan.schema.as_deref().unwrap_or_default();
+    if schema_name != polaris_exec::SYSTEM_SCHEMA {
+        return Err(PolarisError::invalid(format!(
+            "unknown schema {schema_name} (only the {} system schema is supported)",
+            polaris_exec::SYSTEM_SCHEMA
+        )));
+    }
+    if plan.as_of.is_some() {
+        return Err(PolarisError::unsupported("AS OF over system tables"));
+    }
+    let engine = Arc::clone(txn.engine());
+    let meter = Arc::clone(&txn.scan_meter);
+    let mut batch = engine.system_tables().scan(&plan.table)?;
+    for join in &plan.joins {
+        let right = join_side_batch(txn, &engine, join, &meter)?;
+        batch = ops::hash_join(&batch, &right, &join.left_keys, &join.right_keys)?;
+    }
+    if let Some(pred) = &plan.predicate {
+        batch = ops::filter(&batch, pred)?;
+    }
+    match &plan.agg {
+        Some(agg) => {
+            batch = ops::hash_aggregate(&batch, &agg.group_by, &agg.aggs)?;
+        }
+        None => {
+            if let Some(projs) = &plan.projections {
+                batch = ops::project(&batch, projs)?;
+            }
+        }
+    }
+    if !plan.order_by.is_empty() {
+        batch = ops::sort(&batch, &plan.order_by)?;
+    }
+    if let Some(n) = plan.limit {
+        batch = ops::limit(&batch, n);
+    }
+    Ok(QueryResult::rows(batch))
+}
+
+/// Materialize one join input: a system-table snapshot for
+/// `polaris.<name>` sides, a distributed snapshot scan otherwise — so
+/// `polaris.slow_log JOIN polaris.trace_spans` and mixed user/system
+/// joins both work through the one join path.
+fn join_side_batch(
+    txn: &mut Transaction,
+    engine: &Arc<crate::PolarisEngine>,
+    join: &polaris_sql::JoinPlan,
+    meter: &Arc<ScanMeter>,
+) -> PolarisResult<RecordBatch> {
+    match join.schema.as_deref() {
+        Some(polaris_exec::SYSTEM_SCHEMA) => Ok(engine.system_tables().scan(&join.table)?),
+        Some(other) => Err(PolarisError::invalid(format!(
+            "unknown schema {other} (only the {} system schema is supported)",
+            polaris_exec::SYSTEM_SCHEMA
+        ))),
+        None => {
+            let (right_schema, right_snap) = source_snapshot(txn, &join.table, join.as_of)?;
+            distributed_scan(engine, &right_schema, &right_snap, None, None, meter)
+        }
+    }
 }
 
 /// Distributed scan: surviving file plans fan out as row-group-aligned

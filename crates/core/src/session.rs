@@ -169,6 +169,10 @@ impl Session {
                     allocs: txn_profile.commit_allocs,
                     wait_ns: 0,
                     span_tree: String::new(),
+                    // Commit summaries aggregate many statements; 0 marks
+                    // "no single statement" for the slow_log join column.
+                    query_id: 0,
+                    at_unix_ms: crate::telemetry::unix_now_ms(),
                 });
         }
         self.record_profile(profile, txn_id);
@@ -268,6 +272,7 @@ impl Session {
             }
             Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
             Statement::ShowEngineHealth => self.show_engine_health(),
+            Statement::ShowTables { system_only } => self.show_tables(*system_only),
             dml => {
                 if let Some(txn) = self.current.as_mut() {
                     let result = txn.execute_statement(dml);
@@ -423,6 +428,10 @@ impl Session {
         let mut lines = Vec::new();
         lines.push(format!("status: {}", report.status));
         lines.push(format!(
+            "uptime: {} s (version {}, git {})",
+            report.uptime_seconds, report.build_version, report.build_git
+        ));
+        lines.push(format!(
             "harvester: {} ticks @ {} ms{}",
             report.harvester_ticks,
             report.tick_ms,
@@ -518,6 +527,43 @@ impl Session {
             nullable: false,
         }]);
         let rows: Vec<Vec<Value>> = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(StatementOutcome::Rows(batch))
+    }
+
+    /// `SHOW TABLES` / `SHOW SYSTEM TABLES`: user tables from the catalog
+    /// (sorted by name) followed by the `polaris.*` virtual tables, as a
+    /// single `table_name` column. `system_only` drops the catalog half.
+    fn show_tables(&mut self, system_only: bool) -> PolarisResult<StatementOutcome> {
+        if self.current.is_some() {
+            // Catalog enumeration runs under its own snapshot, not the
+            // open transaction's — reject rather than lie, like DDL.
+            return Err(PolarisError::unsupported(
+                "SHOW TABLES inside explicit transactions",
+            ));
+        }
+        let mut names: Vec<String> = Vec::new();
+        if !system_only {
+            let mut ctxn = self.engine.catalog().begin(self.isolation);
+            let tables = self.engine.catalog().list_tables(&mut ctxn);
+            self.engine.catalog().abort(&mut ctxn);
+            let mut user: Vec<String> = tables?.into_iter().map(|m| m.name).collect();
+            user.sort();
+            names.extend(user);
+        }
+        names.extend(
+            self.engine
+                .system_tables()
+                .names()
+                .iter()
+                .map(|n| format!("{}.{n}", polaris_exec::SYSTEM_SCHEMA)),
+        );
+        let schema = Schema::new(vec![Field {
+            name: "table_name".to_owned(),
+            data_type: DataType::Utf8,
+            nullable: false,
+        }]);
+        let rows: Vec<Vec<Value>> = names.into_iter().map(|n| vec![Value::Str(n)]).collect();
         let batch = RecordBatch::from_rows(schema, &rows)?;
         Ok(StatementOutcome::Rows(batch))
     }

@@ -94,9 +94,19 @@ pub(crate) fn start(engine: &Arc<PolarisEngine>) -> EngineTelemetry {
     }
 }
 
-/// Register the five standard stall rules.
+/// Register the five standard stall rules plus the uptime-gauge refresh.
 fn install_rules(engine: &Arc<PolarisEngine>, watchdog: &Watchdog) {
     let config = *engine.config();
+
+    // Not a stall rule: refresh the wall-clock `uptime_seconds` gauge on
+    // the shared harvester tick so `/metrics` scrapes stay current without
+    // an extra thread. One relaxed gauge store per tick, never fires.
+    let uptime = engine.metrics().gauge("uptime_seconds");
+    let started = engine.started_instant();
+    watchdog.add_rule("uptime-refresh", move |_tick| {
+        uptime.set(started.elapsed().as_secs() as i64);
+        None
+    });
 
     // Oldest active transaction pinning the GC watermark.
     let weak: Weak<PolarisEngine> = Arc::downgrade(engine);
@@ -278,6 +288,13 @@ pub struct LaneDepth {
 pub struct HealthReport {
     /// `"ok"`, or `"degraded"` while any watchdog rule is firing.
     pub status: String,
+    /// Seconds since the engine was constructed.
+    pub uptime_seconds: u64,
+    /// Crate version of the running build.
+    pub build_version: String,
+    /// Git revision of the running build (`"unknown"` when the build did
+    /// not bake one in).
+    pub build_git: String,
     /// Harvester ticks completed.
     pub harvester_ticks: u64,
     /// Harvester tick length (ms); 0 means manual ticking.
@@ -364,12 +381,16 @@ impl PolarisEngine {
             capacity: self.pool().capacity(class),
         })
         .collect();
+        self.refresh_uptime_gauge();
         HealthReport {
             status: if firing.is_empty() {
                 "ok".to_owned()
             } else {
                 "degraded".to_owned()
             },
+            uptime_seconds: self.uptime_seconds(),
+            build_version: crate::engine::BUILD_VERSION.to_owned(),
+            build_git: crate::engine::BUILD_GIT.to_owned(),
             harvester_ticks,
             tick_ms: self.config().telemetry_tick_ms,
             listen,
@@ -459,5 +480,16 @@ pub(crate) fn slow_statement_record(
         allocs: profile.allocs,
         wait_ns: profile.wait_ns,
         span_tree,
+        query_id: profile.query_id,
+        at_unix_ms: unix_now_ms(),
     }
+}
+
+/// Current wall-clock time, milliseconds since the Unix epoch (0 if the
+/// clock reads before the epoch).
+pub(crate) fn unix_now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }

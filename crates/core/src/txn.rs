@@ -99,6 +99,9 @@ impl Transaction {
             0
         };
         let (tables, scan_meter) = engine.take_txn_context();
+        // Register in the live-stats directory backing
+        // `polaris.transactions`; removed again in `Drop`.
+        engine.txn_stat_begin(ctxn.id.0);
         Transaction {
             engine,
             ctxn,
@@ -181,11 +184,15 @@ impl Transaction {
         // snapshot replay, DCP attempts, store commits — nests under it.
         // Statement names are dynamic, so the span name costs one String —
         // but only when tracing is actually recording.
-        let stmt_span = if self.tracer.is_enabled() {
+        let query_id = self.engine.next_query_id();
+        let mut stmt_span = if self.tracer.is_enabled() {
             self.tracer.span_at(statement.to_owned(), self.root_span)
         } else {
             polaris_obs::SpanGuard::default()
         };
+        // Stamp the statement's stable id on its root span so
+        // `polaris.trace_spans` rows join to `polaris.slow_log`.
+        stmt_span.attr("query_id", query_id);
         let trace_span = stmt_span.id();
         let alloc0 = polaris_obs::alloc::phase_totals();
         let start = std::time::Instant::now();
@@ -225,6 +232,20 @@ impl Transaction {
         profile.wall_ns = wall_ns;
         profile.phase("execute", wall_ns);
         profile.trace_span = trace_span;
+        profile.query_id = query_id;
+        // Roll the statement into the live `polaris.transactions` stats.
+        let (statements, tables_touched, alloc_bytes, allocs) = (
+            self.stmt,
+            self.tables.len() as u32,
+            profile.alloc_bytes,
+            profile.allocs,
+        );
+        self.engine.txn_stat_update(self.ctxn.id.0, |s| {
+            s.statements = statements;
+            s.tables_touched = tables_touched;
+            s.alloc_bytes += alloc_bytes;
+            s.allocs += allocs;
+        });
         self.last_profile = Some(profile);
         result
     }
@@ -759,7 +780,8 @@ impl Transaction {
             | Statement::Commit
             | Statement::Rollback
             | Statement::ExplainAnalyze(_)
-            | Statement::ShowEngineHealth => Err(PolarisError::invalid(
+            | Statement::ShowEngineHealth
+            | Statement::ShowTables { .. } => Err(PolarisError::invalid(
                 "DDL, EXPLAIN ANALYZE, SHOW, and transaction control are handled by the session",
             )),
         }
@@ -823,6 +845,8 @@ impl Transaction {
     pub fn commit(mut self) -> PolarisResult<CommitInfo> {
         self.check_active()?;
         self.finished = true;
+        self.engine
+            .txn_stat_update(self.ctxn.id.0, |s| s.phase = "committing");
         let commit_span = self.tracer.span_at("txn.commit", self.root_span);
         let granularity = self.engine.config().conflict_granularity;
         let mut manifests: Vec<(TableId, String)> = Vec::new();
@@ -1005,6 +1029,9 @@ impl Drop for Transaction {
         // Commit / rollback already closed the root span; this is the
         // abandoned-drop path (and a no-op when root_span is 0).
         self.end_root("aborted");
+        // Every exit path funnels through Drop, so the live-stats entry
+        // behind `polaris.transactions` is removed exactly once here.
+        self.engine.txn_stat_end(self.ctxn.id.0);
         // Hand the table map and scan meter back to the engine so the
         // next `begin` reuses their capacity. `recycle_txn_context`
         // clears the map first, releasing base snapshot refs.

@@ -17,6 +17,8 @@
 //!   and compute delete vectors for predicates.
 //! * [`cell`] — data cells: the `(file, row group)` units the DCP assigns
 //!   to tasks, partitioned by distribution.
+//! * [`system`] — read-only virtual tables under `polaris.*`: the
+//!   [`SystemTableProvider`] contract and its registry.
 
 pub mod cell;
 mod error;
@@ -24,9 +26,11 @@ mod expr;
 pub mod morsel;
 pub mod ops;
 pub mod scan;
+pub mod system;
 pub mod write;
 
 pub use cell::{cells_of_snapshot, partition_cells, Cell};
 pub use error::{ExecError, ExecResult};
 pub use expr::{AggExpr, AggFunc, BinOp, Expr};
 pub use morsel::{plan_file_scan, FileScanPlan, MorselScanOutput, PrefetchCache, ScanMorsel};
+pub use system::{SystemSchema, SystemTableProvider, SYSTEM_SCHEMA};

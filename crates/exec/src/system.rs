@@ -1,0 +1,144 @@
+//! System-table providers: read-only virtual tables under the `polaris.*`
+//! schema, served through the normal SELECT plan/scan path.
+//!
+//! A provider snapshots one slice of engine state (metrics, active
+//! transactions, trace spans, WAL segments, …) into a single
+//! [`RecordBatch`] whose shape is fixed by [`SystemTableProvider::schema`].
+//! The contract that makes these tables safe to query from inside a live
+//! workload:
+//!
+//! * **Read-only** — a scan never mutates the state it reports.
+//! * **Point-in-time** — each scan materializes one consistent-enough
+//!   snapshot; rows never reference live engine memory.
+//! * **Non-blocking** — providers read through atomics, epoch-cached
+//!   handles, or short internal locks that the commit path never holds
+//!   while waiting on user work. A system scan must not be able to
+//!   deadlock against — or measurably stall — the commit protocol.
+//! * **Schema-stable** — the column list is versioned with the binary;
+//!   two scans of the same build always produce identical schemas.
+//!
+//! The exec crate deliberately knows nothing about the engine: `core`
+//! implements providers over obs/catalog/dcp/lst state and registers them
+//! in a [`SystemSchema`], and the read path dispatches `polaris.<name>`
+//! table references here before touching the catalog (so a system scan
+//! never acquires a snapshot or pins the GC watermark).
+
+use crate::{ExecError, ExecResult};
+use polaris_columnar::{RecordBatch, Schema};
+use std::sync::Arc;
+
+/// Name of the virtual schema system tables live under.
+pub const SYSTEM_SCHEMA: &str = "polaris";
+
+/// One virtual table: a named, fixed-schema, read-only snapshot source.
+pub trait SystemTableProvider: Send + Sync {
+    /// Bare table name under the `polaris.` schema (e.g. `metrics`).
+    fn name(&self) -> &'static str;
+
+    /// The fixed schema every scan of this table returns.
+    fn schema(&self) -> Schema;
+
+    /// Snapshot current state into one batch matching [`schema`].
+    ///
+    /// [`schema`]: SystemTableProvider::schema
+    fn scan(&self) -> ExecResult<RecordBatch>;
+}
+
+/// Registry of [`SystemTableProvider`]s, looked up by bare table name.
+#[derive(Default)]
+pub struct SystemSchema {
+    providers: Vec<Arc<dyn SystemTableProvider>>,
+}
+
+impl SystemSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        SystemSchema::default()
+    }
+
+    /// Register a provider. Panics on a duplicate name — providers are
+    /// wired once at engine construction, so a clash is a programming
+    /// error, not a runtime condition.
+    pub fn register(&mut self, provider: Arc<dyn SystemTableProvider>) {
+        assert!(
+            self.get(provider.name()).is_none(),
+            "duplicate system table {:?}",
+            provider.name()
+        );
+        self.providers.push(provider);
+        self.providers.sort_by_key(|p| p.name());
+    }
+
+    /// Look up a provider by bare table name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn SystemTableProvider>> {
+        self.providers.iter().find(|p| p.name() == name)
+    }
+
+    /// Registered table names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.providers.iter().map(|p| p.name()).collect()
+    }
+
+    /// Scan `name`, or fail with a plan error naming the known tables.
+    pub fn scan(&self, name: &str) -> ExecResult<RecordBatch> {
+        match self.get(name) {
+            Some(p) => p.scan(),
+            None => Err(ExecError::plan(format!(
+                "unknown system table polaris.{name} (known: {})",
+                self.names().join(", ")
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Debug for SystemSchema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemSchema")
+            .field("tables", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_columnar::{DataType, Field, Value};
+
+    struct OneColumn;
+
+    impl SystemTableProvider for OneColumn {
+        fn name(&self) -> &'static str {
+            "one"
+        }
+
+        fn schema(&self) -> Schema {
+            Schema::new(vec![Field::new("n", DataType::Int64)])
+        }
+
+        fn scan(&self) -> ExecResult<RecordBatch> {
+            Ok(RecordBatch::from_rows(
+                self.schema(),
+                &[vec![Value::Int(1)]],
+            )?)
+        }
+    }
+
+    #[test]
+    fn registry_dispatches_by_name() {
+        let mut schema = SystemSchema::new();
+        schema.register(Arc::new(OneColumn));
+        assert_eq!(schema.names(), vec!["one"]);
+        let batch = schema.scan("one").unwrap();
+        assert_eq!(batch.num_rows(), 1);
+        let err = schema.scan("two").unwrap_err();
+        assert!(err.to_string().contains("unknown system table polaris.two"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate system table")]
+    fn duplicate_registration_panics() {
+        let mut schema = SystemSchema::new();
+        schema.register(Arc::new(OneColumn));
+        schema.register(Arc::new(OneColumn));
+    }
+}

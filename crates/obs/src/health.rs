@@ -206,6 +206,14 @@ pub struct SlowRecord {
     pub wait_ns: u64,
     /// Rendered trace span tree (empty when tracing is disabled).
     pub span_tree: String,
+    /// Stable statement id (0 when unknown, e.g. commit-summary records);
+    /// joins against `polaris.trace_spans.query_id`.
+    #[serde(default)]
+    pub query_id: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch (0 when
+    /// the producer predates this field).
+    #[serde(default)]
+    pub at_unix_ms: u64,
 }
 
 /// Bounded ring of [`SlowRecord`]s with an atomically adjustable

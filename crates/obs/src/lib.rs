@@ -988,6 +988,10 @@ pub struct QueryProfile {
     /// Trace span id of this statement's root span (0 when tracing is
     /// disabled); `EXPLAIN ANALYZE` renders the tree rooted here.
     pub trace_span: u64,
+    /// Engine-wide stable statement id, assigned at execution start.
+    /// Stamped on the root trace span and on slow-log records, so
+    /// `polaris.slow_log` rows join to `polaris.trace_spans`.
+    pub query_id: u64,
 }
 
 impl QueryProfile {

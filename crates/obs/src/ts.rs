@@ -77,6 +77,11 @@ pub struct TimeSeriesSnapshot {
     pub tick_ms: u64,
     /// Ticks completed since the harvester started.
     pub ticks: u64,
+    /// Wall-clock time the harvester started, milliseconds since the Unix
+    /// epoch. Adding a point's `t_ms` yields its absolute capture time, so
+    /// ring samples line up with slow-log wall-clock timestamps.
+    #[serde(default)]
+    pub wall_start_ms: u64,
     /// Counter rates (events/second per tick), newest last.
     pub rates: BTreeMap<String, Vec<TsPoint>>,
     /// Gauge levels per tick, newest last.
@@ -204,6 +209,10 @@ struct HarvesterShared {
     tick: Duration,
     window: usize,
     started: Instant,
+    /// Unix-epoch milliseconds captured at the same moment as `started`,
+    /// so `started.elapsed()` offsets convert to absolute wall-clock time
+    /// without calling the (allocating, non-monotonic) clock per tick.
+    started_unix_ms: u64,
     stop: AtomicBool,
 }
 
@@ -224,6 +233,10 @@ impl Harvester {
     /// [`Harvester::run_once`] to advance it manually.
     pub fn detached(registry: Arc<MetricsRegistry>, tick: Duration, window: usize) -> Self {
         let alloc_metrics = AllocMetrics::register(&registry);
+        let started_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
         Harvester {
             shared: Arc::new(HarvesterShared {
                 registry,
@@ -234,6 +247,7 @@ impl Harvester {
                 tick,
                 window: window.max(1),
                 started: Instant::now(),
+                started_unix_ms,
                 stop: AtomicBool::new(false),
             }),
             handle: None,
@@ -288,6 +302,7 @@ impl Harvester {
         TimeSeriesSnapshot {
             tick_ms: self.shared.tick.as_millis() as u64,
             ticks: self.ticks(),
+            wall_start_ms: self.shared.started_unix_ms,
             rates: rings
                 .counters
                 .iter()

@@ -80,6 +80,9 @@ pub enum SelectItem {
 /// A table reference with optional time travel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableRef {
+    /// Schema qualifier (`FROM polaris.metrics`), lower-cased. `None`
+    /// means the default user schema.
+    pub schema: Option<String>,
     /// Table name (lower-cased).
     pub name: String,
     /// `AS OF <sequence>` — a historical snapshot (§6.1).
@@ -189,4 +192,10 @@ pub enum Statement {
     /// health status, firing watchdogs, recent health events, top slow
     /// transactions/statements and per-shard commit-lock pressure.
     ShowEngineHealth,
+    /// SHOW TABLES / SHOW SYSTEM TABLES: list user tables from the catalog
+    /// and the virtual tables under `polaris.*`.
+    ShowTables {
+        /// `SHOW SYSTEM TABLES` — restrict the listing to `polaris.*`.
+        system_only: bool,
+    },
 }

@@ -163,6 +163,13 @@ impl Parser {
             return Ok(Statement::DropTable { name });
         }
         if self.eat_keyword("SHOW") {
+            if self.eat_keyword("TABLES") {
+                return Ok(Statement::ShowTables { system_only: false });
+            }
+            if self.eat_keyword("SYSTEM") {
+                self.expect_keyword("TABLES")?;
+                return Ok(Statement::ShowTables { system_only: true });
+            }
             self.expect_keyword("ENGINE")?;
             self.expect_keyword("HEALTH")?;
             return Ok(Statement::ShowEngineHealth);
@@ -286,7 +293,15 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef, ParseError> {
-        let name = self.identifier()?;
+        let mut name = self.identifier()?;
+        // `schema.table` — today the only schema is the virtual `polaris`
+        // one, but the grammar accepts any qualifier and lets the planner
+        // decide what resolves.
+        let mut schema = None;
+        if self.eat_symbol(Sym::Dot) {
+            schema = Some(name);
+            name = self.identifier()?;
+        }
         // `AS OF <seq>` — time travel. Note `AS` here is followed by OF,
         // otherwise it introduces an alias.
         let mut as_of = None;
@@ -303,7 +318,12 @@ impl Parser {
         } else if matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w)) {
             alias = Some(self.identifier()?);
         }
-        Ok(TableRef { name, as_of, alias })
+        Ok(TableRef {
+            schema,
+            name,
+            as_of,
+            alias,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement, ParseError> {
@@ -849,9 +869,48 @@ mod tests {
             Statement::ShowEngineHealth
         );
         assert!(parse("SHOW ENGINE").is_err());
-        assert!(parse("SHOW TABLES").is_err());
         // SHOW/ENGINE/HEALTH stay usable as identifiers.
         assert!(parse("SELECT health FROM engine").is_ok());
+    }
+
+    #[test]
+    fn parses_show_tables() {
+        assert_eq!(
+            parse("SHOW TABLES").unwrap(),
+            Statement::ShowTables { system_only: false }
+        );
+        assert_eq!(
+            parse("show system tables;").unwrap(),
+            Statement::ShowTables { system_only: true }
+        );
+        assert!(parse("SHOW SYSTEM").is_err());
+        // TABLES/SYSTEM stay usable as identifiers.
+        assert!(parse("SELECT tables FROM system").is_ok());
+    }
+
+    #[test]
+    fn parses_qualified_table_refs() {
+        let Statement::Select(s) = parse("SELECT * FROM polaris.metrics").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from.schema.as_deref(), Some("polaris"));
+        assert_eq!(s.from.name, "metrics");
+        // Aliases and joins still compose with a qualifier.
+        let Statement::Select(s) = parse(
+            "SELECT s.query_id FROM polaris.slow_log s \
+             JOIN polaris.trace_spans t ON s.query_id = t.query_id",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from.alias.as_deref(), Some("s"));
+        assert_eq!(s.joins[0].table.schema.as_deref(), Some("polaris"));
+        assert_eq!(s.joins[0].table.name, "trace_spans");
+        // Unqualified refs keep schema == None.
+        let Statement::Select(s) = parse("SELECT * FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from.schema, None);
     }
 
     #[test]

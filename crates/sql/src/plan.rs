@@ -32,6 +32,8 @@ impl std::error::Error for PlanError {}
 /// One join step: hash-join the running result with `table`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinPlan {
+    /// Schema qualifier of the joined table (`polaris.*` = system table).
+    pub schema: Option<String>,
     /// Table to join in.
     pub table: String,
     /// Time-travel sequence for the joined table.
@@ -54,6 +56,9 @@ pub struct AggPlan {
 /// A fully lowered SELECT.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectPlan {
+    /// Schema qualifier of the base table. `Some("polaris")` routes the
+    /// scan to the system-table providers instead of the catalog.
+    pub schema: Option<String>,
     /// Base table.
     pub table: String,
     /// Time-travel sequence for the base table (§6.1).
@@ -95,6 +100,7 @@ pub fn plan_select(stmt: &SelectStmt) -> Result<SelectPlan, PlanError> {
     };
 
     Ok(SelectPlan {
+        schema: stmt.from.schema.clone(),
         table: stmt.from.name.clone(),
         as_of: stmt.from.as_of,
         joins,
@@ -189,6 +195,7 @@ fn lower_join(join: &JoinClause) -> Result<JoinPlan, PlanError> {
         return Err(PlanError::new("join ON must contain at least one equality"));
     }
     Ok(JoinPlan {
+        schema: join.table.schema.clone(),
         table: join.table.name.clone(),
         as_of: join.table.as_of,
         left_keys,
@@ -469,6 +476,21 @@ mod tests {
     fn time_travel_propagates() {
         let p = plan("SELECT * FROM t AS OF 9");
         assert_eq!(p.as_of, Some(9));
+    }
+
+    #[test]
+    fn schema_qualifier_propagates() {
+        let p = plan("SELECT * FROM polaris.metrics WHERE kind = 'counter'");
+        assert_eq!(p.schema.as_deref(), Some("polaris"));
+        assert_eq!(p.table, "metrics");
+        let p = plan(
+            "SELECT s.query_id FROM polaris.slow_log s \
+             JOIN polaris.trace_spans t ON s.query_id = t.query_id",
+        );
+        assert_eq!(p.joins[0].schema.as_deref(), Some("polaris"));
+        assert_eq!(p.joins[0].table, "trace_spans");
+        let p = plan("SELECT * FROM t");
+        assert_eq!(p.schema, None);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The `polaris.*` system schema, queryable over plain SQL.
+//!
+//! ```sh
+//! cargo run --example system_tables            # showcase script
+//! echo "SELECT COUNT(name) AS n FROM polaris.metrics;" \
+//!   | cargo run --example system_tables        # pipe your own statements
+//! ```
+//!
+//! Runs a small workload first (with `slow_statement_ms = 0`, so the
+//! slow log and trace ring have rows to join), then executes either the
+//! piped statements or a built-in showcase: `SHOW TABLES`, a metrics
+//! count, and the slow_log ⋈ trace_spans correlation join.
+
+use polaris::core::{EngineConfig, PolarisEngine, StatementOutcome};
+use polaris::dcp::{ComputePool, WorkloadClass};
+use polaris::store::MemoryStore;
+use std::io::{IsTerminal, Read};
+use std::sync::Arc;
+
+const SHOWCASE: &str = "\
+SHOW TABLES;
+SELECT COUNT(name) AS n FROM polaris.metrics;
+SELECT query_id, statement FROM polaris.slow_log s \
+  JOIN polaris.trace_spans t ON s.query_id = t.query_id \
+  WHERE kind = 'statement';
+";
+
+fn main() {
+    let mut config = EngineConfig::for_testing();
+    config.slow_statement_ms = 0; // log every statement, for the demo
+    let pool = Arc::new(ComputePool::with_topology(2, 4, 2));
+    pool.add_nodes(WorkloadClass::System, 2, 2);
+    let engine = PolarisEngine::new(Arc::new(MemoryStore::new()), pool, config);
+
+    // A small workload so the system tables have something to show.
+    let mut session = engine.session();
+    session
+        .execute("CREATE TABLE trips (id BIGINT, city VARCHAR, miles FLOAT)")
+        .expect("create table");
+    for round in 0..3i64 {
+        session
+            .execute(&format!(
+                "INSERT INTO trips VALUES ({}, 'seattle', 12.5), ({}, 'redmond', 3.2)",
+                round * 2 + 1,
+                round * 2 + 2
+            ))
+            .expect("insert");
+        session
+            .query("SELECT city, COUNT(id) AS n FROM trips GROUP BY city")
+            .expect("select");
+    }
+
+    let script = if std::io::stdin().is_terminal() {
+        SHOWCASE.to_owned()
+    } else {
+        let mut piped = String::new();
+        std::io::stdin()
+            .read_to_string(&mut piped)
+            .expect("read stdin");
+        piped
+    };
+
+    for outcome in session.execute_script(&script).expect("script executes") {
+        print_outcome(outcome);
+    }
+}
+
+fn print_outcome(outcome: StatementOutcome) {
+    match outcome {
+        StatementOutcome::Rows(batch) => {
+            let names: Vec<&str> = batch
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect();
+            println!("{}", names.join(" | "));
+            for i in 0..batch.num_rows() {
+                let row: Vec<String> = batch.row(i).iter().map(ToString::to_string).collect();
+                println!("{}", row.join(" | "));
+            }
+            println!("({} rows)", batch.num_rows());
+        }
+        other => println!("{other:?}"),
+    }
+}

@@ -57,10 +57,27 @@ else
   echo "telemetry smoke: skipped (no curl)"
 fi
 
-# Allocation regression gate: the warm commit path must stay within the
-# recorded allocation budget (deterministic; skips itself cleanly when
-# the track-alloc feature is unavailable).
-scripts/alloc_gate.sh
+# System-schema smoke: the polaris.* virtual tables answer plain SQL
+# through the normal plan/scan path, and the query_id correlation join
+# (slow_log x trace_spans) returns rows.
+metrics_count=$(echo "SELECT COUNT(name) AS n FROM polaris.metrics;" \
+  | cargo run --release -q --example system_tables | sed -n 2p)
+[ "${metrics_count:-0}" -gt 0 ] \
+  || { echo "system smoke: polaris.metrics returned no rows"; exit 1; }
+join_rows=$(echo "SELECT query_id FROM polaris.slow_log s \
+    JOIN polaris.trace_spans t ON s.query_id = t.query_id \
+    WHERE kind = 'statement';" \
+  | cargo run --release -q --example system_tables \
+  | sed -n 's/^(\([0-9]*\) rows)$/\1/p')
+[ "${join_rows:-0}" -gt 0 ] \
+  || { echo "system smoke: slow_log x trace_spans join returned no rows"; exit 1; }
+echo "system smoke: ok (${metrics_count} metrics, ${join_rows} joined slow statements)"
+
+# Allocation regression gate: the warm commit path and the warm
+# polaris.metrics scan must stay within the recorded allocation budgets
+# (deterministic; skips itself cleanly when the track-alloc feature is
+# unavailable). --phases prints the per-phase attribution map.
+scripts/alloc_gate.sh --phases
 
 # Crash-recovery chaos gate: the bounded deterministic kill matrix —
 # every kill site (manifest staging/upload, WAL stage/publish, commit
